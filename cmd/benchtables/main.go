@@ -1,0 +1,132 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section at reproduction scale and prints them as ASCII tables.
+//
+// Usage:
+//
+//	benchtables              # everything (a few minutes at -base 14)
+//	benchtables -only fig5,table2
+//	benchtables -base 12 -ranks 2,4,8
+//
+// See EXPERIMENTS.md for the mapping from paper tables/figures to outputs
+// and the expected qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hisvsim/internal/experiments"
+)
+
+func main() {
+	var (
+		base  = flag.Int("base", 12, "base qubit count for the benchmark suite (paper: 30)")
+		ranks = flag.String("ranks", "2,4,8", "rank counts for standard circuits")
+		bigR  = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
+		seed  = flag.Int64("seed", 1, "partitioner seed")
+		lm2   = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Base: *base, Ranks: parseInts(*ranks), BigRanks: parseInts(*bigR),
+		Seed: *seed, SecondLevelLm: *lm2,
+	}.WithDefaults()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("table1") {
+		t, err := experiments.TableI(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if sel("table2") {
+		t, _, err := experiments.TableII(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+
+	needGrid := sel("fig5") || sel("fig6") || sel("fig7") || sel("fig8") || sel("fig9")
+	if needGrid {
+		fmt.Printf("running evaluation grid (base=%d, ranks=%v/%v)...\n\n", cfg.Base, cfg.Ranks, cfg.BigRanks)
+		g, err := experiments.RunGrid(cfg)
+		check(err)
+		if sel("fig5") {
+			t, _ := experiments.Fig5(g)
+			fmt.Println(t)
+		}
+		if sel("fig6") {
+			fmt.Println(experiments.Fig6(g))
+		}
+		if sel("fig7") {
+			fmt.Println(experiments.Fig7(g))
+		}
+		if sel("fig8") {
+			t, _ := experiments.Fig8(g)
+			fmt.Println(t)
+		}
+		if sel("fig9") {
+			t, _, _, err := experiments.Fig9(g)
+			check(err)
+			fmt.Println(t)
+		}
+	}
+	if sel("fig10") {
+		t, _, err := experiments.Fig10(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if sel("table3") {
+		t, _, err := experiments.TableIII(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if sel("table4") {
+		t, _, err := experiments.TableIV(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if sel("optimality") {
+		t, matched, total, err := experiments.Optimality(cfg)
+		check(err)
+		fmt.Println(t)
+		fmt.Printf("dagP found the optimal part count in %d/%d instances (paper: 48/52)\n\n", matched, total)
+	}
+	if sel("threads") {
+		t, err := experiments.ThreadScaling(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+	if sel("ablation") {
+		t, _, err := experiments.Ablation(cfg)
+		check(err)
+		fmt.Println(t)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		check(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command qasmtool inspects and transforms OpenQASM 2.0 circuits with the
+// HiSVSIM toolchain.
+//
+// Usage:
+//
+//	qasmtool -in file.qasm -stats                 # circuit statistics
+//	qasmtool -in file.qasm -optimize -out o.qasm  # fuse/cancel, rewrite
+//	qasmtool -in file.qasm -decompose -out o.qasm # lower to {1q, cx}
+//	qasmtool -in file.qasm -dot -strategy dagp -lm 8  # part-colored DAG
+//	qasmtool -gen qft -n 12 -out qft12.qasm       # generate a benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hisvsim"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/partition"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input OpenQASM 2.0 file")
+		gen       = flag.String("gen", "", "generate a benchmark family instead of reading a file")
+		n         = flag.Int("n", 12, "qubit count for -gen")
+		out       = flag.String("out", "", "output file (default stdout for rewrites)")
+		stats     = flag.Bool("stats", false, "print circuit statistics")
+		optimize  = flag.Bool("optimize", false, "cancel inverse pairs and fuse rotations")
+		decompose = flag.Bool("decompose", false, "lower every gate to the {1q, cx} basis")
+		dot       = flag.Bool("dot", false, "emit the circuit DAG in Graphviz format")
+		strategy  = flag.String("strategy", "", "color the -dot output by this partitioner's parts")
+		lm        = flag.Int("lm", 0, "working-set limit for -strategy")
+	)
+	flag.Parse()
+
+	c, err := load(*in, *gen, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *optimize {
+		before := c.NumGates()
+		c = circuit.Optimize(c)
+		fmt.Fprintf(os.Stderr, "optimize: %d -> %d gates\n", before, c.NumGates())
+	}
+	if *decompose {
+		before := c.NumGates()
+		c = c.Decomposed()
+		fmt.Fprintf(os.Stderr, "decompose: %d -> %d gates\n", before, c.NumGates())
+	}
+
+	switch {
+	case *stats:
+		printStats(c)
+	case *dot:
+		g := dag.FromCircuit(c)
+		opts := dag.DotOptions{Name: c.Name}
+		if *strategy != "" {
+			limit := *lm
+			if limit <= 0 {
+				limit = c.NumQubits
+			}
+			pl, err := hisvsim.Partition(c, limit, *strategy)
+			if err != nil {
+				fatal(err)
+			}
+			partOf := make([]int, c.NumGates())
+			for pi, part := range pl.Parts {
+				for _, gi := range part.GateIndices {
+					partOf[gi] = pi
+				}
+			}
+			opts.PartOf = partOf
+			fmt.Fprintf(os.Stderr, "%s: %d parts\n", *strategy, pl.NumParts())
+		}
+		emit(*out, g.Dot(opts))
+	default:
+		emit(*out, hisvsim.WriteQASM(c))
+	}
+}
+
+func load(in, gen string, n int) (*hisvsim.Circuit, error) {
+	switch {
+	case in != "":
+		src, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return hisvsim.ParseQASM(string(src))
+	case gen != "":
+		return hisvsim.BuildCircuit(gen, n)
+	default:
+		return nil, fmt.Errorf("specify -in <file> or -gen <family>")
+	}
+}
+
+func printStats(c *hisvsim.Circuit) {
+	fmt.Printf("name:        %s\n", c.Name)
+	fmt.Printf("qubits:      %d\n", c.NumQubits)
+	fmt.Printf("gates:       %d\n", c.NumGates())
+	fmt.Printf("depth:       %d\n", c.Depth())
+	fmt.Printf("2q+ gates:   %d\n", c.MultiQubitGates())
+	fmt.Printf("state size:  %d bytes\n", c.MemoryBytes())
+	counts := c.GateCounts()
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Println("gate histogram:")
+	for _, k := range names {
+		fmt.Printf("  %-6s %d\n", k, counts[k])
+	}
+	// Plan quality preview at a few limits.
+	fmt.Println("partitioning preview (dagp):")
+	for _, lm := range []int{c.NumQubits - 2, c.NumQubits - 4, c.NumQubits / 2} {
+		if lm < 2 {
+			continue
+		}
+		pl, err := hisvsim.Partition(c, lm, "dagp")
+		if err != nil {
+			fmt.Printf("  Lm=%-3d (infeasible: %v)\n", lm, err)
+			continue
+		}
+		m := partition.ComputeMetrics(pl)
+		fmt.Printf("  Lm=%-3d %s\n", lm, m)
+	}
+}
+
+func emit(out, text string) {
+	if out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qasmtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Grover search: run Grover's algorithm through the hierarchical simulator
+// and watch the marked state's probability grow with each iteration — the
+// workload class the paper's Table I includes as `grover`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hisvsim"
+	"hisvsim/internal/circuit"
+)
+
+func main() {
+	const dataQubits = 8 // search space of 256 items; 6 V-chain ancillas
+
+	for iters := 1; iters <= 4; iters++ {
+		c := circuit.Grover(dataQubits, iters)
+		res, err := hisvsim.Simulate(c, hisvsim.Options{Strategy: "dagp", Lm: c.NumQubits - 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The oracle marks the all-ones data pattern; ancillas return to 0.
+		marked := (1 << dataQubits) - 1
+		p := 0.0
+		for i := 0; i < res.State.Dim(); i++ {
+			if i&marked == marked && i>>dataQubits == 0 {
+				p += res.State.BasisProbability(i)
+			}
+		}
+		fmt.Printf("iterations=%d  parts=%2d  P(marked)=%.4f  (uniform would be %.4f)\n",
+			iters, res.Plan.NumParts(), p, 1.0/float64(int(1)<<dataQubits))
+	}
+	fmt.Println("\nGrover amplifies the marked item; the partitioned simulation")
+	fmt.Println("computes the exact same amplitudes as a flat state vector.")
+}

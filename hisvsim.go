@@ -1,0 +1,153 @@
+// Package hisvsim is the public API of the HiSVSIM reproduction: a
+// hierarchical, distributed state-vector quantum-circuit simulator driven by
+// acyclic graph partitioning (Fang, Özkaya, Li, Çatalyürek, Krishnamoorthy —
+// IEEE CLUSTER 2022).
+//
+// Quick start:
+//
+//	c := hisvsim.MustCircuit("qft", 16)
+//	res, err := hisvsim.Simulate(c, hisvsim.Options{Strategy: "dagp", Lm: 12})
+//	fmt.Println(res.Plan.NumParts(), res.State.Probability(0))
+//
+// The heavy lifting lives in the internal packages; this façade re-exports
+// the stable surface: circuit construction (generators + OpenQASM 2.0),
+// partitioning plans, single-node hierarchical execution, and the simulated
+// multi-rank distributed executor with its IQS-style baseline.
+package hisvsim
+
+import (
+	"fmt"
+
+	"hisvsim/internal/baseline"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/gate"
+	"hisvsim/internal/mpi"
+	"hisvsim/internal/partition"
+	"hisvsim/internal/qasm"
+	"hisvsim/internal/sv"
+)
+
+// Circuit is an ordered gate list over n qubits. Construct with NewCircuit,
+// a generator (Circuit / MustCircuit), or ParseQASM.
+type Circuit = circuit.Circuit
+
+// Gate is one (possibly controlled) unitary applied to specific qubits.
+type Gate = gate.Gate
+
+// Plan is an acyclic partitioning of a circuit into working-set-bounded
+// parts.
+type Plan = partition.Plan
+
+// State is a dense 2^n-amplitude state vector.
+type State = sv.State
+
+// Options configures Simulate. See core.Options for field documentation.
+type Options = core.Options
+
+// Result bundles the plan, final state and execution metrics.
+type Result = core.Result
+
+// CostModel is the α–β communication model used by distributed runs.
+type CostModel = mpi.CostModel
+
+// NewCircuit returns an empty named circuit on n qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// BuildCircuit builds one of the benchmark families ("cat_state", "bv",
+// "qaoa", "cc", "ising", "qft", "qnn", "grover", "qpe", "adder", "random")
+// at approximately n qubits.
+func BuildCircuit(family string, n int) (*Circuit, error) { return circuit.Named(family, n) }
+
+// MustCircuit is BuildCircuit, panicking on error (for examples and tests).
+func MustCircuit(family string, n int) *Circuit {
+	c, err := BuildCircuit(family, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Families lists the circuit generator families BuildCircuit accepts.
+func Families() []string { return circuit.Families() }
+
+// ParseQASM reads OpenQASM 2.0 source into a circuit.
+func ParseQASM(src string) (*Circuit, error) { return qasm.ParseToCircuit(src) }
+
+// WriteQASM renders a circuit as OpenQASM 2.0 (lowering non-qelib1 gates).
+func WriteQASM(c *Circuit) string { return qasm.Write(c) }
+
+// Strategies lists the partitioner names Simulate and Partition accept.
+func Strategies() []string { return core.StrategyNames() }
+
+// Partition builds an acyclic plan for the circuit with working-set limit
+// lm using the named strategy ("nat", "dfs", "dagp", or "exact").
+func Partition(c *Circuit, lm int, strategy string) (*Plan, error) {
+	s, err := core.NewStrategy(strategy, 0)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.Partition(dag.FromCircuit(c), lm)
+	if err != nil {
+		return nil, err
+	}
+	if err := partition.Validate(pl); err != nil {
+		return nil, fmt.Errorf("hisvsim: internal: %w", err)
+	}
+	return pl, nil
+}
+
+// ValidatePlan re-checks every plan invariant (disjoint-exhaustive parts,
+// working-set bound, acyclic quotient graph).
+func ValidatePlan(pl *Plan) error { return partition.Validate(pl) }
+
+// PlanMetrics summarizes a plan's structural quality (part sizes, working
+// sets, qubit churn between parts, cut edges).
+type PlanMetrics = partition.PlanMetrics
+
+// MeasurePlan computes PlanMetrics for a plan.
+func MeasurePlan(pl *Plan) PlanMetrics { return partition.ComputeMetrics(pl) }
+
+// Optimize applies the gate-level passes that are orthogonal to
+// partitioning (§II-C): inverse-pair cancellation and rotation fusion, to a
+// fixed point. The returned circuit has the identical unitary.
+func Optimize(c *Circuit) *Circuit { return circuit.Optimize(c) }
+
+// DotDAG renders the circuit's dependency DAG in Graphviz format, colored
+// by the plan's parts when pl is non-nil (the paper's Fig. 2b/4 rendering).
+func DotDAG(c *Circuit, pl *Plan) string {
+	opts := dag.DotOptions{Name: c.Name}
+	if pl != nil {
+		partOf := make([]int, c.NumGates())
+		for pi, part := range pl.Parts {
+			for _, gi := range part.GateIndices {
+				partOf[gi] = pi
+			}
+		}
+		opts.PartOf = partOf
+	}
+	return dag.FromCircuit(c).Dot(opts)
+}
+
+// Simulate partitions and executes a circuit from |0…0⟩. With Ranks > 1 it
+// runs the distributed executor over simulated MPI ranks; otherwise the
+// single-node hierarchical executor.
+func Simulate(c *Circuit, opts Options) (*Result, error) { return core.Simulate(c, opts) }
+
+// Run simulates a circuit flat (no partitioning) — the reference result.
+func Run(c *Circuit) (*State, error) { return sv.Run(c) }
+
+// BaselineResult reports the IQS-style baseline run.
+type BaselineResult = baseline.Result
+
+// RunBaseline simulates the circuit with the IQS/qHiPSTER-style distributed
+// scheme (fixed layout, pairwise exchange per global-qubit gate) for
+// comparison against Simulate with the same rank count.
+func RunBaseline(c *Circuit, ranks int) (*BaselineResult, error) {
+	return baseline.Run(c, baseline.Config{Ranks: ranks, GatherResult: true})
+}
+
+// HDR100 returns the InfiniBand HDR-100-class communication model used in
+// the paper's evaluation.
+func HDR100() CostModel { return mpi.HDR100() }

@@ -1,0 +1,144 @@
+package hisvsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	c := MustCircuit("qft", 10)
+	res, err := Simulate(c, Options{Strategy: "dagp", Lm: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(want); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("fidelity = %v", f)
+	}
+	if res.Plan.NumParts() < 2 {
+		t.Fatalf("parts = %d", res.Plan.NumParts())
+	}
+}
+
+func TestFacadePartitionAndValidate(t *testing.T) {
+	c := MustCircuit("bv", 10)
+	for _, s := range Strategies() {
+		if s == "exact" && c.NumQubits > 12 {
+			continue
+		}
+		pl, err := Partition(c, 5, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := ValidatePlan(pl); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := Partition(c, 5, "nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestFacadeDistributedVsBaseline(t *testing.T) {
+	c := MustCircuit("ising", 9)
+	want, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(c, Options{Strategy: "dagp", Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(want); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("distributed fidelity = %v", f)
+	}
+	base, err := RunBaseline(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := base.State.Fidelity(want); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("baseline fidelity = %v", f)
+	}
+	if res.Dist.BytesComm >= base.BytesComm {
+		t.Fatalf("HiSVSIM comm %d >= baseline %d", res.Dist.BytesComm, base.BytesComm)
+	}
+}
+
+func TestFacadeQASMRoundTrip(t *testing.T) {
+	c := MustCircuit("grover", 9)
+	src := WriteQASM(c)
+	back, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := a.Fidelity(b); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("round-trip fidelity = %v", f)
+	}
+}
+
+func TestFacadeOptimizeAndMetrics(t *testing.T) {
+	c := MustCircuit("ising", 8)
+	// Inject a redundant pair through the public API surface.
+	c.Gates = append(c.Gates, c.Gates[0], c.Gates[0]) // two extra H's on q0? (ising starts with H)
+	opt := Optimize(c)
+	if opt.NumGates() >= c.NumGates() {
+		t.Fatalf("optimize: %d -> %d", c.NumGates(), opt.NumGates())
+	}
+	pl, err := Partition(opt, 5, "dagp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MeasurePlan(pl)
+	if m.Parts != pl.NumParts() || m.Gates != opt.NumGates() {
+		t.Fatalf("metrics %+v", m)
+	}
+	dot := DotDAG(opt, pl)
+	if !strings.Contains(dot, "digraph") {
+		t.Fatal("dot output missing")
+	}
+}
+
+func TestFacadeNonPowerOfTwoRanks(t *testing.T) {
+	c := MustCircuit("qft", 9)
+	want, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(c, Options{Strategy: "dagp", Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.State.Fidelity(want); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("fidelity = %v", f)
+	}
+	if res.Dist.VirtualRanks != 4 {
+		t.Fatalf("virtual ranks = %d", res.Dist.VirtualRanks)
+	}
+}
+
+func TestFacadeFamiliesAndModels(t *testing.T) {
+	if len(Families()) < 10 {
+		t.Fatal("families missing")
+	}
+	if HDR100().Bandwidth <= 0 {
+		t.Fatal("bad model")
+	}
+	if !strings.Contains(strings.Join(Strategies(), ","), "dagp") {
+		t.Fatal("dagp missing")
+	}
+	if _, err := BuildCircuit("nope", 8); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package bench provides the experiment-harness utilities shared by the
+// benchmark suite and cmd/benchtables: ASCII tables, geometric means, and
+// Dolan–Moré performance profiles (the paper's Fig. 9 methodology).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of positive values (zero/negative
+// entries are skipped, matching the paper's ratio aggregation).
+func Geomean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Profile computes a Dolan–Moré performance profile. times[algo][i] is
+// algorithm algo's metric on instance i (lower is better); every algorithm
+// must cover the same instances. The result maps each algorithm to ρ(θ) for
+// each requested θ: the fraction of instances where the algorithm is within
+// factor θ of the per-instance best.
+func Profile(times map[string][]float64, thetas []float64) (map[string][]float64, error) {
+	var n int
+	for _, ts := range times {
+		if n == 0 {
+			n = len(ts)
+		} else if len(ts) != n {
+			return nil, fmt.Errorf("bench: inconsistent instance counts")
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("bench: no instances")
+	}
+	best := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best[i] = math.Inf(1)
+		for _, ts := range times {
+			if ts[i] < best[i] {
+				best[i] = ts[i]
+			}
+		}
+	}
+	out := map[string][]float64{}
+	for algo, ts := range times {
+		rhos := make([]float64, len(thetas))
+		for ti, theta := range thetas {
+			cnt := 0
+			for i := 0; i < n; i++ {
+				if best[i] <= 0 {
+					if ts[i] <= 0 {
+						cnt++
+					}
+					continue
+				}
+				if ts[i] <= theta*best[i] {
+					cnt++
+				}
+			}
+			rhos[ti] = float64(cnt) / float64(n)
+		}
+		out[algo] = rhos
+	}
+	return out, nil
+}
+
+// BestShare returns the fraction of instances on which each algorithm ties
+// the per-instance best (ρ at θ=1).
+func BestShare(times map[string][]float64) (map[string]float64, error) {
+	p, err := Profile(times, []float64{1.0})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for algo, rhos := range p {
+		out[algo] = rhos[0]
+	}
+	return out, nil
+}
+
+// Table is a simple fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case math.Abs(v) >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", width[i], h)
+	}
+	b.WriteString("\n")
+	for i := range t.Headers {
+		b.WriteString(strings.Repeat("-", width[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s  ", width[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order (for deterministic output).
+func SortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := Geomean([]float64{2, 0, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean skipping zeros = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Max([]float64{3, 1, 2}) != 3 {
+		t.Fatal("max")
+	}
+	if Max(nil) != 0 {
+		t.Fatal("empty max")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	times := map[string][]float64{
+		"a": {1, 2, 4},
+		"b": {2, 2, 2},
+	}
+	p, err := Profile(times, []float64{1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ=1: a best on instances 0 and 1 (tie at 2? instance 1: a=2, b=2 both
+	// best), b best on 1 and 2.
+	if p["a"][0] != 2.0/3 || p["b"][0] != 2.0/3 {
+		t.Fatalf("θ=1: %v", p)
+	}
+	// θ=2: a within 2x everywhere (4 <= 2*2), b too (2 <= 2*1).
+	if p["a"][1] != 1 || p["b"][1] != 1 {
+		t.Fatalf("θ=2: %v", p)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(map[string][]float64{"a": {1}, "b": {1, 2}}, []float64{1}); err == nil {
+		t.Fatal("inconsistent instances accepted")
+	}
+	if _, err := Profile(map[string][]float64{}, []float64{1}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestBestShare(t *testing.T) {
+	bs, err := BestShare(map[string][]float64{
+		"fast": {1, 1, 5},
+		"slow": {2, 2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs["fast"] != 2.0/3 || bs["slow"] != 1.0/3 {
+		t.Fatalf("best share = %v", bs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 1234.0)
+	tb.AddRow("tiny", 0.00005)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "longer-name") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	if !strings.Contains(s, "1.50") || !strings.Contains(s, "1234") {
+		t.Fatalf("float formatting:\n%s", s)
+	}
+	if !strings.Contains(s, "5e-05") {
+		t.Fatalf("small float formatting:\n%s", s)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	ks := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("keys = %v", ks)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cache is a trace-driven multi-level cache simulator, the repo's
+// substitute for the paper's VTune memory profile (Table II). It models an
+// inclusive L1/L2/L3 hierarchy with 64-byte lines and set-associative LRU
+// replacement, and replays the exact amplitude access pattern of a flat or
+// hierarchical simulation plan to produce the per-level hit breakdown that
+// distinguishes the partitioning strategies.
+package cache
+
+import "fmt"
+
+// LineSize is the modeled cache line size in bytes.
+const LineSize = 64
+
+// AmpBytes is the size of one complex128 amplitude.
+const AmpBytes = 16
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name  string
+	Bytes int // capacity
+	Ways  int // associativity
+}
+
+// Config is a full hierarchy, ordered fastest first.
+type Config struct {
+	Levels []LevelConfig
+}
+
+// DefaultConfig models a desktop-class core: 32 KB L1, 1 MB L2, 32 MB L3
+// (the geometry the paper quotes in §III-A).
+func DefaultConfig() Config {
+	return Config{Levels: []LevelConfig{
+		{Name: "L1", Bytes: 32 << 10, Ways: 8},
+		{Name: "L2", Bytes: 1 << 20, Ways: 8},
+		{Name: "L3", Bytes: 32 << 20, Ways: 16},
+	}}
+}
+
+// Stats is the outcome of a simulation: per-level hit counts plus DRAM
+// accesses (misses at the last level).
+type Stats struct {
+	Accesses int64
+	Hits     []int64 // per level
+	DRAM     int64
+	Levels   []string
+}
+
+// HitPercent returns the share of accesses served by level i, in percent.
+func (s Stats) HitPercent(i int) float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits[i]) / float64(s.Accesses)
+}
+
+// DRAMPercent returns the share of accesses that reached DRAM, in percent.
+func (s Stats) DRAMPercent() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.DRAM) / float64(s.Accesses)
+}
+
+func (s Stats) String() string {
+	out := fmt.Sprintf("accesses=%d", s.Accesses)
+	for i, name := range s.Levels {
+		out += fmt.Sprintf(" %s=%.1f%%", name, s.HitPercent(i))
+	}
+	out += fmt.Sprintf(" DRAM=%.1f%%", s.DRAMPercent())
+	return out
+}
+
+// level is one set-associative LRU cache level.
+type level struct {
+	sets  int
+	ways  int
+	tags  [][]int64 // tags[set][way], -1 empty
+	stamp [][]int64 // LRU timestamps
+	clock int64
+}
+
+func newLevel(cfg LevelConfig) *level {
+	lines := cfg.Bytes / LineSize
+	ways := cfg.Ways
+	if ways <= 0 {
+		ways = 8
+	}
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	l := &level{sets: sets, ways: ways}
+	l.tags = make([][]int64, sets)
+	l.stamp = make([][]int64, sets)
+	for s := 0; s < sets; s++ {
+		l.tags[s] = make([]int64, ways)
+		l.stamp[s] = make([]int64, ways)
+		for w := 0; w < ways; w++ {
+			l.tags[s][w] = -1
+		}
+	}
+	return l
+}
+
+// access returns true on hit; on miss the line is installed (LRU evict).
+func (l *level) access(line int64) bool {
+	set := int(line % int64(l.sets))
+	if set < 0 {
+		set = -set
+	}
+	l.clock++
+	tags := l.tags[set]
+	for w, t := range tags {
+		if t == line {
+			l.stamp[set][w] = l.clock
+			return true
+		}
+	}
+	// miss: install over LRU way
+	victim := 0
+	for w := 1; w < l.ways; w++ {
+		if l.stamp[set][w] < l.stamp[set][victim] {
+			victim = w
+		}
+	}
+	tags[victim] = line
+	l.stamp[set][victim] = l.clock
+	return false
+}
+
+// Hierarchy simulates an inclusive multi-level hierarchy.
+type Hierarchy struct {
+	levels []*level
+	stats  Stats
+}
+
+// NewHierarchy builds the hierarchy from a config.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{}
+	for _, lc := range cfg.Levels {
+		h.levels = append(h.levels, newLevel(lc))
+		h.stats.Levels = append(h.stats.Levels, lc.Name)
+		h.stats.Hits = append(h.stats.Hits, 0)
+	}
+	return h
+}
+
+// Touch performs one byte-addressed access.
+func (h *Hierarchy) Touch(addr int64) {
+	line := addr / LineSize
+	h.stats.Accesses++
+	for i, l := range h.levels {
+		if l.access(line) {
+			h.stats.Hits[i]++
+			// Install into upper levels happened during the probe loop
+			// (each missed level already installed the line).
+			return
+		}
+	}
+	h.stats.DRAM++
+}
+
+// TouchAmp accesses the amplitude with the given index (16-byte elements).
+func (h *Hierarchy) TouchAmp(idx int64) { h.Touch(idx * AmpBytes) }
+
+// Stats returns the accumulated statistics.
+func (h *Hierarchy) Stats() Stats { return h.stats }

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/partition"
+	"hisvsim/internal/partition/dagp"
+)
+
+func TestLevelLRU(t *testing.T) {
+	// 2 lines capacity, 2 ways, 1 set.
+	l := newLevel(LevelConfig{Name: "t", Bytes: 2 * LineSize, Ways: 2})
+	if l.access(1) {
+		t.Fatal("cold access hit")
+	}
+	if !l.access(1) {
+		t.Fatal("warm access missed")
+	}
+	l.access(2)
+	l.access(1) // 1 is now MRU, 2 is LRU
+	l.access(3) // evicts 2 -> {1, 3}
+	if l.access(2) {
+		t.Fatal("evicted line hit") // this access evicts 1 -> {2, 3}
+	}
+	if !l.access(3) {
+		t.Fatal("retained line missed")
+	}
+}
+
+func TestHierarchyInclusionAndCounters(t *testing.T) {
+	h := NewHierarchy(Config{Levels: []LevelConfig{
+		{Name: "L1", Bytes: 2 * LineSize, Ways: 2},
+		{Name: "L2", Bytes: 8 * LineSize, Ways: 4},
+	}})
+	h.Touch(0)
+	st := h.Stats()
+	if st.Accesses != 1 || st.DRAM != 1 {
+		t.Fatalf("cold stats %+v", st)
+	}
+	h.Touch(0)
+	st = h.Stats()
+	if st.Hits[0] != 1 {
+		t.Fatalf("warm access should hit L1: %+v", st)
+	}
+	// Push L1 capacity: lines 0..3; line 0 evicted from L1 but still in L2.
+	for i := int64(1); i < 4; i++ {
+		h.Touch(i * LineSize)
+	}
+	h.Touch(0)
+	st = h.Stats()
+	if st.Hits[1] < 1 {
+		t.Fatalf("expected an L2 hit: %+v", st)
+	}
+}
+
+func TestStatsPercentages(t *testing.T) {
+	s := Stats{Accesses: 200, Hits: []int64{100, 50}, DRAM: 50, Levels: []string{"L1", "L2"}}
+	if s.HitPercent(0) != 50 || s.HitPercent(1) != 25 || s.DRAMPercent() != 25 {
+		t.Fatalf("percentages wrong: %s", s)
+	}
+	empty := Stats{Levels: []string{"L1"}, Hits: []int64{0}}
+	if empty.HitPercent(0) != 0 || empty.DRAMPercent() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestTraceFlatSequentialGateIsCacheFriendly(t *testing.T) {
+	// H on qubit 0 at a size far exceeding L1 still has perfect spatial
+	// locality (stride 1), so DRAM traffic ~ compulsory misses only: one
+	// miss per line = 25% of the 8 accesses per line... with read+write
+	// double-touch the miss share is 1/8 of touches.
+	c := circuit.New("t", 14)
+	c.Append(circuit.CatState(14).Gates[0]) // single H gate
+	h := NewHierarchy(Config{Levels: []LevelConfig{{Name: "L1", Bytes: 32 << 10, Ways: 8}}})
+	TraceFlat(h, c)
+	st := h.Stats()
+	if st.Accesses == 0 {
+		t.Fatal("no accesses")
+	}
+	missShare := float64(st.DRAM) / float64(st.Accesses)
+	if missShare > 0.2 {
+		t.Fatalf("sequential gate miss share = %v", missShare)
+	}
+}
+
+func TestCapacityMissesWhenStateExceedsCache(t *testing.T) {
+	// §III-A: once 2^n·16 bytes exceed the last-level cache, every gate's
+	// sweep re-faults the state (capacity misses); when the state fits,
+	// only the first sweep misses.
+	c := circuit.QFT(10) // 16 KB state
+	fits := Config{Levels: []LevelConfig{{Name: "L", Bytes: 64 << 10, Ways: 8}}}
+	small := Config{Levels: []LevelConfig{{Name: "L", Bytes: 4 << 10, Ways: 8}}}
+	hFits := NewHierarchy(fits)
+	TraceFlat(hFits, c)
+	hSmall := NewHierarchy(small)
+	TraceFlat(hSmall, c)
+	if hSmall.Stats().DRAM <= 4*hFits.Stats().DRAM {
+		t.Fatalf("capacity misses missing: small-cache DRAM %d vs fitting %d",
+			hSmall.Stats().DRAM, hFits.Stats().DRAM)
+	}
+}
+
+func TestTracePlanReducesDRAMVsFlat(t *testing.T) {
+	// The paper's core locality claim (§III-B, Table II): hierarchical
+	// execution's inner vectors stay cache-resident, so DRAM accesses drop
+	// versus flat simulation when the state exceeds the cache.
+	c := circuit.QFT(13) // 128 KB state
+	cfg := Config{Levels: []LevelConfig{
+		{Name: "L1", Bytes: 8 << 10, Ways: 8},
+		{Name: "L2", Bytes: 32 << 10, Ways: 8},
+	}}
+	flat := NewHierarchy(cfg)
+	TraceFlat(flat, c)
+
+	pl, err := dagp.Partitioner{}.Partition(dag.FromCircuit(c), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := NewHierarchy(cfg)
+	TracePlan(hier, pl)
+
+	if hier.Stats().DRAM >= flat.Stats().DRAM {
+		t.Fatalf("hierarchical DRAM %d >= flat DRAM %d", hier.Stats().DRAM, flat.Stats().DRAM)
+	}
+}
+
+func TestTracePlanStrategyOrderingOnBV(t *testing.T) {
+	// Table II's qualitative ranking on bv: dagP ≤ DFS/Nat on DRAM traffic.
+	c := circuit.BV(13, -1)
+	g := dag.FromCircuit(c)
+	cfg := Config{Levels: []LevelConfig{
+		{Name: "L1", Bytes: 8 << 10, Ways: 8},
+		{Name: "L2", Bytes: 32 << 10, Ways: 8},
+	}}
+	dram := map[string]int64{}
+	for _, s := range []partition.Strategy{partition.Nat{}, dagp.Partitioner{}} {
+		pl, err := s.Partition(g, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := NewHierarchy(cfg)
+		TracePlan(h, pl)
+		dram[s.Name()] = h.Stats().DRAM
+	}
+	if dram["dagp"] > dram["nat"] {
+		t.Fatalf("dagp DRAM %d > nat DRAM %d", dram["dagp"], dram["nat"])
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Touch(123456)
+	if h.Stats().Accesses != 1 {
+		t.Fatal("default hierarchy broken")
+	}
+	if len(h.Stats().Levels) != 3 {
+		t.Fatal("want 3 levels")
+	}
+}

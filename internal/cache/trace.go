@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/gate"
+	"hisvsim/internal/partition"
+)
+
+// TraceFlat replays the memory access pattern of a flat (non-hierarchical)
+// state-vector simulation: every gate sweeps the full 2^n amplitude array,
+// reading and writing the 2^k-element groups addressed by its qubits.
+func TraceFlat(h *Hierarchy, c *circuit.Circuit) {
+	n := c.NumQubits
+	for _, g := range c.Gates {
+		traceGate(h, g, n, 0)
+	}
+}
+
+// TracePlan replays the access pattern of hierarchical (Algorithm 1)
+// execution: per part, 2^(n-w) gather/execute/scatter sweeps where the
+// inner vector occupies a separate (small, cache-resident) buffer placed
+// after the outer array.
+func TracePlan(h *Hierarchy, pl *partition.Plan) {
+	n := pl.Circuit.NumQubits
+	outerAmps := int64(1) << uint(n)
+	innerBase := outerAmps // inner buffer directly after the outer vector
+	for _, part := range pl.Parts {
+		w := part.WorkingSetSize()
+		if w == 0 {
+			continue
+		}
+		slot := make(map[int]int, w)
+		for j, q := range part.Qubits {
+			slot[q] = j
+		}
+		gates := make([]gate.Gate, 0, len(part.GateIndices))
+		for _, gi := range part.GateIndices {
+			gates = append(gates, pl.Circuit.Gates[gi].Remap(func(q int) int { return slot[q] }))
+		}
+		dimInner := 1 << uint(w)
+		sweeps := 1 << uint(n-w)
+		for f := 0; f < sweeps; f++ {
+			base := f
+			for _, q := range part.Qubits {
+				base = insertBit(base, q)
+			}
+			// Gather: read outer, write inner.
+			for s := 0; s < dimInner; s++ {
+				h.TouchAmp(int64(base | spread(s, part.Qubits)))
+				h.TouchAmp(innerBase + int64(s))
+			}
+			// Execute on the inner vector.
+			for _, g := range gates {
+				traceGate(h, g, w, innerBase)
+			}
+			// Scatter: read inner, write outer.
+			for s := 0; s < dimInner; s++ {
+				h.TouchAmp(innerBase + int64(s))
+				h.TouchAmp(int64(base | spread(s, part.Qubits)))
+			}
+		}
+	}
+}
+
+// traceGate touches the amplitude groups a k-qubit gate reads and writes
+// over an n-qubit vector whose first amplitude lives at ampBase.
+func traceGate(h *Hierarchy, g gate.Gate, n int, ampBase int64) {
+	qs := g.SortedQubits()
+	k := len(qs)
+	free := n - k
+	for f := 0; f < 1<<uint(free); f++ {
+		base := f
+		for _, q := range qs {
+			base = insertBit(base, q)
+		}
+		for s := 0; s < 1<<uint(k); s++ {
+			idx := base | spread(s, qs)
+			h.TouchAmp(ampBase + int64(idx)) // read
+			h.TouchAmp(ampBase + int64(idx)) // write
+		}
+	}
+}
+
+func insertBit(f, p int) int {
+	low := f & ((1 << uint(p)) - 1)
+	return ((f &^ ((1 << uint(p)) - 1)) << 1) | low
+}
+
+func spread(s int, qubits []int) int {
+	out := 0
+	for j, q := range qubits {
+		if s>>uint(j)&1 == 1 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}

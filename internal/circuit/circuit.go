@@ -1,0 +1,151 @@
+// Package circuit defines the circuit intermediate representation used by
+// HiSVSIM (an ordered list of gates over n qubits) and parameterized
+// generators for the 13 QASMBench-derived benchmark families evaluated in
+// the paper (Table I).
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"hisvsim/internal/gate"
+)
+
+// Circuit is an ordered sequence of gates applied to NumQubits qubits.
+// Gate order is execution order.
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []gate.Gate
+}
+
+// New returns an empty circuit on n qubits.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Append adds gates to the end of the circuit.
+func (c *Circuit) Append(gs ...gate.Gate) {
+	c.Gates = append(c.Gates, gs...)
+}
+
+// Validate checks that every gate is well formed and within qubit range.
+func (c *Circuit) Validate() error {
+	if c.NumQubits <= 0 {
+		return fmt.Errorf("circuit %s: non-positive qubit count %d", c.Name, c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("circuit %s gate %d: %w", c.Name, i, err)
+		}
+		for _, q := range g.Qubits {
+			if q >= c.NumQubits {
+				return fmt.Errorf("circuit %s gate %d (%s): qubit %d out of range [0,%d)",
+					c.Name, i, g.Name, q, c.NumQubits)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]gate.Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		out.Gates[i] = g.Remap(func(q int) int { return q })
+	}
+	return out
+}
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// GateCounts returns a histogram of gate names.
+func (c *Circuit) GateCounts() map[string]int {
+	m := map[string]int{}
+	for _, g := range c.Gates {
+		m[g.Name]++
+	}
+	return m
+}
+
+// MultiQubitGates returns the number of gates touching 2+ qubits.
+func (c *Circuit) MultiQubitGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Arity() > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// QubitsUsed returns the sorted set of qubits touched by at least one gate.
+func (c *Circuit) QubitsUsed() []int {
+	seen := map[int]bool{}
+	for _, g := range c.Gates {
+		for _, q := range g.Qubits {
+			seen[q] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Depth returns the circuit depth: the length of the longest chain of gates
+// where consecutive gates share a qubit (standard as-soon-as-possible
+// layering).
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		l := 0
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// MemoryBytes returns the state-vector memory footprint 2^n × 16 bytes.
+func (c *Circuit) MemoryBytes() int64 {
+	return int64(16) << uint(c.NumQubits)
+}
+
+// Decomposed returns a copy of the circuit with every gate lowered to the
+// {single-qubit, cx} basis via gate.Decompose.
+func (c *Circuit) Decomposed() *Circuit {
+	out := New(c.Name+"_dec", c.NumQubits)
+	out.Gates = gate.DecomposeAll(c.Gates)
+	return out
+}
+
+// Reversed returns the adjoint circuit structure (gates in reverse order;
+// note parameters are NOT conjugated — this is the structural reverse used
+// by partitioning experiments, not the inverse unitary).
+func (c *Circuit) Reversed() *Circuit {
+	out := New(c.Name+"_rev", c.NumQubits)
+	out.Gates = make([]gate.Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		out.Gates[len(c.Gates)-1-i] = g
+	}
+	return out
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s: %d qubits, %d gates, depth %d", c.Name, c.NumQubits, c.NumGates(), c.Depth())
+}

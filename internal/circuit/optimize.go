@@ -1,0 +1,207 @@
+package circuit
+
+import (
+	"math"
+
+	"hisvsim/internal/gate"
+)
+
+// The paper positions HiSVSIM's partitioning as orthogonal to gate-level
+// optimizations such as fusion (§II-C); this file provides those
+// complementary passes so plans can be built on an already-optimized
+// circuit.
+
+// CancelInverses removes adjacent gate pairs that multiply to the identity
+// (X·X, H·H, CX·CX, S·Sdg, T·Tdg, SWAP·SWAP, CZ·CZ, CCX·CCX …) when the
+// two gates are consecutive on every qubit they touch. The pass iterates to
+// a fixed point and preserves the circuit's unitary exactly.
+func CancelInverses(c *Circuit) *Circuit {
+	gates := append([]gate.Gate(nil), c.Gates...)
+	for {
+		removed := false
+		last := make([]int, c.NumQubits) // index of previous surviving gate per qubit
+		for q := range last {
+			last[q] = -1
+		}
+		alive := make([]bool, len(gates))
+		for i := range alive {
+			alive[i] = true
+		}
+		for i, g := range gates {
+			// Find the unique previous gate across all touched qubits.
+			prev := -2
+			uniform := true
+			for _, q := range g.Qubits {
+				if prev == -2 {
+					prev = last[q]
+				} else if last[q] != prev {
+					uniform = false
+				}
+			}
+			if uniform && prev >= 0 && alive[prev] && inverses(gates[prev], g) {
+				alive[prev] = false
+				alive[i] = false
+				removed = true
+				// Rewind the qubits to the gate before prev: recompute below.
+			}
+			if alive[i] {
+				for _, q := range g.Qubits {
+					last[q] = i
+				}
+			} else {
+				// Recompute last[] for the touched qubits from scratch; a
+				// simple full rebuild keeps the pass obviously correct.
+				for q := range last {
+					last[q] = -1
+				}
+				for j := 0; j <= i; j++ {
+					if alive[j] {
+						for _, qq := range gates[j].Qubits {
+							last[qq] = j
+						}
+					}
+				}
+			}
+		}
+		if !removed {
+			break
+		}
+		var next []gate.Gate
+		for i, g := range gates {
+			if alive[i] {
+				next = append(next, g)
+			}
+		}
+		gates = next
+	}
+	out := New(c.Name+"_opt", c.NumQubits)
+	out.Gates = gates
+	return out
+}
+
+// inverses reports whether b undoes a exactly (a·b = identity as applied,
+// i.e. b∘a = I in circuit order).
+func inverses(a, b gate.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	sameQubits := true
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			sameQubits = false
+		}
+	}
+	if !sameQubits {
+		// SWAP/CZ/RZZ are symmetric in their qubits.
+		if symmetric(a.Name) && len(a.Qubits) == 2 &&
+			a.Qubits[0] == b.Qubits[1] && a.Qubits[1] == b.Qubits[0] {
+			sameQubits = a.Name == b.Name
+		}
+		if !sameQubits {
+			return false
+		}
+	}
+	selfInv := map[string]bool{
+		"x": true, "y": true, "z": true, "h": true, "cx": true, "cy": true,
+		"cz": true, "swap": true, "ccx": true, "cswap": true, "mcx": true,
+		"mcz": true, "id": true,
+	}
+	if a.Name == b.Name && selfInv[a.Name] {
+		return true
+	}
+	pairs := map[[2]string]bool{
+		{"s", "sdg"}: true, {"sdg", "s"}: true,
+		{"t", "tdg"}: true, {"tdg", "t"}: true,
+	}
+	if pairs[[2]string{a.Name, b.Name}] {
+		return true
+	}
+	// Opposite-angle rotations cancel.
+	rot := map[string]bool{"rx": true, "ry": true, "rz": true, "p": true, "u1": true,
+		"cp": true, "crx": true, "cry": true, "crz": true, "rzz": true, "mcp": true}
+	if a.Name == b.Name && rot[a.Name] && len(a.Params) == 1 && len(b.Params) == 1 &&
+		math.Abs(a.Params[0]+b.Params[0]) < 1e-15 {
+		return true
+	}
+	return false
+}
+
+func symmetric(name string) bool {
+	return name == "swap" || name == "cz" || name == "rzz"
+}
+
+// FuseRotations merges runs of same-axis rotations on the same qubit(s)
+// into a single rotation with the summed angle (rz·rz, rx·rx, ry·ry, p·p,
+// cp·cp, rzz·rzz), dropping the result entirely when the summed angle is 0.
+func FuseRotations(c *Circuit) *Circuit {
+	fusable := map[string]bool{"rx": true, "ry": true, "rz": true, "p": true,
+		"u1": true, "cp": true, "crz": true, "rzz": true}
+	var out []gate.Gate
+	last := make([]int, c.NumQubits) // index into out of previous gate per qubit
+	for q := range last {
+		last[q] = -1
+	}
+	for _, g := range c.Gates {
+		if fusable[g.Name] && len(g.Params) == 1 {
+			prev := -2
+			uniform := true
+			for _, q := range g.Qubits {
+				if prev == -2 {
+					prev = last[q]
+				} else if last[q] != prev {
+					uniform = false
+				}
+			}
+			if uniform && prev >= 0 && out[prev].Name == g.Name && sameQubitOrder(out[prev], g) {
+				out[prev].Params = []float64{out[prev].Params[0] + g.Params[0]}
+				if math.Abs(math.Mod(out[prev].Params[0], 4*math.Pi)) < 1e-15 {
+					// Identity rotation: drop it and rebuild last[].
+					out = append(out[:prev], out[prev+1:]...)
+					for q := range last {
+						last[q] = -1
+					}
+					for j, og := range out {
+						for _, qq := range og.Qubits {
+							last[qq] = j
+						}
+					}
+				}
+				continue
+			}
+		}
+		out = append(out, g.Remap(func(q int) int { return q }))
+		for _, q := range g.Qubits {
+			last[q] = len(out) - 1
+		}
+	}
+	res := New(c.Name+"_fused", c.NumQubits)
+	res.Gates = out
+	return res
+}
+
+func sameQubitOrder(a, b gate.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Optimize runs CancelInverses and FuseRotations to a joint fixed point.
+func Optimize(c *Circuit) *Circuit {
+	prev := c
+	for i := 0; i < 16; i++ { // bounded; each round strictly shrinks or stops
+		next := FuseRotations(CancelInverses(prev))
+		if next.NumGates() == prev.NumGates() {
+			next.Name = c.Name + "_opt"
+			return next
+		}
+		prev = next
+	}
+	prev.Name = c.Name + "_opt"
+	return prev
+}

@@ -1,0 +1,145 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"hisvsim/internal/gate"
+)
+
+func TestCancelInversesAdjacent(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.H(0), gate.H(0), gate.X(1))
+	out := CancelInverses(c)
+	if out.NumGates() != 1 || out.Gates[0].Name != "x" {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+}
+
+func TestCancelInversesCX(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.CX(0, 1), gate.CX(0, 1))
+	if out := CancelInverses(c); out.NumGates() != 0 {
+		t.Fatalf("CX pair not cancelled: %v", out.Gates)
+	}
+	// Reversed control/target must NOT cancel.
+	c2 := New("t", 2)
+	c2.Append(gate.CX(0, 1), gate.CX(1, 0))
+	if out := CancelInverses(c2); out.NumGates() != 2 {
+		t.Fatal("CX(0,1)/CX(1,0) wrongly cancelled")
+	}
+}
+
+func TestCancelInversesSymmetricGates(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.SWAP(0, 1), gate.SWAP(1, 0))
+	if out := CancelInverses(c); out.NumGates() != 0 {
+		t.Fatal("symmetric SWAP pair not cancelled")
+	}
+	c2 := New("t", 2)
+	c2.Append(gate.CZ(0, 1), gate.CZ(1, 0))
+	if out := CancelInverses(c2); out.NumGates() != 0 {
+		t.Fatal("symmetric CZ pair not cancelled")
+	}
+}
+
+func TestCancelInversesSTPairs(t *testing.T) {
+	c := New("t", 1)
+	c.Append(gate.S(0), gate.Sdg(0), gate.T(0), gate.Tdg(0))
+	if out := CancelInverses(c); out.NumGates() != 0 {
+		t.Fatalf("S/Sdg T/Tdg not cancelled: %v", out.Gates)
+	}
+}
+
+func TestCancelInversesOppositeRotations(t *testing.T) {
+	c := New("t", 1)
+	c.Append(gate.RZ(0.7, 0), gate.RZ(-0.7, 0))
+	if out := CancelInverses(c); out.NumGates() != 0 {
+		t.Fatal("opposite rotations not cancelled")
+	}
+}
+
+func TestCancelInversesBlockedByInterveningGate(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.H(0), gate.CX(0, 1), gate.H(0))
+	if out := CancelInverses(c); out.NumGates() != 3 {
+		t.Fatal("H pair cancelled across a dependent CX")
+	}
+	// But a gate on a *different* qubit does not block.
+	c2 := New("t", 2)
+	c2.Append(gate.H(0), gate.X(1), gate.H(0))
+	if out := CancelInverses(c2); out.NumGates() != 1 {
+		t.Fatalf("H pair not cancelled across independent gate: %v", out.Gates)
+	}
+}
+
+func TestCancelInversesCascades(t *testing.T) {
+	// X H H X: inner pair cancels, exposing the outer pair.
+	c := New("t", 1)
+	c.Append(gate.X(0), gate.H(0), gate.H(0), gate.X(0))
+	if out := CancelInverses(c); out.NumGates() != 0 {
+		t.Fatalf("cascade not fully cancelled: %v", out.Gates)
+	}
+}
+
+func TestFuseRotations(t *testing.T) {
+	c := New("t", 1)
+	c.Append(gate.RZ(0.25, 0), gate.RZ(0.5, 0), gate.RZ(0.25, 0))
+	out := FuseRotations(c)
+	if out.NumGates() != 1 {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+	if math.Abs(out.Gates[0].Params[0]-1.0) > 1e-12 {
+		t.Fatalf("fused angle = %v", out.Gates[0].Params[0])
+	}
+}
+
+func TestFuseRotationsDropsIdentity(t *testing.T) {
+	c := New("t", 1)
+	c.Append(gate.RX(1.5, 0), gate.RX(-1.5, 0))
+	if out := FuseRotations(c); out.NumGates() != 0 {
+		t.Fatalf("zero-angle rotation kept: %v", out.Gates)
+	}
+}
+
+func TestFuseRotationsCP(t *testing.T) {
+	c := New("t", 2)
+	c.Append(gate.CP(0.3, 0, 1), gate.CP(0.4, 0, 1))
+	out := FuseRotations(c)
+	if out.NumGates() != 1 || math.Abs(out.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Fatalf("cp fusion wrong: %v", out.Gates)
+	}
+	// Different qubit order must not fuse.
+	c2 := New("t", 2)
+	c2.Append(gate.CP(0.3, 0, 1), gate.CP(0.4, 1, 0))
+	if out := FuseRotations(c2); out.NumGates() != 2 {
+		t.Fatal("cp with swapped roles wrongly fused")
+	}
+}
+
+func TestOptimizeFixedPointAndCorrectness(t *testing.T) {
+	// Random circuits plus hand-placed redundancy must simulate identically
+	// after optimization. Correctness is validated in internal/sv tests via
+	// matrices; here we check structure and idempotence.
+	c := Random(5, 60, 9)
+	c.Append(gate.H(0), gate.H(0), gate.RZ(0.4, 1), gate.RZ(-0.4, 1))
+	opt := Optimize(c)
+	if opt.NumGates() >= c.NumGates() {
+		t.Fatalf("optimize did not shrink: %d -> %d", c.NumGates(), opt.NumGates())
+	}
+	again := Optimize(opt)
+	if again.NumGates() != opt.NumGates() {
+		t.Fatal("optimize not idempotent")
+	}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizePreservesCleanCircuit(t *testing.T) {
+	c := QFT(6)
+	opt := Optimize(c)
+	if opt.NumGates() != c.NumGates() {
+		t.Fatalf("QFT shrank from %d to %d — nothing there is redundant", c.NumGates(), opt.NumGates())
+	}
+}

@@ -1,0 +1,222 @@
+// Package core is the top of the HiSVSIM stack: it wires the partitioners,
+// the hierarchical executor, and the distributed runtime into one engine
+// with a single options surface, and computes the modeled end-to-end
+// metrics the evaluation reports.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hisvsim/internal/baseline"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/dist"
+	"hisvsim/internal/hier"
+	"hisvsim/internal/mpi"
+	"hisvsim/internal/partition"
+	"hisvsim/internal/partition/dagp"
+	"hisvsim/internal/partition/exact"
+	"hisvsim/internal/perfmodel"
+	"hisvsim/internal/sv"
+)
+
+// StrategyNames lists the accepted partitioning strategy names.
+func StrategyNames() []string { return []string{"nat", "dfs", "dagp", "exact"} }
+
+// NewStrategy builds a partitioner by name.
+func NewStrategy(name string, seed int64) (partition.Strategy, error) {
+	switch name {
+	case "nat":
+		return partition.Nat{}, nil
+	case "dfs":
+		return partition.DFS{Trials: 10, Seed: seed}, nil
+	case "dagp":
+		return dagp.Partitioner{Opts: dagp.Options{Seed: seed}}, nil
+	case "exact":
+		return exact.Solver{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q (want one of %v)", name, StrategyNames())
+	}
+}
+
+// Options configures one simulation.
+type Options struct {
+	// Strategy is the partitioner name ("nat", "dfs", "dagp", "exact").
+	Strategy string
+	// Lm is the first-level working-set limit; 0 selects the local qubit
+	// count (distributed) or the full register (single node).
+	Lm int
+	// Ranks > 1 runs the distributed executor with that many simulated MPI
+	// ranks (must be a power of two). 0 or 1 runs single-node.
+	Ranks int
+	// SecondLevelLm enables multi-level execution when > 0.
+	SecondLevelLm int
+	// Workers bounds kernel parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives the randomized partitioners.
+	Seed int64
+	// Model is the distributed communication model (default HDR-100).
+	Model mpi.CostModel
+	// SkipState skips gathering the distributed state (metrics only).
+	SkipState bool
+}
+
+// Result of a simulation.
+type Result struct {
+	Plan    *partition.Plan
+	State   *sv.State     // final state (nil when SkipState && Ranks > 1)
+	Hier    *hier.Metrics // single-node metrics (nil when distributed)
+	Dist    *dist.Result  // distributed metrics (nil when single-node)
+	Elapsed time.Duration // wall time of the execution phase
+}
+
+// Simulate partitions and executes the circuit per the options.
+func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	name := opts.Strategy
+	if name == "" {
+		name = "dagp"
+	}
+	strat, err := NewStrategy(name, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lm := opts.Lm
+	ranks := opts.Ranks
+	if ranks <= 1 {
+		ranks = 1
+	}
+	localQubits := c.NumQubits - log2(ranks)
+	if lm <= 0 {
+		lm = localQubits
+	}
+	pl, err := strat.Partition(dag.FromCircuit(c), lm)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: pl}
+	start := time.Now()
+	if ranks == 1 {
+		st := sv.NewState(c.NumQubits)
+		st.Workers = opts.Workers
+		m, err := hier.ExecutePlan(pl, st, hier.Options{
+			SecondLevelLm: opts.SecondLevelLm, Workers: opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.State = st
+		res.Hier = m
+	} else {
+		dr, err := dist.Run(pl, dist.Config{
+			Ranks: ranks, Model: opts.Model, SecondLevelLm: opts.SecondLevelLm,
+			Workers: opts.Workers, GatherResult: !opts.SkipState,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dr
+		res.State = dr.State
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func log2(x int) int {
+	n := 0
+	for 1<<uint(n) < x {
+		n++
+	}
+	return n
+}
+
+// Estimate is the deterministic end-to-end time model for one distributed
+// run (the Fig. 5/6 metric): measured α–β communication plus bandwidth-model
+// computation.
+type Estimate struct {
+	Strategy       string
+	Circuit        string
+	Ranks          int
+	Parts          int
+	CommAvg        float64 // mean modeled comm seconds across ranks (Fig. 7)
+	CommMax        float64
+	ComputeSeconds float64
+	BytesComm      int64
+}
+
+// Total returns the modeled end-to-end seconds (slowest rank).
+func (e Estimate) Total() float64 { return e.CommMax + e.ComputeSeconds }
+
+// CommRatio returns communication share of the total (Fig. 8 metric).
+func (e Estimate) CommRatio() float64 {
+	t := e.Total()
+	if t <= 0 {
+		return 0
+	}
+	return e.CommAvg / t
+}
+
+// EstimateHiSVSIM runs the distributed executor (metrics only) and composes
+// the end-to-end estimate under the given CPU model.
+func EstimateHiSVSIM(c *circuit.Circuit, strategyName string, ranks int, seed int64,
+	net mpi.CostModel, cpu perfmodel.CPUModel, secondLevelLm int) (Estimate, *partition.Plan, error) {
+
+	strat, err := NewStrategy(strategyName, seed)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	l := c.NumQubits - log2(ranks)
+	pl, err := strat.Partition(dag.FromCircuit(c), l)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	dr, err := dist.Run(pl, dist.Config{Ranks: ranks, Model: net, SecondLevelLm: secondLevelLm})
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	parts := make([][2]int, pl.NumParts())
+	for i, p := range pl.Parts {
+		parts[i] = [2]int{p.WorkingSetSize(), len(p.GateIndices)}
+	}
+	compute := cpu.HierTime(l, parts)
+	if secondLevelLm > 0 {
+		// Second level shrinks the effective inner working set to the cache
+		// limit; model by capping w at the second-level limit.
+		capped := make([][2]int, len(parts))
+		for i, p := range parts {
+			w := p[0]
+			if w > secondLevelLm {
+				w = secondLevelLm
+			}
+			capped[i] = [2]int{w, p[1]}
+		}
+		compute = cpu.HierTime(l, capped)
+	}
+	est := Estimate{
+		Strategy: strategyName, Circuit: c.Name, Ranks: ranks, Parts: pl.NumParts(),
+		CommAvg: avgComm(dr.Stats), CommMax: mpi.MaxCommSeconds(dr.Stats),
+		ComputeSeconds: compute, BytesComm: dr.BytesComm,
+	}
+	return est, pl, nil
+}
+
+// EstimateIQS runs the baseline (metrics only) and composes its end-to-end
+// estimate: every gate streams the DRAM-resident slab.
+func EstimateIQS(c *circuit.Circuit, ranks int, net mpi.CostModel, cpu perfmodel.CPUModel) (Estimate, error) {
+	br, err := baseline.Run(c, baseline.Config{Ranks: ranks, Model: net})
+	if err != nil {
+		return Estimate{}, err
+	}
+	l := c.NumQubits - log2(ranks)
+	est := Estimate{
+		Strategy: "iqs", Circuit: c.Name, Ranks: ranks,
+		CommAvg: avgComm(br.Stats), CommMax: mpi.MaxCommSeconds(br.Stats),
+		ComputeSeconds: cpu.FlatTime(l, br.Gates), BytesComm: br.BytesComm,
+	}
+	return est, nil
+}
+
+func avgComm(stats []mpi.Stats) float64 { return mpi.AvgCommSeconds(stats) }

@@ -1,0 +1,192 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/gate"
+)
+
+func bellCircuit() *circuit.Circuit {
+	c := circuit.New("bell", 2)
+	c.Append(gate.H(0), gate.CX(0, 1))
+	return c
+}
+
+func TestFromCircuitStructure(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	// 2 entries + 2 gates + 2 exits
+	if g.NumNodes() != 6 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumGateNodes() != 2 {
+		t.Fatalf("gate nodes = %d", g.NumGateNodes())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// entry(q0) -> H -> CX; entry(q1) -> CX
+	h := g.GateNode(0)
+	cx := g.GateNode(1)
+	if len(g.Succ[g.EntryOf(0)]) != 1 || g.Succ[g.EntryOf(0)][0].To != h {
+		t.Fatal("entry(q0) should feed H")
+	}
+	if g.Succ[h][0].To != cx {
+		t.Fatal("H should feed CX")
+	}
+	if g.Succ[g.EntryOf(1)][0].To != cx {
+		t.Fatal("entry(q1) should feed CX")
+	}
+	// CX feeds both exits
+	exits := map[int]bool{}
+	for _, e := range g.Succ[cx] {
+		exits[e.To] = true
+	}
+	if !exits[g.ExitOf(0)] || !exits[g.ExitOf(1)] {
+		t.Fatal("CX should feed both exits")
+	}
+}
+
+func TestEdgeQubitLabels(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	cx := g.GateNode(1)
+	labels := map[int]bool{}
+	for _, e := range g.Pred[cx] {
+		labels[e.Qubit] = true
+	}
+	if !labels[0] || !labels[1] {
+		t.Fatalf("CX in-edge labels = %v", labels)
+	}
+}
+
+func TestNodeQubits(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	if qs := g.NodeQubits(g.EntryOf(1)); len(qs) != 1 || qs[0] != 1 {
+		t.Fatalf("entry qubits = %v", qs)
+	}
+	if qs := g.NodeQubits(g.GateNode(1)); len(qs) != 2 {
+		t.Fatalf("cx qubits = %v", qs)
+	}
+}
+
+func TestTopologicalOrderValid(t *testing.T) {
+	for _, c := range []*circuit.Circuit{
+		bellCircuit(),
+		circuit.QFT(6),
+		circuit.Grover(5, 2),
+		circuit.Adder(4),
+		circuit.Random(8, 60, 5),
+	} {
+		g := FromCircuit(c)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		ord := g.TopologicalOrder()
+		if !g.IsTopologicalOrder(ord) {
+			t.Fatalf("%s: invalid topological order", c.Name)
+		}
+		// Gate nodes must appear in circuit order under the deterministic
+		// tie-breaking.
+		prev := -1
+		for _, v := range ord {
+			if g.Nodes[v].Kind == KindGate {
+				if g.Nodes[v].GateIndex < prev {
+					t.Fatalf("%s: deterministic order broke circuit order", c.Name)
+				}
+				prev = g.Nodes[v].GateIndex
+			}
+		}
+	}
+}
+
+func TestRandomDFSTopoOrders(t *testing.T) {
+	g := FromCircuit(circuit.Random(6, 40, 9))
+	rng := rand.New(rand.NewSource(42))
+	distinct := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		ord := g.RandomDFSTopoOrder(rng)
+		if !g.IsTopologicalOrder(ord) {
+			t.Fatalf("trial %d: invalid topological order", i)
+		}
+		key := ""
+		for _, v := range ord {
+			key += string(rune(v)) // cheap fingerprint
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("random DFS orders never varied")
+	}
+}
+
+func TestIsTopologicalOrderRejects(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	ord := g.TopologicalOrder()
+	// Swap two dependent nodes.
+	bad := append([]int(nil), ord...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	if g.IsTopologicalOrder(bad) {
+		t.Error("accepted violated order")
+	}
+	if g.IsTopologicalOrder(ord[:3]) {
+		t.Error("accepted truncated order")
+	}
+	dup := append([]int(nil), ord...)
+	dup[1] = dup[0]
+	if g.IsTopologicalOrder(dup) {
+		t.Error("accepted duplicate entry")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	r := g.Reachable(g.EntryOf(0))
+	if !r[g.GateNode(0)] || !r[g.GateNode(1)] || !r[g.ExitOf(0)] || !r[g.ExitOf(1)] {
+		t.Fatal("entry(q0) should reach everything downstream")
+	}
+	if r[g.EntryOf(1)] {
+		t.Fatal("entry(q1) is not downstream of entry(q0)")
+	}
+	// exits reach nothing
+	r = g.Reachable(g.ExitOf(0))
+	for v, ok := range r {
+		if ok {
+			t.Fatalf("exit reaches node %d", v)
+		}
+	}
+}
+
+func TestGateNodeMapping(t *testing.T) {
+	c := circuit.QFT(5)
+	g := FromCircuit(c)
+	for gi := range c.Gates {
+		v := g.GateNode(gi)
+		if g.Nodes[v].GateIndex != gi {
+			t.Fatalf("GateNode(%d) maps to gate %d", gi, g.Nodes[v].GateIndex)
+		}
+	}
+}
+
+func TestInOutDegreeEqualsArity(t *testing.T) {
+	c := circuit.Grover(6, 1)
+	g := FromCircuit(c)
+	for _, nd := range g.Nodes {
+		if nd.Kind != KindGate {
+			continue
+		}
+		ar := c.Gates[nd.GateIndex].Arity()
+		if len(g.Pred[nd.ID]) != ar || len(g.Succ[nd.ID]) != ar {
+			t.Fatalf("gate %d degree mismatch", nd.GateIndex)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindEntry.String() != "entry" || KindGate.String() != "gate" || KindExit.String() != "exit" {
+		t.Error("kind strings wrong")
+	}
+	if NodeKind(9).String() != "?" {
+		t.Error("unknown kind string")
+	}
+}

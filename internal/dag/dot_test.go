@@ -1,0 +1,63 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"hisvsim/internal/circuit"
+)
+
+func TestDotBasic(t *testing.T) {
+	g := FromCircuit(bellCircuit())
+	out := g.Dot(DotOptions{})
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	if !strings.Contains(out, "h q0") || !strings.Contains(out, "cx q0,q1") {
+		t.Fatalf("gate labels missing:\n%s", out)
+	}
+	// Entries hidden by default.
+	if strings.Contains(out, "exit") {
+		t.Fatal("exit nodes rendered without ShowEntriesExits")
+	}
+}
+
+func TestDotWithEntriesAndParts(t *testing.T) {
+	c := circuit.BV(5, -1)
+	g := FromCircuit(c)
+	partOf := make([]int, c.NumGates())
+	for i := range partOf {
+		partOf[i] = i % 3
+	}
+	out := g.Dot(DotOptions{PartOf: partOf, ShowEntriesExits: true, Name: "bv"})
+	if !strings.Contains(out, `digraph "bv"`) {
+		t.Fatal("name not used")
+	}
+	if !strings.Contains(out, "exit") {
+		t.Fatal("exits missing")
+	}
+	colored := 0
+	for _, color := range dotPalette[:3] {
+		if strings.Contains(out, color) {
+			colored++
+		}
+	}
+	if colored != 3 {
+		t.Fatalf("expected 3 part colors, found %d", colored)
+	}
+	// Edge labels carry qubits.
+	if !strings.Contains(out, `label="q0"`) {
+		t.Fatal("edge labels missing")
+	}
+}
+
+func TestPartGraphDot(t *testing.T) {
+	out := PartGraphDot(3, func(p int) string { return "P" }, [][2]int{{0, 1}, {1, 2}, {1, 2}, {2, 2}})
+	if !strings.Contains(out, "p0 -> p1") || !strings.Contains(out, "p1 -> p2") {
+		t.Fatalf("edges missing:\n%s", out)
+	}
+	// Duplicate and self edges suppressed.
+	if strings.Count(out, "p1 -> p2") != 1 || strings.Contains(out, "p2 -> p2") {
+		t.Fatalf("dedup failed:\n%s", out)
+	}
+}

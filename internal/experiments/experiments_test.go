@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hisvsim/internal/bench"
+)
+
+// smallCfg keeps the test-time grid cheap.
+func smallCfg() Config {
+	return Config{Base: 8, Ranks: []int{2, 4}, BigRanks: []int{4}, Seed: 1}.WithDefaults()
+}
+
+func grid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := RunGrid(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunGridShape(t *testing.T) {
+	g := grid(t)
+	if len(g.Instances) < 13 {
+		t.Fatalf("grid has %d instances", len(g.Instances))
+	}
+	for _, in := range g.Instances {
+		if in.IQS.Total() <= 0 {
+			t.Errorf("%s: IQS total %v", in.Key(), in.IQS.Total())
+		}
+		for _, s := range Strategies {
+			est, ok := in.ByStrg[s]
+			if !ok {
+				t.Fatalf("%s: missing strategy %s", in.Key(), s)
+			}
+			if est.Total() <= 0 {
+				t.Errorf("%s/%s: total %v", in.Key(), s, est.Total())
+			}
+			if in.Parts[s] < 1 {
+				t.Errorf("%s/%s: no parts", in.Key(), s)
+			}
+		}
+	}
+}
+
+func TestFig5ImprovementShape(t *testing.T) {
+	g := grid(t)
+	_, factors := Fig5(g)
+	// Headline claim: dagP improves over IQS on the clear majority of
+	// instances (the paper reports all circuits, qpe being the weakest).
+	wins := 0
+	for _, row := range factors {
+		if row["dagp"] > 1 {
+			wins++
+		}
+	}
+	if wins*2 < len(factors) {
+		t.Errorf("dagp beat IQS on only %d/%d instances", wins, len(factors))
+	}
+}
+
+func TestFig6Fig7Render(t *testing.T) {
+	g := grid(t)
+	if s := Fig6(g).String(); !strings.Contains(s, "runtime") {
+		t.Error("Fig6 table empty")
+	}
+	if s := Fig7(g).String(); !strings.Contains(s, "communication") {
+		t.Error("Fig7 table empty")
+	}
+}
+
+func TestFig7DagPCommBeatsIQS(t *testing.T) {
+	g := grid(t)
+	worse := 0
+	for _, in := range g.Instances {
+		if in.ByStrg["dagp"].CommAvg > in.IQS.CommAvg {
+			worse++
+		}
+	}
+	if worse*3 > len(g.Instances) {
+		t.Errorf("dagp comm worse than IQS on %d/%d instances", worse, len(g.Instances))
+	}
+}
+
+func TestFig8GeomeanRatios(t *testing.T) {
+	g := grid(t)
+	_, ratios := Fig8(g)
+	if len(ratios) == 0 {
+		t.Fatal("no rank rows")
+	}
+	for r, row := range ratios {
+		for algo, v := range row {
+			if v < 0 || v > 100 {
+				t.Errorf("ranks=%d %s ratio %v out of range", r, algo, v)
+			}
+		}
+	}
+}
+
+func TestFig9Profiles(t *testing.T) {
+	g := grid(t)
+	_, pTotal, pComm, err := Fig9(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ must be monotone in θ and end near 1 for the best algorithm.
+	for algo, rhos := range pTotal {
+		for i := 1; i < len(rhos); i++ {
+			if rhos[i] < rhos[i-1]-1e-12 {
+				t.Errorf("total profile %s not monotone: %v", algo, rhos)
+			}
+		}
+	}
+	// dagP should be the most-often-best HiSVSIM strategy on comm time.
+	if pComm["dagp"][0] < pComm["nat"][0] && pComm["dagp"][0] < pComm["dfs"][0] {
+		t.Errorf("dagp comm best-share %v below nat %v and dfs %v",
+			pComm["dagp"][0], pComm["nat"][0], pComm["dfs"][0])
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tb, err := TableI(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 13 {
+		t.Fatalf("Table I rows = %d", len(tb.Rows))
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tb, rows, err := TableII(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 circuits x 3 strategies
+		t.Fatalf("Table II rows = %d", len(rows))
+	}
+	if !strings.Contains(tb.String(), "DRAM") {
+		t.Fatal("table missing DRAM column")
+	}
+	// dagP should not lose to nat on DRAM share for bv (Table II trend).
+	var natDRAM, dagpDRAM float64
+	for _, r := range rows {
+		if r.Circuit == "bv" && r.Strategy == "nat" {
+			natDRAM = r.Stats.DRAMPercent()
+		}
+		if r.Circuit == "bv" && r.Strategy == "dagp" {
+			dagpDRAM = r.Stats.DRAMPercent()
+		}
+	}
+	if dagpDRAM > natDRAM+1e-9 {
+		t.Errorf("bv: dagp DRAM%% %v > nat %v", dagpDRAM, natDRAM)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	_, bd, err := TableIII(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies {
+		if len(bd[s]) == 0 {
+			t.Fatalf("no breakdown for %s", s)
+		}
+	}
+	// Total gates must match across strategies (same circuit).
+	count := func(s string) int {
+		n := 0
+		for _, b := range bd[s] {
+			n += b.Gates
+		}
+		return n
+	}
+	if count("nat") != count("dagp") || count("dfs") != count("dagp") {
+		t.Error("gate totals differ across strategies")
+	}
+}
+
+func TestTableIVOrdering(t *testing.T) {
+	_, ests, err := TableIV(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, e := range ests {
+		byName[e.Strategy] = e.Total()
+	}
+	// The paper's Table IV ordering: dagP fastest of the three strategies,
+	// and faster than the per-gate-exchange reference.
+	if byName["dagp"] > byName["nat"] {
+		t.Errorf("dagp %v slower than nat %v", byName["dagp"], byName["nat"])
+	}
+	if byName["dagp"] > byName["hyquas-alone"] {
+		t.Errorf("dagp hybrid %v slower than hyquas-alone %v", byName["dagp"], byName["hyquas-alone"])
+	}
+}
+
+func TestFig10MultiLevelHelps(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Base = 12
+	cfg.SecondLevelLm = 7
+	_, rows, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	better := 0
+	for _, r := range rows {
+		if r.MultiLevel <= r.SingleLevel {
+			better++
+		}
+	}
+	// Paper: multi-level wins on 4 of 5 (qnn is the exception).
+	if better < 3 {
+		t.Errorf("multi-level helped only %d/5 circuits", better)
+	}
+}
+
+func TestOptimality(t *testing.T) {
+	_, matched, total, err := Optimality(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 10 {
+		t.Fatalf("only %d instances", total)
+	}
+	// Paper: dagP optimal on 48/52 (92%); require a healthy majority here.
+	if matched*3 < total*2 {
+		t.Errorf("dagp optimal on %d/%d instances", matched, total)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	tb, err := ThreadScaling(Config{Base: 8}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblation(t *testing.T) {
+	_, out, err := Ablation(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam, row := range out {
+		if row["full"] <= 0 {
+			t.Errorf("%s: no parts", fam)
+		}
+		// The full pipeline must not be worse than disabling merge or
+		// restarts.
+		if row["full"] > row["no-merge"] {
+			t.Errorf("%s: full %d parts > no-merge %d", fam, row["full"], row["no-merge"])
+		}
+		if row["full"] > row["no-restart"] {
+			t.Errorf("%s: full %d parts > no-restart %d", fam, row["full"], row["no-restart"])
+		}
+	}
+}
+
+func TestBigRowClassification(t *testing.T) {
+	if bigRow("bv", 12) || bigRow("qpe", 12) {
+		t.Error("standard rows misclassified")
+	}
+	if !bigRow("bv16", 12) || !bigRow("adder17", 12) {
+		t.Error("big rows misclassified")
+	}
+}
+
+var _ = bench.Geomean // keep the import if assertions above change
+
+// Fig. 6 shape: end-to-end modeled runtime must not grow with rank count
+// for the clear majority of circuit/strategy series (close-to-linear strong
+// scaling). This needs the full base-12 scale: at the tiny base-8 grid the
+// per-message latency legitimately dominates and distribution cannot pay
+// off, which the model reports honestly.
+func TestStrongScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("base-12 grid is slow")
+	}
+	g, err := RunGrid(Config{Base: 12, Ranks: []int{2, 8}, BigRanks: []int{8, 16}, Seed: 1}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{} // "circuit/strategy" -> totals by rank order
+	for _, in := range g.Instances {
+		for _, s := range Strategies {
+			key := in.Spec.Name + "/" + s
+			series[key] = append(series[key], in.ByStrg[s].Total())
+		}
+	}
+	bad := 0
+	total := 0
+	for key, ts := range series {
+		if len(ts) < 2 {
+			continue
+		}
+		total++
+		if ts[len(ts)-1] > ts[0] {
+			bad++
+			t.Logf("series %s grew with ranks: %v", key, ts)
+		}
+	}
+	if bad*4 > total {
+		t.Errorf("%d/%d series grew with rank count", bad, total)
+	}
+}

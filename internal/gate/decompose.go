@@ -1,0 +1,122 @@
+package gate
+
+import "math"
+
+// Decompose returns a sequence of {single-qubit, cx} gates equivalent (as an
+// exact unitary, not merely up to phase) to g. Single-qubit gates and cx are
+// returned unchanged. Multi-controlled gates (mcx, mcz, mcp) use the
+// ancilla-free recursive construction via controlled-phase halving; the gate
+// count grows exponentially in the control count, so callers simulating deep
+// multi-control circuits should prefer the native controlled kernels and use
+// this for verification or for targets that only support 1q+CX.
+func Decompose(g Gate) []Gate {
+	switch g.Name {
+	case "cx":
+		return []Gate{g}
+	case "cy":
+		c, t := g.Qubits[0], g.Qubits[1]
+		return []Gate{Sdg(t), CX(c, t), S(t)}
+	case "cz":
+		c, t := g.Qubits[0], g.Qubits[1]
+		return []Gate{H(t), CX(c, t), H(t)}
+	case "ch":
+		c, t := g.Qubits[0], g.Qubits[1]
+		return []Gate{
+			S(t), H(t), T(t),
+			CX(c, t),
+			Tdg(t), H(t), Sdg(t),
+		}
+	case "cp", "cu1":
+		c, t := g.Qubits[0], g.Qubits[1]
+		l := g.Params[0]
+		return []Gate{P(l/2, c), CX(c, t), P(-l/2, t), CX(c, t), P(l/2, t)}
+	case "crz":
+		c, t := g.Qubits[0], g.Qubits[1]
+		l := g.Params[0]
+		return []Gate{RZ(l/2, t), CX(c, t), RZ(-l/2, t), CX(c, t)}
+	case "cry":
+		c, t := g.Qubits[0], g.Qubits[1]
+		l := g.Params[0]
+		return []Gate{RY(l/2, t), CX(c, t), RY(-l/2, t), CX(c, t)}
+	case "crx":
+		c, t := g.Qubits[0], g.Qubits[1]
+		l := g.Params[0]
+		out := []Gate{H(t)}
+		out = append(out, Decompose(CRZ(l, c, t))...)
+		out = append(out, H(t))
+		return out
+	case "swap":
+		a, b := g.Qubits[0], g.Qubits[1]
+		return []Gate{CX(a, b), CX(b, a), CX(a, b)}
+	case "rzz":
+		a, b := g.Qubits[0], g.Qubits[1]
+		return []Gate{CX(a, b), RZ(g.Params[0], b), CX(a, b)}
+	case "ccx":
+		a, b, c := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		return []Gate{
+			H(c),
+			CX(b, c), Tdg(c),
+			CX(a, c), T(c),
+			CX(b, c), Tdg(c),
+			CX(a, c), T(b), T(c), H(c),
+			CX(a, b), T(a), Tdg(b),
+			CX(a, b),
+		}
+	case "cswap":
+		c, a, b := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		out := []Gate{CX(b, a)}
+		out = append(out, Decompose(CCX(c, a, b))...)
+		out = append(out, CX(b, a))
+		return out
+	case "mcx":
+		ctrls, t := g.Controls(), g.Targets()[0]
+		if len(ctrls) == 1 {
+			return []Gate{CX(ctrls[0], t)}
+		}
+		out := []Gate{H(t)}
+		out = append(out, Decompose(MCP(math.Pi, ctrls, t))...)
+		out = append(out, H(t))
+		return out
+	case "mcz":
+		ctrls, t := g.Controls(), g.Targets()[0]
+		return Decompose(MCP(math.Pi, ctrls, t))
+	case "mcp":
+		ctrls, t := g.Controls(), g.Targets()[0]
+		l := g.Params[0]
+		if len(ctrls) == 1 {
+			return Decompose(CP(l, ctrls[0], t))
+		}
+		rest, last := ctrls[:len(ctrls)-1], ctrls[len(ctrls)-1]
+		var out []Gate
+		out = append(out, Decompose(CP(l/2, last, t))...)
+		out = append(out, Decompose(MCX(rest, last))...)
+		out = append(out, Decompose(CP(-l/2, last, t))...)
+		out = append(out, Decompose(MCX(rest, last))...)
+		out = append(out, Decompose(MCP(l/2, rest, t))...)
+		return out
+	case "cu3":
+		// cu3(θ,φ,λ) c,t per qelib1.
+		c, t := g.Qubits[0], g.Qubits[1]
+		th, ph, la := g.Params[0], g.Params[1], g.Params[2]
+		return []Gate{
+			P((la+ph)/2, c),
+			P((la-ph)/2, t),
+			CX(c, t),
+			U3(-th/2, 0, -(ph+la)/2, t),
+			CX(c, t),
+			U3(th/2, ph, 0, t),
+		}
+	default:
+		// Single-qubit (or already-primitive) gates pass through.
+		return []Gate{g}
+	}
+}
+
+// DecomposeAll maps Decompose over a gate sequence.
+func DecomposeAll(gs []Gate) []Gate {
+	var out []Gate
+	for _, g := range gs {
+		out = append(out, Decompose(g)...)
+	}
+	return out
+}

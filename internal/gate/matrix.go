@@ -1,0 +1,224 @@
+// Package gate provides the quantum gate algebra used throughout HiSVSIM:
+// dense unitary matrices, a catalog of standard gates (the OpenQASM qelib1
+// subset plus multi-controlled forms), and decompositions of multi-qubit
+// gates into {single-qubit, CX} primitives.
+//
+// Conventions. A k-qubit matrix acts on basis indices i in [0, 2^k) where
+// bit j of i is the state of the j-th qubit the gate is applied to
+// (little-endian: the first listed qubit is the least-significant bit).
+// For controlled gates, control qubits are listed first, targets last.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense, row-major complex matrix over k qubits (2^k x 2^k).
+type Matrix struct {
+	K    int          // number of qubits the matrix acts on
+	Data []complex128 // row-major, length 4^K
+}
+
+// NewMatrix returns a zero matrix on k qubits.
+func NewMatrix(k int) Matrix {
+	n := 1 << uint(k)
+	return Matrix{K: k, Data: make([]complex128, n*n)}
+}
+
+// Dim returns the matrix dimension 2^K.
+func (m Matrix) Dim() int { return 1 << uint(m.K) }
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) complex128 { return m.Data[r*m.Dim()+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v complex128) { m.Data[r*m.Dim()+c] = v }
+
+// Identity returns the identity matrix on k qubits.
+func Identity(k int) Matrix {
+	m := NewMatrix(k)
+	for i := 0; i < m.Dim(); i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns the matrix product m·o. Both operands must act on the same
+// number of qubits.
+func (m Matrix) Mul(o Matrix) Matrix {
+	if m.K != o.K {
+		panic(fmt.Sprintf("gate: Mul dimension mismatch: %d vs %d qubits", m.K, o.K))
+	}
+	n := m.Dim()
+	out := NewMatrix(m.K)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			var s complex128
+			for t := 0; t < n; t++ {
+				s += m.At(r, t) * o.At(t, c)
+			}
+			out.Set(r, c, s)
+		}
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix) Dagger() Matrix {
+	n := m.Dim()
+	out := NewMatrix(m.K)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			out.Set(c, r, cmplx.Conj(m.At(r, c)))
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker product m ⊗ o: o occupies the low bits of the
+// combined index, m the high bits, matching the little-endian qubit order
+// (o on earlier-listed qubits).
+func (m Matrix) Kron(o Matrix) Matrix {
+	out := NewMatrix(m.K + o.K)
+	dm, do := m.Dim(), o.Dim()
+	for rm := 0; rm < dm; rm++ {
+		for cm := 0; cm < dm; cm++ {
+			a := m.At(rm, cm)
+			if a == 0 {
+				continue
+			}
+			for ro := 0; ro < do; ro++ {
+				for co := 0; co < do; co++ {
+					out.Set(rm*do+ro, cm*do+co, a*o.At(ro, co))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ApplyVec multiplies m by the column vector v (length 2^K) and returns the
+// resulting vector.
+func (m Matrix) ApplyVec(v []complex128) []complex128 {
+	n := m.Dim()
+	if len(v) != n {
+		panic(fmt.Sprintf("gate: ApplyVec length %d, want %d", len(v), n))
+	}
+	out := make([]complex128, n)
+	for r := 0; r < n; r++ {
+		var s complex128
+		for c := 0; c < n; c++ {
+			s += m.At(r, c) * v[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// EqualTol reports whether m and o agree element-wise within tol.
+func (m Matrix) EqualTol(o Matrix, tol float64) bool {
+	if m.K != o.K {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToPhase reports whether m = e^{iφ}·o for some global phase φ,
+// within tol.
+func (m Matrix) EqualUpToPhase(o Matrix, tol float64) bool {
+	if m.K != o.K {
+		return false
+	}
+	var phase complex128
+	for i := range m.Data {
+		if cmplx.Abs(o.Data[i]) > tol {
+			phase = m.Data[i] / o.Data[i]
+			break
+		}
+	}
+	if phase == 0 {
+		return m.EqualTol(o, tol)
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-phase*o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m†m = I within tol.
+func (m Matrix) IsUnitary(tol float64) bool {
+	return m.Dagger().Mul(m).EqualTol(Identity(m.K), tol)
+}
+
+// Controlled returns the (nc+K)-qubit matrix that applies m to the target
+// qubits when all nc control qubits are 1 and acts as identity otherwise.
+// Controls occupy the low bits of the combined index (they are listed first),
+// targets the high bits.
+func (m Matrix) Controlled(nc int) Matrix {
+	if nc < 0 {
+		panic("gate: negative control count")
+	}
+	if nc == 0 {
+		return m
+	}
+	out := Identity(m.K + nc)
+	cmask := (1 << uint(nc)) - 1
+	dt := m.Dim()
+	for rt := 0; rt < dt; rt++ {
+		for ct := 0; ct < dt; ct++ {
+			r := rt<<uint(nc) | cmask
+			c := ct<<uint(nc) | cmask
+			out.Set(r, c, m.At(rt, ct))
+		}
+	}
+	return out
+}
+
+// Permuted returns the matrix acting on the same qubits reordered by perm:
+// new qubit position j corresponds to old position perm[j].
+func (m Matrix) Permuted(perm []int) Matrix {
+	if len(perm) != m.K {
+		panic("gate: Permuted length mismatch")
+	}
+	out := NewMatrix(m.K)
+	n := m.Dim()
+	mapIdx := func(i int) int {
+		var o int
+		for j, p := range perm {
+			o |= ((i >> uint(j)) & 1) << uint(p)
+		}
+		return o
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			out.Set(mapIdx(r), mapIdx(c), m.At(r, c))
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m Matrix) String() string {
+	s := ""
+	n := m.Dim()
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := m.At(r, c)
+			s += fmt.Sprintf("(%6.3f%+6.3fi) ", real(v), imag(v))
+		}
+		s += "\n"
+	}
+	return s
+}

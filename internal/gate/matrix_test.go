@@ -1,0 +1,217 @@
+package gate
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestIdentity(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		m := Identity(k)
+		if m.Dim() != 1<<uint(k) {
+			t.Fatalf("Identity(%d) dim = %d", k, m.Dim())
+		}
+		for r := 0; r < m.Dim(); r++ {
+			for c := 0; c < m.Dim(); c++ {
+				want := complex128(0)
+				if r == c {
+					want = 1
+				}
+				if m.At(r, c) != want {
+					t.Fatalf("Identity(%d)[%d][%d] = %v", k, r, c, m.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	h := H(0).BaseMatrix()
+	if !h.Mul(Identity(1)).EqualTol(h, tol) {
+		t.Error("H·I != H")
+	}
+	if !Identity(1).Mul(h).EqualTol(h, tol) {
+		t.Error("I·H != H")
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Identity(1).Mul(Identity(2))
+}
+
+func TestHSquaredIsIdentity(t *testing.T) {
+	h := H(0).BaseMatrix()
+	if !h.Mul(h).EqualTol(Identity(1), tol) {
+		t.Error("H^2 != I")
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x := X(0).BaseMatrix()
+	y := Y(0).BaseMatrix()
+	z := Z(0).BaseMatrix()
+	// XY = iZ
+	xy := x.Mul(y)
+	iz := NewMatrix(1)
+	for i := range z.Data {
+		iz.Data[i] = iC * z.Data[i]
+	}
+	if !xy.EqualTol(iz, tol) {
+		t.Error("XY != iZ")
+	}
+	for name, m := range map[string]Matrix{"X": x, "Y": y, "Z": z} {
+		if !m.Mul(m).EqualTol(Identity(1), tol) {
+			t.Errorf("%s^2 != I", name)
+		}
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	m := U3(0.3, 1.1, -0.7, 0).BaseMatrix()
+	if !m.Dagger().Dagger().EqualTol(m, tol) {
+		t.Error("dagger not an involution")
+	}
+}
+
+func TestKronDims(t *testing.T) {
+	m := H(0).BaseMatrix().Kron(X(0).BaseMatrix())
+	if m.K != 2 {
+		t.Fatalf("K = %d, want 2", m.K)
+	}
+	// (H ⊗ X)|00> : X acts on low bit -> |01> then H on high bit gives
+	// (|01> + |11>)/√2.
+	v := m.ApplyVec([]complex128{1, 0, 0, 0})
+	want := []complex128{0, invSqrt2, 0, invSqrt2}
+	for i := range v {
+		if cmplx.Abs(v[i]-want[i]) > tol {
+			t.Fatalf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestApplyVecLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(2).ApplyVec([]complex128{1})
+}
+
+func TestControlledStructure(t *testing.T) {
+	cx := X(0).BaseMatrix().Controlled(1)
+	// Control is bit 0, target bit 1. |c=1,t=0> (idx 1) -> |c=1,t=1> (idx 3).
+	want := NewMatrix(2)
+	want.Set(0, 0, 1)
+	want.Set(3, 1, 1)
+	want.Set(2, 2, 1)
+	want.Set(1, 3, 1)
+	if !cx.EqualTol(want, tol) {
+		t.Fatalf("controlled-X wrong:\n%v", cx)
+	}
+}
+
+func TestControlledZeroControls(t *testing.T) {
+	h := H(0).BaseMatrix()
+	if !h.Controlled(0).EqualTol(h, tol) {
+		t.Error("Controlled(0) changed the matrix")
+	}
+}
+
+func TestControlledNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(1).Controlled(-1)
+}
+
+func TestPermutedIdentityPerm(t *testing.T) {
+	m := CX(0, 1).FullMatrix()
+	if !m.Permuted([]int{0, 1}).EqualTol(m, tol) {
+		t.Error("identity permutation changed matrix")
+	}
+}
+
+func TestPermutedSwap(t *testing.T) {
+	// Swapping the two qubit slots of CX(control=bit0) gives CX with
+	// control=bit1, i.e. the matrix of CX(1,0) laid out on (bit0=target).
+	m := CX(0, 1).FullMatrix().Permuted([]int{1, 0})
+	want := NewMatrix(2)
+	// control is now bit 1: |10>(2) <-> |11>(3)
+	want.Set(0, 0, 1)
+	want.Set(1, 1, 1)
+	want.Set(3, 2, 1)
+	want.Set(2, 3, 1)
+	if !m.EqualTol(want, tol) {
+		t.Fatalf("permuted CX wrong:\n%v", m)
+	}
+}
+
+func TestPermutedPreservesUnitarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		m := U3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, 0).
+			BaseMatrix().Controlled(1)
+		p := m.Permuted([]int{1, 0})
+		if !p.IsUnitary(tol) {
+			t.Fatalf("trial %d: permuted matrix not unitary", trial)
+		}
+	}
+}
+
+func TestEqualUpToPhase(t *testing.T) {
+	m := U3(0.4, 0.2, 0.9, 0).BaseMatrix()
+	phased := NewMatrix(1)
+	ph := cmplx.Exp(complex(0, 1.234))
+	for i := range m.Data {
+		phased.Data[i] = ph * m.Data[i]
+	}
+	if !m.EqualUpToPhase(phased, tol) {
+		t.Error("EqualUpToPhase failed on a pure global phase")
+	}
+	if m.EqualUpToPhase(X(0).BaseMatrix(), tol) {
+		t.Error("EqualUpToPhase matched distinct matrices")
+	}
+	// A non-unit scaling must not be accepted as a "phase".
+	scaled := NewMatrix(1)
+	for i := range m.Data {
+		scaled.Data[i] = 2 * m.Data[i]
+	}
+	if m.EqualUpToPhase(scaled, tol) {
+		t.Error("EqualUpToPhase accepted a non-unit scaling")
+	}
+}
+
+func TestQuickU3Unitary(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		th := math.Mod(a, 2*math.Pi)
+		ph := math.Mod(b, 2*math.Pi)
+		la := math.Mod(c, 2*math.Pi)
+		return U3(th, ph, la, 0).BaseMatrix().IsUnitary(1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickControlledUnitary(t *testing.T) {
+	f := func(a float64, nc uint8) bool {
+		n := int(nc%3) + 1
+		return RX(math.Mod(a, 2*math.Pi), 0).BaseMatrix().Controlled(n).IsUnitary(1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package hier implements the paper's hierarchical part-based execution
+// model (§III-B/C, Algorithm 1): for each part of an acyclic partitioning,
+// the amplitudes addressed by the part's qubits are gathered from the outer
+// state vector into a small inner state vector, all of the part's gates are
+// applied to the inner vector, and the results are scattered back. With a
+// second-level limit set, each part is recursively partitioned so the
+// innermost vectors stay cache-resident (the paper's multi-level HiSVSIM).
+package hier
+
+import (
+	"fmt"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/gate"
+	"hisvsim/internal/partition"
+	"hisvsim/internal/sv"
+)
+
+// Options configures hierarchical execution.
+type Options struct {
+	// SecondLevelLm, when > 0, re-partitions each part's gates with this
+	// tighter working-set limit and executes them through a second
+	// gather/execute/scatter level (multi-level HiSVSIM). The second level
+	// uses the same strategy kind as the plan when possible.
+	SecondLevelLm int
+	// SecondLevel is the partitioner used for the second level; nil selects
+	// partition.Nat{} (cheap, and inner circuits are small).
+	SecondLevel partition.Strategy
+	// Workers bounds kernel parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// PartStats records the execution footprint of one part.
+type PartStats struct {
+	Index      int
+	Gates      int
+	Qubits     int
+	Sweeps     int64 // gather/scatter iterations = 2^(n-w)
+	BytesMoved int64 // gather + scatter traffic over the outer vector
+	SubParts   int   // second-level part count (1 when single-level)
+}
+
+// Metrics aggregates execution statistics.
+type Metrics struct {
+	Parts      int
+	BytesMoved int64
+	Sweeps     int64
+	InnerOps   int64
+	PerPart    []PartStats
+}
+
+// ExecutePlan runs every part of the plan against the given outer state.
+// The state must span the plan's circuit.
+func ExecutePlan(pl *partition.Plan, outer *sv.State, opts Options) (*Metrics, error) {
+	if pl.Circuit.NumQubits > outer.N {
+		return nil, fmt.Errorf("hier: circuit needs %d qubits, state has %d", pl.Circuit.NumQubits, outer.N)
+	}
+	m := &Metrics{Parts: pl.NumParts()}
+	for _, part := range pl.Parts {
+		ps, err := executePart(pl.Circuit, part, outer, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hier: part %d: %w", part.Index, err)
+		}
+		m.PerPart = append(m.PerPart, ps)
+		m.BytesMoved += ps.BytesMoved
+		m.Sweeps += ps.Sweeps
+	}
+	m.InnerOps = outer.Ops
+	return m, nil
+}
+
+// Run partitions the circuit with the strategy and executes it from |0…0⟩.
+func Run(c *circuit.Circuit, lm int, s partition.Strategy, opts Options) (*sv.State, *Metrics, error) {
+	pl, err := s.Partition(dag.FromCircuit(c), lm)
+	if err != nil {
+		return nil, nil, err
+	}
+	outer := sv.NewState(c.NumQubits)
+	outer.Workers = opts.Workers
+	m, err := ExecutePlan(pl, outer, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outer, m, nil
+}
+
+// executePart performs the Gather-Execute-Scatter cycle of Algorithm 1 for
+// one part.
+func executePart(c *circuit.Circuit, part partition.Part, outer *sv.State, opts Options) (PartStats, error) {
+	w := part.WorkingSetSize()
+	n := outer.N
+	ps := PartStats{Index: part.Index, Gates: len(part.GateIndices), Qubits: w, SubParts: 1}
+	if w == 0 {
+		return ps, nil
+	}
+
+	// Remap the part's gates onto inner qubit slots 0..w-1 (the paper's
+	// consistent-layout rule: ascending global qubit -> ascending slot).
+	slot := make(map[int]int, w)
+	for j, q := range part.Qubits {
+		slot[q] = j
+	}
+	gates := make([]gate.Gate, 0, len(part.GateIndices))
+	for _, gi := range part.GateIndices {
+		gates = append(gates, c.Gates[gi].Remap(func(q int) int { return slot[q] }))
+	}
+
+	// Optional second level: partition the remapped sub-circuit.
+	var subPlan *partition.Plan
+	if opts.SecondLevelLm > 0 && opts.SecondLevelLm < w {
+		sub := circuit.New(fmt.Sprintf("%s_part%d", c.Name, part.Index), w)
+		sub.Gates = gates
+		strat := opts.SecondLevel
+		if strat == nil {
+			strat = partition.Nat{}
+		}
+		pl2, err := strat.Partition(dag.FromCircuit(sub), opts.SecondLevelLm)
+		if err != nil {
+			return ps, fmt.Errorf("second-level partition: %w", err)
+		}
+		subPlan = pl2
+		ps.SubParts = pl2.NumParts()
+	}
+
+	inner := sv.NewState(w)
+	inner.Workers = 1 // inner vectors are small; parallelism is outer-level
+	dimInner := inner.Dim()
+
+	free := n - w
+	sweeps := int64(1) << uint(free)
+	ps.Sweeps = sweeps
+	ps.BytesMoved = 2 * int64(outer.Dim()) * 16
+
+	for f := int64(0); f < sweeps; f++ {
+		base := int(f)
+		for _, q := range part.Qubits { // ascending: insert zeros at part qubits
+			base = insertBit(base, q)
+		}
+		// Gather.
+		for s := 0; s < dimInner; s++ {
+			inner.Amps[s] = outer.Amps[base|spread(s, part.Qubits)]
+		}
+		// Execute.
+		if subPlan != nil {
+			if _, err := ExecutePlan(subPlan, inner, Options{Workers: 1}); err != nil {
+				return ps, err
+			}
+		} else {
+			if err := inner.ApplyGates(gates); err != nil {
+				return ps, err
+			}
+		}
+		// Scatter.
+		for s := 0; s < dimInner; s++ {
+			outer.Amps[base|spread(s, part.Qubits)] = inner.Amps[s]
+		}
+	}
+	outer.Ops += inner.Ops
+	return ps, nil
+}
+
+// insertBit returns f with a zero bit inserted at position p.
+func insertBit(f, p int) int {
+	low := f & ((1 << uint(p)) - 1)
+	return ((f &^ ((1 << uint(p)) - 1)) << 1) | low
+}
+
+// spread distributes the bits of s onto the (ascending) qubit positions.
+func spread(s int, qubits []int) int {
+	out := 0
+	for j, q := range qubits {
+		if s>>uint(j)&1 == 1 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}
+
+// Gather extracts the 2^w inner amplitudes for a given free-bit assignment;
+// exported for reuse by the distributed executor and tests.
+func Gather(outer []complex128, qubits []int, base int, inner []complex128) {
+	for s := range inner {
+		inner[s] = outer[base|spread(s, qubits)]
+	}
+}
+
+// Scatter writes inner amplitudes back to their outer positions.
+func Scatter(outer []complex128, qubits []int, base int, inner []complex128) {
+	for s := range inner {
+		outer[base|spread(s, qubits)] = inner[s]
+	}
+}

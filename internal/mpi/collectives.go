@@ -1,0 +1,86 @@
+package mpi
+
+import "fmt"
+
+// Bcast distributes root's buffer to every rank and returns it (a copy on
+// every rank, including root). Implemented as a binomial tree rooted at 0
+// after rotating ranks, matching the message count of real MPI broadcasts.
+func (c *Comm) Bcast(root, tag int, data []complex128) []complex128 {
+	size := c.world.size
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: bcast from invalid root %d", root))
+	}
+	if size == 1 {
+		return append([]complex128(nil), data...)
+	}
+	// Virtual rank: rotate so the root is 0.
+	vr := (c.rank - root + size) % size
+	var buf []complex128
+	if vr == 0 {
+		buf = append([]complex128(nil), data...)
+	} else {
+		// Receive from the parent: clear the lowest set bit.
+		parent := (vr&(vr-1) + root) % size
+		buf = c.Recv(parent, tag)
+	}
+	// Send to children: set each bit above the lowest set bit while the
+	// child id stays in range.
+	for bit := 1; bit < size; bit <<= 1 {
+		if vr&(bit-1) == 0 && vr&bit == 0 {
+			child := vr | bit
+			if child < size {
+				c.Send((child+root)%size, tag, buf)
+			}
+		}
+	}
+	return buf
+}
+
+// ReduceSum element-wise sums every rank's buffer at root (returned only on
+// root; nil elsewhere). All buffers must share one length.
+func (c *Comm) ReduceSum(root, tag int, data []complex128) []complex128 {
+	out := c.Gather(root, tag, data)
+	if c.rank != root {
+		return nil
+	}
+	sum := make([]complex128, len(data))
+	for _, buf := range out {
+		if len(buf) != len(sum) {
+			panic("mpi: ReduceSum length mismatch")
+		}
+		for i, v := range buf {
+			sum[i] += v
+		}
+	}
+	return sum
+}
+
+// AllreduceSum returns the element-wise sum of every rank's buffer on every
+// rank (reduce at 0, then broadcast).
+func (c *Comm) AllreduceSum(tag int, data []complex128) []complex128 {
+	sum := c.ReduceSum(0, tag, data)
+	if c.rank != 0 {
+		sum = nil
+	}
+	if c.rank == 0 {
+		return c.Bcast(0, tag+1, sum)
+	}
+	return c.Bcast(0, tag+1, nil)
+}
+
+// AllreduceMaxFloat returns the maximum of each rank's scalar on every rank.
+func (c *Comm) AllreduceMaxFloat(tag int, x float64) float64 {
+	vals := c.Gather(0, tag, []complex128{complex(x, 0)})
+	if c.rank == 0 {
+		m := real(vals[0][0])
+		for _, v := range vals[1:] {
+			if real(v[0]) > m {
+				m = real(v[0])
+			}
+		}
+		c.Bcast(0, tag+1, []complex128{complex(m, 0)})
+		return m
+	}
+	out := c.Bcast(0, tag+1, nil)
+	return real(out[0])
+}

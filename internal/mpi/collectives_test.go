@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < size; root++ {
+			_, err := Run(size, CostModel{}, func(c *Comm) error {
+				var data []complex128
+				if c.Rank() == root {
+					data = []complex128{complex(float64(root), 0), 42}
+				}
+				got := c.Bcast(root, 11, data)
+				if len(got) != 2 || real(got[0]) != float64(root) || got[1] != 42 {
+					return fmt.Errorf("size=%d root=%d rank=%d got %v", size, root, c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestBcastInvalidRootPanics(t *testing.T) {
+	_, err := Run(2, CostModel{}, func(c *Comm) error {
+		c.Bcast(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid root accepted")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 4
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		data := []complex128{complex(float64(c.Rank()), 0), 1}
+		got := c.ReduceSum(0, 3, data)
+		if c.Rank() != 0 {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		if real(got[0]) != 0+1+2+3 || real(got[1]) != n {
+			return fmt.Errorf("root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 4
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		got := c.AllreduceSum(5, []complex128{complex(float64(c.Rank()+1), 0)})
+		if real(got[0]) != 1+2+3+4 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxFloat(t *testing.T) {
+	const n = 5
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		got := c.AllreduceMaxFloat(9, -float64(c.Rank()))
+		if got != 0 {
+			return fmt.Errorf("rank %d max = %v", c.Rank(), got)
+		}
+		got = c.AllreduceMaxFloat(11, float64(c.Rank()*c.Rank()))
+		if got != float64((n-1)*(n-1)) {
+			return fmt.Errorf("rank %d max = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunBasicSendRecv(t *testing.T) {
+	stats, err := Run(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []complex128{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				return fmt.Errorf("got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].MsgsSent != 1 || stats[0].BytesSent != 48 {
+		t.Fatalf("sender stats %+v", stats[0])
+	}
+	if stats[1].MsgsRecv != 1 || stats[1].BytesRecv != 48 {
+		t.Fatalf("receiver stats %+v", stats[1])
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	_, err := Run(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []complex128{1}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the receiver
+		} else {
+			if got := c.Recv(0, 0); got[0] != 1 {
+				return fmt.Errorf("received mutated buffer: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvOutOfOrderTags(t *testing.T) {
+	_, err := Run(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []complex128{1})
+			c.Send(1, 2, []complex128{2})
+		} else {
+			// Receive in reverse tag order.
+			if got := c.Recv(0, 2); got[0] != 2 {
+				return fmt.Errorf("tag 2 got %v", got)
+			}
+			if got := c.Recv(0, 1); got[0] != 1 {
+				return fmt.Errorf("tag 1 got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	_, err := Run(4, CostModel{}, func(c *Comm) error {
+		peer := c.Rank() ^ 1
+		got := c.Exchange(peer, 5, []complex128{complex(float64(c.Rank()), 0)})
+		if real(got[0]) != float64(peer) {
+			return fmt.Errorf("rank %d exchange got %v", c.Rank(), got)
+		}
+		// Self-exchange is a copy.
+		self := c.Exchange(c.Rank(), 6, []complex128{42})
+		if self[0] != 42 {
+			return fmt.Errorf("self exchange got %v", self)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 4
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		bufs := make([][]complex128, n)
+		for dst := 0; dst < n; dst++ {
+			bufs[dst] = []complex128{complex(float64(c.Rank()*10+dst), 0)}
+		}
+		out := c.Alltoallv(3, bufs)
+		for src := 0; src < n; src++ {
+			want := float64(src*10 + c.Rank())
+			if real(out[src][0]) != want {
+				return fmt.Errorf("rank %d from %d: got %v want %v", c.Rank(), src, out[src], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvVariableSizes(t *testing.T) {
+	const n = 3
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		bufs := make([][]complex128, n)
+		for dst := 0; dst < n; dst++ {
+			bufs[dst] = make([]complex128, c.Rank()+1) // size depends on src
+		}
+		out := c.Alltoallv(0, bufs)
+		for src := 0; src < n; src++ {
+			if len(out[src]) != src+1 {
+				return fmt.Errorf("from %d: len %d", src, len(out[src]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		out := c.Gather(0, 9, []complex128{complex(float64(c.Rank()), 0)})
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				if real(out[r][0]) != float64(r) {
+					return fmt.Errorf("gather[%d] = %v", r, out[r])
+				}
+			}
+		} else if out != nil {
+			return fmt.Errorf("non-root got data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 8
+	var before, after int64
+	_, err := Run(n, CostModel{}, func(c *Comm) error {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != n {
+			return fmt.Errorf("rank %d passed barrier early", c.Rank())
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&after) != n {
+			return fmt.Errorf("rank %d passed second barrier early", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelAccounting(t *testing.T) {
+	model := CostModel{Latency: 1e-6, Bandwidth: 1e9}
+	stats, err := Run(2, model, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]complex128, 1000)) // 16 kB
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 + 16000.0/1e9
+	if math.Abs(stats[0].CommSeconds-want) > 1e-12 {
+		t.Fatalf("sender comm time = %v, want %v", stats[0].CommSeconds, want)
+	}
+	if math.Abs(stats[1].CommSeconds-want) > 1e-12 {
+		t.Fatalf("receiver comm time = %v, want %v", stats[1].CommSeconds, want)
+	}
+}
+
+func TestCostModelZeroBandwidth(t *testing.T) {
+	m := CostModel{Latency: 2e-6}
+	if m.Time(1000) != 2e-6 {
+		t.Fatal("zero bandwidth should cost latency only")
+	}
+}
+
+func TestHDR100(t *testing.T) {
+	m := HDR100()
+	if m.Latency <= 0 || m.Bandwidth <= 0 {
+		t.Fatal("HDR100 model not positive")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	_, err := Run(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	stats := []Stats{{CommSeconds: 1, BytesSent: 10}, {CommSeconds: 3, BytesSent: 30}}
+	if MaxCommSeconds(stats) != 3 {
+		t.Fatal("max wrong")
+	}
+	if AvgCommSeconds(stats) != 2 {
+		t.Fatal("avg wrong")
+	}
+	if TotalBytes(stats) != 40 {
+		t.Fatal("total wrong")
+	}
+	if AvgCommSeconds(nil) != 0 {
+		t.Fatal("empty avg")
+	}
+}
+
+func TestInvalidRanksPanic(t *testing.T) {
+	_, err := Run(1, CostModel{}, func(c *Comm) error {
+		c.Send(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package dagp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// bisect runs the multilevel pipeline on one subgraph and returns a side
+// assignment (0 = earlier half, 1 = later half) with all cross edges
+// flowing 0 → 1.
+func bisect(wg *wgraph, opts Options, rng *rand.Rand) ([]int, error) {
+	levels := []*wgraph{wg}
+	var maps [][]int // maps[i]: levels[i] node -> levels[i+1] node
+	if !opts.DisableCoarsen {
+		cur := wg
+		maxW := cur.totalWeight() / opts.CoarsenMinNodes
+		if maxW < 2 {
+			maxW = 2
+		}
+		for cur.n > opts.CoarsenMinNodes {
+			coarse, cmap := cur.coarsen(maxW)
+			if coarse == nil || coarse.n >= cur.n {
+				break
+			}
+			levels = append(levels, coarse)
+			maps = append(maps, cmap)
+			cur = coarse
+		}
+	}
+	coarsest := levels[len(levels)-1]
+	side := initialBisect(coarsest, opts)
+	if side == nil {
+		return nil, fmt.Errorf("dagp: no feasible bisection for %d-node subgraph", coarsest.n)
+	}
+	if !opts.DisableRefine {
+		refine(coarsest, side, opts, rng)
+	}
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		cmap := maps[i]
+		fineSide := make([]int, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		if !opts.DisableRefine {
+			refine(fine, side, opts, rng)
+		}
+	}
+	return side, nil
+}
+
+// initialBisect splits a topological order of the graph at the position that
+// minimizes the combined working-set size of the two sides, within the
+// balance window. Returns nil only for graphs with < 2 nodes.
+func initialBisect(wg *wgraph, opts Options) []int {
+	if wg.n < 2 {
+		return nil
+	}
+	order := wg.topoOrder()
+	total := wg.totalWeight()
+	maxSide := int(opts.Epsilon * float64(total) / 2)
+	if maxSide < (total+1)/2 {
+		maxSide = (total + 1) / 2
+	}
+	minSide := total - maxSide
+
+	// Prefix working sets.
+	prefWset := make([]int, wg.n) // after including order[k]
+	seen := make([]bool, wg.nq)
+	cnt := 0
+	prefW := make([]int, wg.n)
+	w := 0
+	for k, v := range order {
+		for _, q := range wg.qubits[v] {
+			if !seen[q] {
+				seen[q] = true
+				cnt++
+			}
+		}
+		w += wg.weight[v]
+		prefWset[k] = cnt
+		prefW[k] = w
+	}
+	// Suffix working sets.
+	sufWset := make([]int, wg.n) // from order[k] to end
+	seen = make([]bool, wg.nq)
+	cnt = 0
+	for k := wg.n - 1; k >= 0; k-- {
+		for _, q := range wg.qubits[order[k]] {
+			if !seen[q] {
+				seen[q] = true
+				cnt++
+			}
+		}
+		sufWset[k] = cnt
+	}
+
+	bestK, bestObj, bestBal := -1, 1<<30, 1<<30
+	for k := 0; k+1 < wg.n; k++ { // split after order[k]
+		wA := prefW[k]
+		wB := total - wA
+		bal := wA
+		if wB > bal {
+			bal = wB
+		}
+		inWindow := wA >= minSide && wB >= minSide && wA <= maxSide && wB <= maxSide
+		obj := prefWset[k] + sufWset[k+1]
+		if inWindow {
+			if bestK == -1 || obj < bestObj || (obj == bestObj && bal < bestBal) {
+				bestK, bestObj, bestBal = k, obj, bal
+			}
+		}
+	}
+	if bestK == -1 {
+		// No split in the window (e.g. one huge cluster); pick the most
+		// balanced split regardless.
+		for k := 0; k+1 < wg.n; k++ {
+			wA := prefW[k]
+			wB := total - wA
+			bal := wA
+			if wB > bal {
+				bal = wB
+			}
+			obj := prefWset[k] + sufWset[k+1]
+			if bestK == -1 || bal < bestBal || (bal == bestBal && obj < bestObj) {
+				bestK, bestObj, bestBal = k, obj, bal
+			}
+		}
+	}
+	side := make([]int, wg.n)
+	for k, v := range order {
+		if k > bestK {
+			side[v] = 1
+		}
+	}
+	return side
+}
+
+// refine runs FM-style passes that move nodes across the cut to shrink the
+// combined working set, preserving acyclicity (a node may move 0→1 only if
+// none of its successors is in 0; 1→0 only if none of its predecessors is
+// in 1) and the balance window. Each pass moves each node at most once and
+// rolls back to the best prefix of moves.
+func refine(wg *wgraph, side []int, opts Options, rng *rand.Rand) {
+	total := wg.totalWeight()
+	maxSide := int(opts.Epsilon * float64(total) / 2)
+	if maxSide < (total+1)/2 {
+		maxSide = (total + 1) / 2
+	}
+	// Per-side qubit occupancy counts.
+	cnt := [2][]int{make([]int, wg.nq), make([]int, wg.nq)}
+	w := [2]int{}
+	for v := 0; v < wg.n; v++ {
+		s := side[v]
+		w[s] += wg.weight[v]
+		for _, q := range wg.qubits[v] {
+			cnt[s][q]++
+		}
+	}
+	// Allow pre-existing imbalance to persist but never grow.
+	looseMax := maxSide
+	if w[0] > looseMax {
+		looseMax = w[0]
+	}
+	if w[1] > looseMax {
+		looseMax = w[1]
+	}
+
+	legal := func(v int) bool {
+		s := side[v]
+		if s == 0 {
+			for _, u := range wg.succ[v] {
+				if side[u] == 0 {
+					return false
+				}
+			}
+			if w[1]+wg.weight[v] > looseMax || w[0]-wg.weight[v] < 1 {
+				return false
+			}
+		} else {
+			for _, u := range wg.pred[v] {
+				if side[u] == 1 {
+					return false
+				}
+			}
+			if w[0]+wg.weight[v] > looseMax || w[1]-wg.weight[v] < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	gain := func(v int) int {
+		s := side[v]
+		o := 1 - s
+		g := 0
+		for _, q := range wg.qubits[v] {
+			if cnt[s][q] == 1 {
+				g++ // q disappears from side s
+			}
+			if cnt[o][q] == 0 {
+				g-- // q newly appears on the other side
+			}
+		}
+		return g
+	}
+	apply := func(v int) {
+		s := side[v]
+		o := 1 - s
+		for _, q := range wg.qubits[v] {
+			cnt[s][q]--
+			cnt[o][q]++
+		}
+		w[s] -= wg.weight[v]
+		w[o] += wg.weight[v]
+		side[v] = o
+	}
+
+	maxMoves := wg.n
+	if maxMoves > 512 {
+		maxMoves = 512
+	}
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := make([]bool, wg.n)
+		var history []int
+		cum, bestCum, bestLen := 0, 0, 0
+		for len(history) < maxMoves {
+			bestV, bestG := -1, -(1 << 30)
+			for v := 0; v < wg.n; v++ {
+				if moved[v] || !legal(v) {
+					continue
+				}
+				g := gain(v)
+				if g > bestG || (g == bestG && bestV != -1 && rng.Intn(2) == 0) {
+					bestV, bestG = v, g
+				}
+			}
+			if bestV == -1 {
+				break
+			}
+			apply(bestV)
+			moved[bestV] = true
+			history = append(history, bestV)
+			cum += bestG
+			if cum > bestCum {
+				bestCum, bestLen = cum, len(history)
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(history) - 1; i >= bestLen; i-- {
+			apply(history[i])
+		}
+		if bestCum <= 0 {
+			break
+		}
+	}
+}

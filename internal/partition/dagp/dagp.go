@@ -1,0 +1,172 @@
+// Package dagp implements the paper's dagP strategy (§IV-B3): a multilevel
+// acyclic DAG partitioner adapted from Herrmann et al.'s algorithm, with the
+// edge-cut objective replaced by working-set-bounded part-count minimization.
+// The pipeline is: acyclic agglomerative coarsening, topological-split
+// initial bisection, acyclicity-preserving FM refinement at every level,
+// recursive bisection until each subgraph's working set fits the limit, and
+// a final part-graph merge phase (the paper's addition to the original
+// algorithm).
+package dagp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/partition"
+)
+
+// Options tunes the partitioner. The zero value gives the paper's defaults
+// (imbalance ratio 1.5, refinement and merge enabled).
+type Options struct {
+	// Epsilon is the bisection imbalance tolerance; each side's node weight
+	// may reach Epsilon × (total/2). Values < 1 select the default 1.5.
+	Epsilon float64
+	// RefinePasses bounds FM passes per level (default 4).
+	RefinePasses int
+	// CoarsenMinNodes stops coarsening once the graph is this small
+	// (default 64).
+	CoarsenMinNodes int
+	// Seed drives tie-breaking in refinement.
+	Seed int64
+	// Restarts runs the pipeline this many times with varied imbalance
+	// tolerances and refinement tie-breaking, keeping the plan with the
+	// fewest parts (default 3; 1 disables restarts).
+	Restarts int
+	// DisableCoarsen, DisableRefine and DisableMerge switch off pipeline
+	// phases for ablation studies.
+	DisableCoarsen bool
+	DisableRefine  bool
+	DisableMerge   bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon < 1 {
+		o.Epsilon = 1.5
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	if o.CoarsenMinNodes <= 0 {
+		o.CoarsenMinNodes = 64
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// restartEpsilons are the imbalance tolerances cycled across restarts; the
+// first entry is the configured (or default) epsilon.
+func restartEpsilons(base float64) []float64 {
+	return []float64{base, 1.15, 2.5, 1.05}
+}
+
+// Partitioner is the dagP strategy.
+type Partitioner struct {
+	Opts Options
+}
+
+// Name implements partition.Strategy.
+func (Partitioner) Name() string { return "dagp" }
+
+// Partition implements partition.Strategy. It runs the multilevel pipeline
+// Restarts times with varied imbalance tolerances and keeps the plan with
+// the fewest parts.
+func (p Partitioner) Partition(g *dag.Graph, lm int) (*partition.Plan, error) {
+	start := time.Now()
+	opts := p.Opts.withDefaults()
+	c := g.Circuit
+	for gi, gt := range c.Gates {
+		if gt.Arity() > lm {
+			return nil, fmt.Errorf("dagp: gate %d (%s) touches %d qubits, exceeding Lm=%d",
+				gi, gt.Name, gt.Arity(), lm)
+		}
+	}
+	eps := restartEpsilons(opts.Epsilon)
+	var best *partition.Plan
+	for r := 0; r < opts.Restarts; r++ {
+		ro := opts
+		ro.Epsilon = eps[r%len(eps)]
+		ro.Seed = opts.Seed + int64(r)*7919
+		pl, err := runPipeline(c, lm, ro)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || pl.NumParts() < best.NumParts() {
+			best = pl
+		}
+	}
+	best.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// runPipeline executes one coarsen/bisect/refine/merge pass.
+func runPipeline(c *circuit.Circuit, lm int, opts Options) (*partition.Plan, error) {
+	wg := buildWGraph(c)
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	var groups [][]int // each group = original gate indices of one part
+	var recurse func(sub *wgraph) error
+	recurse = func(sub *wgraph) error {
+		if sub.n == 0 {
+			return nil
+		}
+		if sub.totalWset() <= lm || sub.n == 1 {
+			groups = append(groups, sub.allOrig())
+			return nil
+		}
+		side, err := bisect(sub, opts, rng)
+		if err != nil {
+			return err
+		}
+		a, b := sub.split(side)
+		if a.n == 0 || b.n == 0 {
+			// Bisection failed to make progress; fall back to a
+			// topological-order greedy cut of this subgraph.
+			order := sub.topoOrder()
+			var gis []int
+			for _, v := range order {
+				gis = append(gis, sub.orig[v]...)
+			}
+			parts, err := partition.Segment(c, sortedCopy(gis), lm)
+			if err != nil {
+				return err
+			}
+			for _, pt := range parts {
+				groups = append(groups, pt.GateIndices)
+			}
+			return nil
+		}
+		if err := recurse(a); err != nil {
+			return err
+		}
+		return recurse(b)
+	}
+	if err := recurse(wg); err != nil {
+		return nil, err
+	}
+
+	parts := make([]partition.Part, 0, len(groups))
+	for i, grp := range groups {
+		parts = append(parts, partition.NewPart(c, i, grp))
+	}
+	pl := &partition.Plan{Circuit: c, Lm: lm, Strategy: "dagp", Parts: parts}
+	if !opts.DisableMerge {
+		merged, err := mergeParts(pl)
+		if err != nil {
+			return nil, err
+		}
+		pl = merged
+	}
+	return pl, nil
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,228 @@
+package dagp
+
+import (
+	"fmt"
+	"sort"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/partition"
+)
+
+// mergeParts implements the final merge phase (§IV-B3): a clustering pass on
+// the part-graph that repeatedly merges two parts when the union's working
+// set stays within Lm and the merger cannot create a cycle in the quotient
+// graph. Merging is greedy, preferring the smallest resulting working set.
+func mergeParts(pl *partition.Plan) (*partition.Plan, error) {
+	c := pl.Circuit
+	lm := pl.Lm
+	groups := make([][]int, 0, len(pl.Parts))
+	for _, p := range pl.Parts {
+		groups = append(groups, append([]int(nil), p.GateIndices...))
+	}
+
+	deps := gateDepPairs(c)
+	for {
+		n := len(groups)
+		if n < 2 {
+			break
+		}
+		owner := make([]int, len(c.Gates))
+		for gi := range owner {
+			owner[gi] = -1
+		}
+		for i, grp := range groups {
+			for _, gi := range grp {
+				owner[gi] = i
+			}
+		}
+		// Quotient adjacency and reachability.
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for _, d := range deps {
+			a, b := owner[d[0]], owner[d[1]]
+			if a != b {
+				adj[a][b] = true
+			}
+		}
+		reach := make([][]bool, n)
+		for i := 0; i < n; i++ {
+			reach[i] = make([]bool, n)
+		}
+		// DFS from each node (n is small: the plan's part count).
+		for i := 0; i < n; i++ {
+			stack := []int{i}
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for vtx := 0; vtx < n; vtx++ {
+					if adj[u][vtx] && !reach[i][vtx] {
+						reach[i][vtx] = true
+						stack = append(stack, vtx)
+					}
+				}
+			}
+		}
+		wsets := make([][]int, n)
+		for i, grp := range groups {
+			wsets[i] = partition.WorkingSet(c, grp)
+		}
+
+		// Prefer the pair with the largest qubit overlap (merging such
+		// parts consumes the least fresh working-set capacity), breaking
+		// ties toward the smallest union.
+		bestI, bestJ, bestOv, bestW := -1, -1, -1, lm+1
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				uw := unionSize(wsets[i], wsets[j])
+				if uw > lm {
+					continue
+				}
+				ov := len(wsets[i]) + len(wsets[j]) - uw
+				if ov < bestOv || (ov == bestOv && uw >= bestW) {
+					continue
+				}
+				if !mergeSafe(reach, n, i, j) {
+					continue
+				}
+				bestI, bestJ, bestOv, bestW = i, j, ov, uw
+			}
+		}
+		if bestI == -1 {
+			break
+		}
+		merged := append(append([]int(nil), groups[bestI]...), groups[bestJ]...)
+		sort.Ints(merged)
+		groups[bestI] = merged
+		groups = append(groups[:bestJ], groups[bestJ+1:]...)
+	}
+
+	ordered, err := orderGroups(groups, c, deps)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]partition.Part, len(ordered))
+	for i, grp := range ordered {
+		parts[i] = partition.NewPart(c, i, grp)
+	}
+	return &partition.Plan{
+		Circuit: c, Lm: lm, Strategy: pl.Strategy, Parts: parts, Elapsed: pl.Elapsed,
+	}, nil
+}
+
+// mergeSafe reports whether merging parts i and j keeps the quotient graph
+// acyclic: there must be no path between them that passes through a third
+// part (in either direction).
+func mergeSafe(reach [][]bool, n, i, j int) bool {
+	for k := 0; k < n; k++ {
+		if k == i || k == j {
+			continue
+		}
+		if reach[i][k] && reach[k][j] {
+			return false
+		}
+		if reach[j][k] && reach[k][i] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionSize(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+		n++
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+// gateDepPairs lists the direct gate dependencies (prev, next) of the
+// circuit: for every qubit, consecutive gates along its path.
+func gateDepPairs(c *circuit.Circuit) [][2]int {
+	last := make([]int, c.NumQubits)
+	for q := range last {
+		last[q] = -1
+	}
+	var out [][2]int
+	for gi, g := range c.Gates {
+		seen := map[int]bool{}
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 && !seen[p] {
+				out = append(out, [2]int{p, gi})
+				seen[p] = true
+			}
+			last[q] = gi
+		}
+	}
+	return out
+}
+
+// orderGroups topologically orders the groups by their quotient graph,
+// breaking ties by smallest contained gate index so the result is
+// deterministic.
+func orderGroups(groups [][]int, c *circuit.Circuit, deps [][2]int) ([][]int, error) {
+	n := len(groups)
+	owner := make([]int, len(c.Gates))
+	for gi := range owner {
+		owner[gi] = -1
+	}
+	for i, grp := range groups {
+		for _, gi := range grp {
+			owner[gi] = i
+		}
+	}
+	succ := make([]map[int]bool, n)
+	indeg := make([]int, n)
+	for i := range succ {
+		succ[i] = map[int]bool{}
+	}
+	for _, d := range deps {
+		a, b := owner[d[0]], owner[d[1]]
+		if a != b && !succ[a][b] {
+			succ[a][b] = true
+			indeg[b]++
+		}
+	}
+	key := make([]int, n) // smallest gate index per group, for tie-breaking
+	for i, grp := range groups {
+		key[i] = grp[0]
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([][]int, 0, n)
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if key[ready[i]] < key[ready[best]] {
+				best = i
+			}
+		}
+		g := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		out = append(out, groups[g])
+		for s := range succ[g] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("dagp: merge produced a cyclic part-graph")
+	}
+	return out, nil
+}

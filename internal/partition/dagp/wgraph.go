@@ -1,0 +1,275 @@
+package dagp
+
+import (
+	"sort"
+
+	"hisvsim/internal/circuit"
+)
+
+// wgraph is the working graph the multilevel pipeline operates on: one node
+// per gate (or per cluster of gates after coarsening), with deduplicated
+// dependency edges, node weights (number of contained gates) and the union
+// of qubits each node touches.
+type wgraph struct {
+	n      int
+	succ   [][]int
+	pred   [][]int
+	weight []int
+	qubits [][]int // sorted distinct qubits per node
+	orig   [][]int // original gate indices per node
+	nq     int     // qubit count of the underlying circuit
+}
+
+// buildWGraph builds the gate-level dependency graph of the circuit.
+func buildWGraph(c *circuit.Circuit) *wgraph {
+	n := len(c.Gates)
+	wg := &wgraph{
+		n:      n,
+		succ:   make([][]int, n),
+		pred:   make([][]int, n),
+		weight: make([]int, n),
+		qubits: make([][]int, n),
+		orig:   make([][]int, n),
+		nq:     c.NumQubits,
+	}
+	last := make([]int, c.NumQubits)
+	for q := range last {
+		last[q] = -1
+	}
+	type key struct{ u, v int }
+	seen := map[key]bool{}
+	for gi, g := range c.Gates {
+		wg.weight[gi] = 1
+		wg.orig[gi] = []int{gi}
+		wg.qubits[gi] = g.SortedQubits()
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 && p != gi && !seen[key{p, gi}] {
+				seen[key{p, gi}] = true
+				wg.succ[p] = append(wg.succ[p], gi)
+				wg.pred[gi] = append(wg.pred[gi], p)
+			}
+			last[q] = gi
+		}
+	}
+	return wg
+}
+
+// totalWset returns the working-set size of the whole graph.
+func (wg *wgraph) totalWset() int {
+	seen := make([]bool, wg.nq)
+	n := 0
+	for v := 0; v < wg.n; v++ {
+		for _, q := range wg.qubits[v] {
+			if !seen[q] {
+				seen[q] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// totalWeight returns the sum of node weights.
+func (wg *wgraph) totalWeight() int {
+	w := 0
+	for _, x := range wg.weight {
+		w += x
+	}
+	return w
+}
+
+// allOrig returns every contained original gate index, sorted.
+func (wg *wgraph) allOrig() []int {
+	var out []int
+	for v := 0; v < wg.n; v++ {
+		out = append(out, wg.orig[v]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// topoOrder returns a deterministic topological order (Kahn, smallest first).
+func (wg *wgraph) topoOrder() []int {
+	indeg := make([]int, wg.n)
+	for v := 0; v < wg.n; v++ {
+		indeg[v] = len(wg.pred[v])
+	}
+	var ready []int
+	for v := 0; v < wg.n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, wg.n)
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, v)
+		for _, s := range wg.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != wg.n {
+		panic("dagp: working graph has a cycle")
+	}
+	return order
+}
+
+// coarsen contracts acyclicity-safe pairs (u, v) where v is u's unique
+// successor or u is v's unique predecessor, bounded by maxClusterWeight.
+// Returns the coarser graph and the fine→coarse node map, or (nil, nil) if
+// no contraction was possible.
+func (wg *wgraph) coarsen(maxClusterWeight int) (*wgraph, []int) {
+	cluster := make([]int, wg.n)
+	for v := range cluster {
+		cluster[v] = -1
+	}
+	merged := 0
+	for _, u := range wg.topoOrder() {
+		if cluster[u] != -1 {
+			continue
+		}
+		// Try the unique-successor contraction first.
+		var v = -1
+		if len(wg.succ[u]) == 1 {
+			cand := wg.succ[u][0]
+			if cluster[cand] == -1 && wg.weight[u]+wg.weight[cand] <= maxClusterWeight {
+				v = cand
+			}
+		}
+		if v == -1 {
+			// Unique-predecessor contraction: find a successor whose only
+			// predecessor is u.
+			for _, cand := range wg.succ[u] {
+				if cluster[cand] == -1 && len(wg.pred[cand]) == 1 &&
+					wg.weight[u]+wg.weight[cand] <= maxClusterWeight {
+					v = cand
+					break
+				}
+			}
+		}
+		if v == -1 {
+			continue
+		}
+		cluster[u] = u // mark u as cluster head
+		cluster[v] = u
+		merged++
+	}
+	if merged == 0 {
+		return nil, nil
+	}
+	// Assign coarse ids: singleton nodes and cluster heads get ids in node
+	// order (keeping topological compatibility is not required; the coarse
+	// graph's own topoOrder handles ordering).
+	coarseID := make([]int, wg.n)
+	for v := range coarseID {
+		coarseID[v] = -1
+	}
+	next := 0
+	for v := 0; v < wg.n; v++ {
+		switch cluster[v] {
+		case -1, v:
+			coarseID[v] = next
+			next++
+		}
+	}
+	for v := 0; v < wg.n; v++ {
+		if cluster[v] != -1 && cluster[v] != v {
+			coarseID[v] = coarseID[cluster[v]]
+		}
+	}
+	out := &wgraph{
+		n:      next,
+		succ:   make([][]int, next),
+		pred:   make([][]int, next),
+		weight: make([]int, next),
+		qubits: make([][]int, next),
+		orig:   make([][]int, next),
+		nq:     wg.nq,
+	}
+	qsets := make([]map[int]bool, next)
+	for v := 0; v < wg.n; v++ {
+		cv := coarseID[v]
+		out.weight[cv] += wg.weight[v]
+		out.orig[cv] = append(out.orig[cv], wg.orig[v]...)
+		if qsets[cv] == nil {
+			qsets[cv] = map[int]bool{}
+		}
+		for _, q := range wg.qubits[v] {
+			qsets[cv][q] = true
+		}
+	}
+	for cv, qs := range qsets {
+		for q := range qs {
+			out.qubits[cv] = append(out.qubits[cv], q)
+		}
+		sort.Ints(out.qubits[cv])
+		sort.Ints(out.orig[cv])
+	}
+	type key struct{ u, v int }
+	seen := map[key]bool{}
+	for u := 0; u < wg.n; u++ {
+		cu := coarseID[u]
+		for _, v := range wg.succ[u] {
+			cv := coarseID[v]
+			if cu != cv && !seen[key{cu, cv}] {
+				seen[key{cu, cv}] = true
+				out.succ[cu] = append(out.succ[cu], cv)
+				out.pred[cv] = append(out.pred[cv], cu)
+			}
+		}
+	}
+	return out, coarseID
+}
+
+// split divides the graph into two induced subgraphs by side assignment.
+func (wg *wgraph) split(side []int) (*wgraph, *wgraph) {
+	return wg.induce(side, 0), wg.induce(side, 1)
+}
+
+func (wg *wgraph) induce(side []int, s int) *wgraph {
+	idx := make([]int, wg.n)
+	n := 0
+	for v := 0; v < wg.n; v++ {
+		if side[v] == s {
+			idx[v] = n
+			n++
+		} else {
+			idx[v] = -1
+		}
+	}
+	out := &wgraph{
+		n:      n,
+		succ:   make([][]int, n),
+		pred:   make([][]int, n),
+		weight: make([]int, n),
+		qubits: make([][]int, n),
+		orig:   make([][]int, n),
+		nq:     wg.nq,
+	}
+	for v := 0; v < wg.n; v++ {
+		if idx[v] == -1 {
+			continue
+		}
+		nv := idx[v]
+		out.weight[nv] = wg.weight[v]
+		out.qubits[nv] = append([]int(nil), wg.qubits[v]...)
+		out.orig[nv] = append([]int(nil), wg.orig[v]...)
+		for _, u := range wg.succ[v] {
+			if idx[u] != -1 {
+				out.succ[nv] = append(out.succ[nv], idx[u])
+				out.pred[idx[u]] = append(out.pred[idx[u]], nv)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package perfmodel
+
+// CPUModel models per-rank CPU execution of state-vector sweeps as
+// bandwidth-bound streaming: DRAM bandwidth for sweeps over the full local
+// slab, cache bandwidth for the hierarchical inner-vector execution that
+// Algorithm 1 makes possible. This is how the repo renders the paper's
+// Fig. 5/6 "end-to-end time" deterministically: measured communication from
+// the mpi runtime plus modeled computation.
+type CPUModel struct {
+	// MemBandwidth is the effective per-rank DRAM bandwidth (bytes/s).
+	MemBandwidth float64
+	// CacheBandwidth is the effective bandwidth when the working set is
+	// cache-resident (bytes/s).
+	CacheBandwidth float64
+	// CacheBytes is the capacity of the cache level the inner vectors
+	// should fit in; inner vectors larger than this run at DRAM bandwidth.
+	CacheBytes int64
+	// GateOverhead is the per-gate dispatch cost (seconds).
+	GateOverhead float64
+}
+
+// Xeon8280 approximates one Frontera node's Cascade Lake socket share per
+// MPI rank: ~15 GB/s DRAM, ~60 GB/s cache-resident, 1 MB of private cache,
+// 50 ns dispatch.
+func Xeon8280() CPUModel {
+	return CPUModel{MemBandwidth: 15e9, CacheBandwidth: 60e9, CacheBytes: 1 << 20, GateOverhead: 50e-9}
+}
+
+// ScaledNode is Xeon8280 with the cache shrunk to 8 KB. The reproduction
+// runs circuits at 1/2^15 or so of the paper's state sizes; shrinking the
+// modeled cache by a similar factor keeps the state-to-cache ratio — the
+// quantity that drives the single- vs multi-level trade-off — comparable.
+func ScaledNode() CPUModel {
+	m := Xeon8280()
+	m.CacheBytes = 8 << 10
+	return m
+}
+
+// FlatGateTime models one gate swept over a 2^localQubits slab held in
+// DRAM (the IQS/flat execution pattern: every gate re-streams the slab).
+func (m CPUModel) FlatGateTime(localQubits int) float64 {
+	bytes := float64(int64(32) << uint(localQubits)) // read + write
+	return m.GateOverhead + bytes/m.MemBandwidth
+}
+
+// FlatTime models `gates` gates executed flat over the local slab.
+func (m CPUModel) FlatTime(localQubits, gates int) float64 {
+	return float64(gates) * m.FlatGateTime(localQubits)
+}
+
+// HierPartTime models one part executed hierarchically over a
+// 2^localQubits slab: one gather+scatter streaming pass over DRAM, then
+// every gate sweeps 2^partWset inner vectors. If the inner vector fits in
+// CacheBytes the gate traffic moves at cache bandwidth — the whole point of
+// Algorithm 1 — otherwise it stays DRAM-bound.
+func (m CPUModel) HierPartTime(localQubits, partWset, gates int) float64 {
+	slabBytes := float64(int64(32) << uint(localQubits))
+	// Gather reads 16 B/amplitude from DRAM (inner writes hit cache);
+	// scatter writes 16 B/amplitude back: one 32 B/amp slab pass in total.
+	gatherScatter := slabBytes / m.MemBandwidth
+	bw := m.MemBandwidth
+	if m.CacheBytes <= 0 || int64(16)<<uint(partWset) <= m.CacheBytes {
+		bw = m.CacheBandwidth
+	}
+	sweeps := float64(int64(1) << uint(localQubits-partWset))
+	gateCost := float64(gates) * (slabBytes/bw + sweeps*m.GateOverhead)
+	return gatherScatter + gateCost
+}
+
+// HierTime models a whole plan: the sum of its parts' hierarchical costs.
+// parts is a list of (workingSet, gateCount) pairs.
+func (m CPUModel) HierTime(localQubits int, parts [][2]int) float64 {
+	t := 0.0
+	for _, p := range parts {
+		w := p[0]
+		if w > localQubits {
+			w = localQubits
+		}
+		t += m.HierPartTime(localQubits, w, p[1])
+	}
+	return t
+}

@@ -1,0 +1,76 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatTimeLinear(t *testing.T) {
+	m := Xeon8280()
+	if math.Abs(m.FlatTime(16, 10)-10*m.FlatGateTime(16)) > 1e-18 {
+		t.Fatal("FlatTime not linear in gates")
+	}
+	if m.FlatGateTime(17) <= m.FlatGateTime(16) {
+		t.Fatal("flat gate time must grow with qubits")
+	}
+}
+
+func TestHierPartTimeCacheBoundary(t *testing.T) {
+	m := ScaledNode() // 8 KB cache = 9 cache-resident qubits
+	// Same slab, same gate count: a cache-resident part must be cheaper
+	// than a cache-overflowing one.
+	resident := m.HierPartTime(14, 9, 20)  // 2^9·16 B = 8 KB, fits
+	overflow := m.HierPartTime(14, 10, 20) // 16 KB, does not fit
+	if resident >= overflow {
+		t.Fatalf("cache-resident %v >= overflowing %v", resident, overflow)
+	}
+}
+
+func TestHierPartTimeNoCacheLimit(t *testing.T) {
+	m := Xeon8280()
+	m.CacheBytes = 0 // disabled: everything counts as cache-resident
+	a := m.HierPartTime(14, 6, 10)
+	b := m.HierPartTime(14, 13, 10)
+	// Without a capacity limit the only difference is the per-sweep gate
+	// overhead (more sweeps at smaller w).
+	if a <= b {
+		t.Fatalf("smaller part should pay more overhead: %v <= %v", a, b)
+	}
+}
+
+func TestHierTimeSumsAndClamps(t *testing.T) {
+	m := ScaledNode()
+	parts := [][2]int{{5, 10}, {20, 4}} // second wset exceeds localQubits=8
+	got := m.HierTime(8, parts)
+	want := m.HierPartTime(8, 5, 10) + m.HierPartTime(8, 8, 4)
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("HierTime = %v, want %v", got, want)
+	}
+}
+
+func TestHierBeatsFlatWhenGatesAmortize(t *testing.T) {
+	// The core §III-B claim in model form: with enough gates per part,
+	// hierarchical execution (one slab pass + cache-speed gates) beats
+	// flat execution (one DRAM pass per gate).
+	m := ScaledNode()
+	l, w, gates := 14, 8, 50
+	hier := m.HierPartTime(l, w, gates)
+	flat := m.FlatTime(l, gates)
+	if hier >= flat {
+		t.Fatalf("hier %v >= flat %v with %d gates", hier, flat, gates)
+	}
+	// ...but a 1-gate part cannot amortize the gather/scatter pass.
+	if m.HierPartTime(l, w, 1) <= m.FlatTime(l, 1) {
+		t.Fatal("1-gate part should not beat flat")
+	}
+}
+
+func TestScaledNodeRelation(t *testing.T) {
+	x, s := Xeon8280(), ScaledNode()
+	if s.MemBandwidth != x.MemBandwidth || s.CacheBandwidth != x.CacheBandwidth {
+		t.Fatal("ScaledNode changed bandwidths")
+	}
+	if s.CacheBytes >= x.CacheBytes {
+		t.Fatal("ScaledNode cache not scaled down")
+	}
+}

@@ -1,0 +1,111 @@
+// Package perfmodel provides the analytic performance models the paper's
+// evaluation composes: the roofline operational-intensity analysis of
+// state-vector simulation (§III-A), and the GPU throughput model used for
+// the HyQuas-hybrid extrapolation (§VI, Tables III–IV) in place of real
+// V100 hardware.
+package perfmodel
+
+import (
+	"hisvsim/internal/partition"
+)
+
+// FlopsPerMatmul is the FLOP count of one 2x2 complex matrix–vector
+// multiply: 4 complex multiplications (6 FLOPs each) and 2 complex
+// additions (2 FLOPs each) — the paper counts 28.
+const FlopsPerMatmul = 28
+
+// BytesPerMatmul is the DRAM traffic of one matrix–vector multiply:
+// two 16-byte amplitudes, read and written (the paper counts 64).
+const BytesPerMatmul = 64
+
+// OperationalIntensity returns FLOPs per byte for single-qubit gate
+// application: 28/64 = 7/16, firmly memory-bound on all modern hardware.
+func OperationalIntensity() float64 {
+	return float64(FlopsPerMatmul) / float64(BytesPerMatmul)
+}
+
+// Roofline predicts attainable GFLOP/s for a machine with the given peak
+// compute (GFLOP/s) and memory bandwidth (GB/s) at operational intensity oi.
+func Roofline(peakGflops, memBandwidthGBs, oi float64) float64 {
+	mem := memBandwidthGBs * oi
+	if mem < peakGflops {
+		return mem
+	}
+	return peakGflops
+}
+
+// GPUModel models part execution on one GPU as a bandwidth-bound sweep plus
+// a fixed per-gate kernel overhead.
+type GPUModel struct {
+	// MemBandwidth is the effective device memory bandwidth in bytes/sec.
+	MemBandwidth float64
+	// GateOverhead is the fixed kernel-launch cost per gate in seconds.
+	GateOverhead float64
+}
+
+// V100 approximates an NVIDIA V100-PCIE-16GB: ~800 GB/s effective HBM2
+// bandwidth and ~4 µs kernel launch overhead.
+func V100() GPUModel {
+	return GPUModel{MemBandwidth: 800e9, GateOverhead: 4e-6}
+}
+
+// GateTime returns the modeled seconds for one gate over a 2^qubits state:
+// every amplitude is read and written once.
+func (g GPUModel) GateTime(qubits int) float64 {
+	bytes := float64(int64(32) << uint(qubits)) // 16 B read + 16 B write
+	return g.GateOverhead + bytes/g.MemBandwidth
+}
+
+// PartTime returns the modeled seconds for executing `gates` gates on a
+// 2^qubits local state vector.
+func (g GPUModel) PartTime(qubits, gates int) float64 {
+	return float64(gates) * g.GateTime(qubits)
+}
+
+// PartBreakdown is one row of Table III: a part's size and modeled GPU time.
+type PartBreakdown struct {
+	Index   int
+	Qubits  int
+	Gates   int
+	Seconds float64
+}
+
+// PlanBreakdown models every part of a plan on the GPU, assuming each part
+// executes over a local state vector of localQubits qubits (the paper remaps
+// each part to the node-local vector before invoking the GPU kernel).
+func PlanBreakdown(pl *partition.Plan, localQubits int, g GPUModel) []PartBreakdown {
+	out := make([]PartBreakdown, 0, pl.NumParts())
+	for _, p := range pl.Parts {
+		q := localQubits
+		if q <= 0 {
+			q = p.WorkingSetSize()
+		}
+		out = append(out, PartBreakdown{
+			Index:   p.Index,
+			Qubits:  p.WorkingSetSize(),
+			Gates:   len(p.GateIndices),
+			Seconds: g.PartTime(q, len(p.GateIndices)),
+		})
+	}
+	return out
+}
+
+// TotalSeconds sums a breakdown.
+func TotalSeconds(bd []PartBreakdown) float64 {
+	t := 0.0
+	for _, b := range bd {
+		t += b.Seconds
+	}
+	return t
+}
+
+// HybridEstimate is one row of Table IV: HiSVSIM communication plus modeled
+// GPU computation.
+type HybridEstimate struct {
+	Strategy       string
+	CommSeconds    float64
+	ComputeSeconds float64
+}
+
+// Total returns comm + compute.
+func (h HybridEstimate) Total() float64 { return h.CommSeconds + h.ComputeSeconds }

@@ -1,0 +1,96 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dag"
+	"hisvsim/internal/partition"
+)
+
+func TestOperationalIntensity(t *testing.T) {
+	if oi := OperationalIntensity(); math.Abs(oi-7.0/16.0) > 1e-12 {
+		t.Fatalf("OI = %v, want 7/16", oi)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	// At OI 7/16 with 100 GB/s and huge peak, attainable = 43.75 GFLOP/s.
+	got := Roofline(1e6, 100, OperationalIntensity())
+	if math.Abs(got-43.75) > 1e-9 {
+		t.Fatalf("roofline = %v", got)
+	}
+	// Compute-bound corner.
+	if Roofline(10, 1e9, 1) != 10 {
+		t.Fatal("compute bound not capped")
+	}
+}
+
+func TestGateTimeScalesWithQubits(t *testing.T) {
+	g := V100()
+	t20 := g.GateTime(20)
+	t21 := g.GateTime(21)
+	if t21 <= t20 {
+		t.Fatal("gate time must grow with qubits")
+	}
+	// Doubling the state roughly doubles the bandwidth term.
+	band20 := t20 - g.GateOverhead
+	band21 := t21 - g.GateOverhead
+	if math.Abs(band21/band20-2) > 1e-9 {
+		t.Fatalf("bandwidth term ratio = %v", band21/band20)
+	}
+}
+
+func TestPartTimeLinearInGates(t *testing.T) {
+	g := V100()
+	if math.Abs(g.PartTime(18, 10)-10*g.GateTime(18)) > 1e-15 {
+		t.Fatal("part time not linear in gates")
+	}
+}
+
+func TestPlanBreakdownCoversGates(t *testing.T) {
+	c := circuit.QAOA(10, 2, 7)
+	pl, err := (partition.Nat{}).Partition(dag.FromCircuit(c), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := PlanBreakdown(pl, 8, V100())
+	if len(bd) != pl.NumParts() {
+		t.Fatalf("breakdown rows %d != parts %d", len(bd), pl.NumParts())
+	}
+	gates := 0
+	for _, b := range bd {
+		gates += b.Gates
+		if b.Seconds <= 0 {
+			t.Fatalf("part %d non-positive time", b.Index)
+		}
+	}
+	if gates != c.NumGates() {
+		t.Fatalf("breakdown covers %d gates, circuit has %d", gates, c.NumGates())
+	}
+	if TotalSeconds(bd) <= 0 {
+		t.Fatal("total not positive")
+	}
+}
+
+func TestPlanBreakdownDefaultsToPartQubits(t *testing.T) {
+	c := circuit.BV(8, -1)
+	pl, err := (partition.Nat{}).Partition(dag.FromCircuit(c), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := PlanBreakdown(pl, 0, V100())
+	for i, b := range bd {
+		if b.Qubits != pl.Parts[i].WorkingSetSize() {
+			t.Fatal("qubits column wrong")
+		}
+	}
+}
+
+func TestHybridEstimate(t *testing.T) {
+	h := HybridEstimate{Strategy: "dagp", CommSeconds: 0.5, ComputeSeconds: 0.33}
+	if math.Abs(h.Total()-0.83) > 1e-12 {
+		t.Fatalf("total = %v", h.Total())
+	}
+}

@@ -1,0 +1,149 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Realistic fixtures in the style of QASMBench sources (user gate defs,
+// register broadcast, expression-heavy parameters, measure blocks).
+
+const teleportQASM = `
+// quantum teleportation kernel (deferred-measurement form)
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+u3(0.3,0.2,0.1) q[0]; // state to teleport
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+cx q[1],q[2];
+cz q[0],q[2];
+measure q[2] -> c[2];
+`
+
+const vqeAnsatzQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+gate ry_layer(t0,t1,t2,t3) a,b,e,d {
+  ry(t0) a; ry(t1) b; ry(t2) e; ry(t3) d;
+}
+gate ent a,b { cx a,b; u1(pi/8) b; cx a,b; }
+ry_layer(0.1,0.2,0.3,0.4) q[0],q[1],q[2],q[3];
+ent q[0],q[1];
+ent q[1],q[2];
+ent q[2],q[3];
+ry_layer(pi/2,-pi/2,2*pi/3,sqrt(2)) q[0],q[1],q[2],q[3];
+barrier q;
+measure q -> c;
+`
+
+const qftLikeQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg qubits[5];
+h qubits[4];
+cu1(pi/2) qubits[3],qubits[4];
+h qubits[3];
+cu1(pi/4) qubits[2],qubits[4];
+cu1(pi/2) qubits[2],qubits[3];
+h qubits[2];
+swap qubits[0],qubits[4];
+swap qubits[1],qubits[3];
+`
+
+func TestFixtureTeleport(t *testing.T) {
+	p := mustParse(t, teleportQASM)
+	if p.Circuit.NumQubits != 3 || p.Circuit.NumGates() != 7 {
+		t.Fatalf("teleport parsed as %s", p.Circuit)
+	}
+	if len(p.Measures) != 1 {
+		t.Fatalf("measures = %v", p.Measures)
+	}
+}
+
+func TestFixtureVQEAnsatz(t *testing.T) {
+	p := mustParse(t, vqeAnsatzQASM)
+	// 4 + 3*3 + 4 = 17 gates after expansion.
+	if p.Circuit.NumGates() != 17 {
+		t.Fatalf("ansatz gates = %d", p.Circuit.NumGates())
+	}
+	if p.Barriers != 1 || len(p.Measures) != 1 {
+		t.Fatalf("barriers=%d measures=%v", p.Barriers, p.Measures)
+	}
+	// sqrt(2) evaluated.
+	found := false
+	for _, g := range p.Circuit.Gates {
+		if g.Name == "ry" && len(g.Params) == 1 && math.Abs(g.Params[0]-math.Sqrt2) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sqrt(2) parameter not evaluated")
+	}
+}
+
+func TestFixtureQFTLike(t *testing.T) {
+	p := mustParse(t, qftLikeQASM)
+	if p.Circuit.NumQubits != 5 || p.Circuit.NumGates() != 8 {
+		t.Fatalf("qft-like parsed as %s", p.Circuit)
+	}
+	counts := p.Circuit.GateCounts()
+	if counts["cp"] != 3 || counts["swap"] != 2 || counts["h"] != 3 {
+		t.Fatalf("histogram = %v", counts)
+	}
+}
+
+// TestParserRobustness feeds the parser many mutated/truncated sources; it
+// must return errors, never panic.
+func TestParserRobustness(t *testing.T) {
+	bases := []string{teleportQASM, vqeAnsatzQASM, qftLikeQASM}
+	for _, base := range bases {
+		for cut := 0; cut < len(base); cut += 7 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on truncated source at %d: %v", cut, r)
+					}
+				}()
+				_, _ = Parse(base[:cut])
+			}()
+		}
+		for _, mut := range []struct{ from, to string }{
+			{"qreg", "qrag"},
+			{"cx", "cq"},
+			{"[", "("},
+			{"pi", "pie"},
+			{";", ","},
+			{"->", "<-"},
+			{"include", "exclude"},
+		} {
+			src := strings.Replace(base, mut.from, mut.to, 1)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation %q->%q: %v", mut.from, mut.to, r)
+					}
+				}()
+				_, _ = Parse(src)
+			}()
+		}
+	}
+}
+
+// TestParserDeepExpressions guards the recursive-descent expression parser.
+func TestParserDeepExpressions(t *testing.T) {
+	expr := "pi"
+	for i := 0; i < 50; i++ {
+		expr = "(" + expr + "+1)"
+	}
+	p := mustParse(t, "OPENQASM 2.0;\nqreg q[1];\nrz("+expr+") q[0];\n")
+	if math.Abs(p.Circuit.Gates[0].Params[0]-(math.Pi+50)) > 1e-9 {
+		t.Fatalf("deep expression = %v", p.Circuit.Gates[0].Params[0])
+	}
+}

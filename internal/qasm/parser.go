@@ -1,0 +1,875 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/gate"
+)
+
+// Measure records a measure statement (simulation of measurement is left to
+// the caller; HiSVSIM benchmarks simulate pure unitary evolution).
+type Measure struct {
+	Qubit int // global qubit index, -1 for whole-register measure
+	CReg  string
+	CBit  int
+}
+
+// Program is the result of parsing an OpenQASM 2.0 source.
+type Program struct {
+	Circuit  *circuit.Circuit
+	Measures []Measure
+	Barriers int
+	CRegs    map[string]int // creg name -> size
+}
+
+// Parse reads OpenQASM 2.0 source and returns the program. Supported:
+// OPENQASM/include headers, qreg/creg, the full qelib1 gate vocabulary that
+// internal/gate implements, user `gate` definitions (expanded inline),
+// parameter expressions, register broadcast, barrier and measure. The
+// unsupported statements (if, reset, opaque) yield errors.
+func Parse(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{CRegs: map[string]int{}},
+		qregs: map[string]qreg{}, userGates: map[string]*gateDef{}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// ParseToCircuit parses src and returns just the circuit.
+func ParseToCircuit(src string) (*circuit.Circuit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Circuit, nil
+}
+
+type qreg struct {
+	offset, size int
+}
+
+type gateDef struct {
+	params []string
+	qargs  []string
+	body   []bodyStmt
+}
+
+type bodyStmt struct {
+	name   string
+	params []expr
+	qargs  []string // names referencing the enclosing def's qargs
+}
+
+type parser struct {
+	toks      []token
+	pos       int
+	prog      *Program
+	qregs     map[string]qreg
+	nextQubit int
+	userGates map[string]*gateDef
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("qasm: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.advance()
+	if t.kind != tokSymbol || t.text != s {
+		return p.errorf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return t, p.errorf(t, "expected identifier, got %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) run() error {
+	p.prog.Circuit = circuit.New("qasm", 1)
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return p.errorf(t, "expected statement, got %s", t)
+		}
+		switch t.text {
+		case "OPENQASM":
+			p.advance()
+			v := p.advance()
+			if v.kind != tokNumber {
+				return p.errorf(v, "expected version number")
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+		case "include":
+			p.advance()
+			f := p.advance()
+			if f.kind != tokString {
+				return p.errorf(f, "expected include filename string")
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+		case "qreg":
+			if err := p.parseQreg(); err != nil {
+				return err
+			}
+		case "creg":
+			if err := p.parseCreg(); err != nil {
+				return err
+			}
+		case "gate":
+			if err := p.parseGateDef(); err != nil {
+				return err
+			}
+		case "barrier":
+			p.advance()
+			for p.peek().kind != tokEOF && !(p.peek().kind == tokSymbol && p.peek().text == ";") {
+				p.advance()
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+			p.prog.Barriers++
+		case "measure":
+			if err := p.parseMeasure(); err != nil {
+				return err
+			}
+		case "if", "reset", "opaque":
+			return p.errorf(t, "unsupported statement %q", t.text)
+		default:
+			if err := p.parseApplication(); err != nil {
+				return err
+			}
+		}
+	}
+	if p.nextQubit == 0 {
+		return fmt.Errorf("qasm: no qreg declared")
+	}
+	p.prog.Circuit.NumQubits = p.nextQubit
+	return p.prog.Circuit.Validate()
+}
+
+func (p *parser) parseQreg() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	size, err := p.parseBracketInt()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if _, dup := p.qregs[name.text]; dup {
+		return p.errorf(name, "duplicate qreg %q", name.text)
+	}
+	p.qregs[name.text] = qreg{offset: p.nextQubit, size: size}
+	p.nextQubit += size
+	return nil
+}
+
+func (p *parser) parseCreg() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	size, err := p.parseBracketInt()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	p.prog.CRegs[name.text] = size
+	return nil
+}
+
+func (p *parser) parseBracketInt() (int, error) {
+	if err := p.expectSymbol("["); err != nil {
+		return 0, err
+	}
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, p.errorf(t, "expected integer, got %s", t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errorf(t, "bad index %q", t.text)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseMeasure() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	reg, ok := p.qregs[name.text]
+	if !ok {
+		return p.errorf(name, "unknown qreg %q", name.text)
+	}
+	idx := -1
+	if p.peek().kind == tokSymbol && p.peek().text == "[" {
+		idx, err = p.parseBracketInt()
+		if err != nil {
+			return err
+		}
+		if idx >= reg.size {
+			return p.errorf(name, "measure index %d out of range", idx)
+		}
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return err
+	}
+	cname, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	cbit := -1
+	if p.peek().kind == tokSymbol && p.peek().text == "[" {
+		cbit, err = p.parseBracketInt()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	q := -1
+	if idx >= 0 {
+		q = reg.offset + idx
+	}
+	p.prog.Measures = append(p.prog.Measures, Measure{Qubit: q, CReg: cname.text, CBit: cbit})
+	return nil
+}
+
+// parseGateDef handles `gate name(p0,p1) a,b { ... }`.
+func (p *parser) parseGateDef() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	def := &gateDef{}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.advance()
+		for {
+			if p.peek().kind == tokSymbol && p.peek().text == ")" {
+				p.advance()
+				break
+			}
+			id, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			def.params = append(def.params, id.text)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.advance()
+			}
+		}
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		def.qargs = append(def.qargs, id.text)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && t.text == "}" {
+			p.advance()
+			break
+		}
+		if t.kind == tokEOF {
+			return p.errorf(t, "unterminated gate body for %q", name.text)
+		}
+		if t.kind == tokIdent && t.text == "barrier" {
+			p.advance()
+			for !(p.peek().kind == tokSymbol && p.peek().text == ";") {
+				if p.peek().kind == tokEOF {
+					return p.errorf(t, "unterminated barrier")
+				}
+				p.advance()
+			}
+			p.advance()
+			continue
+		}
+		stmt, err := p.parseBodyStmt(def)
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, stmt)
+	}
+	p.userGates[name.text] = def
+	return nil
+}
+
+func (p *parser) parseBodyStmt(def *gateDef) (bodyStmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return bodyStmt{}, err
+	}
+	stmt := bodyStmt{name: name.text}
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.advance()
+		for {
+			if p.peek().kind == tokSymbol && p.peek().text == ")" {
+				p.advance()
+				break
+			}
+			e, err := p.parseExpr(def.params)
+			if err != nil {
+				return bodyStmt{}, err
+			}
+			stmt.params = append(stmt.params, e)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.advance()
+			}
+		}
+	}
+	known := map[string]bool{}
+	for _, q := range def.qargs {
+		known[q] = true
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return bodyStmt{}, err
+		}
+		if !known[id.text] {
+			return bodyStmt{}, p.errorf(id, "gate body references unknown qubit %q", id.text)
+		}
+		stmt.qargs = append(stmt.qargs, id.text)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return bodyStmt{}, err
+	}
+	return stmt, nil
+}
+
+// qubitArg is a register reference with optional index (-1 = whole register).
+type qubitArg struct {
+	reg qreg
+	idx int
+}
+
+// parseApplication handles a top-level gate application statement.
+func (p *parser) parseApplication() error {
+	name := p.advance()
+	var params []float64
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.advance()
+		for {
+			if p.peek().kind == tokSymbol && p.peek().text == ")" {
+				p.advance()
+				break
+			}
+			e, err := p.parseExpr(nil)
+			if err != nil {
+				return err
+			}
+			v, err := e.eval(nil)
+			if err != nil {
+				return p.errorf(name, "%v", err)
+			}
+			params = append(params, v)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.advance()
+			}
+		}
+	}
+	var args []qubitArg
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		reg, ok := p.qregs[id.text]
+		if !ok {
+			return p.errorf(id, "unknown qreg %q", id.text)
+		}
+		idx := -1
+		if p.peek().kind == tokSymbol && p.peek().text == "[" {
+			idx, err = p.parseBracketInt()
+			if err != nil {
+				return err
+			}
+			if idx >= reg.size {
+				return p.errorf(id, "index %d out of range for qreg %q[%d]", idx, id.text, reg.size)
+			}
+		}
+		args = append(args, qubitArg{reg: reg, idx: idx})
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+
+	// Broadcast: all whole-register args must share one size.
+	bsize := 1
+	for _, a := range args {
+		if a.idx < 0 {
+			if bsize != 1 && bsize != a.reg.size {
+				return p.errorf(name, "broadcast size mismatch")
+			}
+			bsize = a.reg.size
+		}
+	}
+	for b := 0; b < bsize; b++ {
+		qubits := make([]int, len(args))
+		for i, a := range args {
+			if a.idx < 0 {
+				qubits[i] = a.reg.offset + b
+			} else {
+				qubits[i] = a.reg.offset + a.idx
+			}
+		}
+		if err := p.emit(name, name.text, params, qubits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit appends gate `name` on absolute qubits, expanding user gates.
+func (p *parser) emit(tok token, name string, params []float64, qubits []int) error {
+	if def, ok := p.userGates[name]; ok {
+		if len(params) != len(def.params) {
+			return p.errorf(tok, "gate %q wants %d params, got %d", name, len(def.params), len(params))
+		}
+		if len(qubits) != len(def.qargs) {
+			return p.errorf(tok, "gate %q wants %d qubits, got %d", name, len(def.qargs), len(qubits))
+		}
+		env := map[string]float64{}
+		for i, pn := range def.params {
+			env[pn] = params[i]
+		}
+		qmap := map[string]int{}
+		for i, qn := range def.qargs {
+			qmap[qn] = qubits[i]
+		}
+		for _, stmt := range def.body {
+			sub := make([]float64, len(stmt.params))
+			for i, e := range stmt.params {
+				v, err := e.eval(env)
+				if err != nil {
+					return p.errorf(tok, "in gate %q: %v", name, err)
+				}
+				sub[i] = v
+			}
+			qs := make([]int, len(stmt.qargs))
+			for i, qn := range stmt.qargs {
+				qs[i] = qmap[qn]
+			}
+			if err := p.emit(tok, stmt.name, sub, qs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g, err := builtinGate(name, params, qubits)
+	if err != nil {
+		return p.errorf(tok, "%v", err)
+	}
+	p.prog.Circuit.Append(g)
+	return nil
+}
+
+// builtinGate maps a qelib1 name to an internal gate.Gate.
+func builtinGate(name string, params []float64, qubits []int) (gate.Gate, error) {
+	arity := map[string][2]int{
+		"id": {0, 1}, "x": {0, 1}, "y": {0, 1}, "z": {0, 1}, "h": {0, 1},
+		"s": {0, 1}, "sdg": {0, 1}, "t": {0, 1}, "tdg": {0, 1}, "sx": {0, 1},
+		"rx": {1, 1}, "ry": {1, 1}, "rz": {1, 1}, "p": {1, 1}, "u1": {1, 1},
+		"u2": {2, 1}, "u3": {3, 1}, "u": {3, 1}, "U": {3, 1},
+		"cx": {0, 2}, "CX": {0, 2}, "cy": {0, 2}, "cz": {0, 2}, "ch": {0, 2},
+		"swap": {0, 2}, "cp": {1, 2}, "cu1": {1, 2}, "crx": {1, 2},
+		"cry": {1, 2}, "crz": {1, 2}, "cu3": {3, 2}, "rzz": {1, 2},
+		"ccx": {0, 3}, "cswap": {0, 3},
+	}
+	want, known := arity[name]
+	if !known {
+		return gate.Gate{}, fmt.Errorf("unknown gate %q", name)
+	}
+	if len(params) != want[0] {
+		return gate.Gate{}, fmt.Errorf("gate %q wants %d params, got %d", name, want[0], len(params))
+	}
+	if len(qubits) != want[1] {
+		return gate.Gate{}, fmt.Errorf("gate %q wants %d qubits, got %d", name, want[1], len(qubits))
+	}
+	need := func(np, nq int) error { return nil }
+	switch name {
+	case "id":
+		return gate.ID(qubits[0]), need(0, 1)
+	case "x":
+		return gate.X(qubits[0]), need(0, 1)
+	case "y":
+		return gate.Y(qubits[0]), need(0, 1)
+	case "z":
+		return gate.Z(qubits[0]), need(0, 1)
+	case "h":
+		return gate.H(qubits[0]), need(0, 1)
+	case "s":
+		return gate.S(qubits[0]), need(0, 1)
+	case "sdg":
+		return gate.Sdg(qubits[0]), need(0, 1)
+	case "t":
+		return gate.T(qubits[0]), need(0, 1)
+	case "tdg":
+		return gate.Tdg(qubits[0]), need(0, 1)
+	case "sx":
+		return gate.SX(qubits[0]), need(0, 1)
+	case "rx":
+		if err := need(1, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RX(params[0], qubits[0]), nil
+	case "ry":
+		if err := need(1, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RY(params[0], qubits[0]), nil
+	case "rz":
+		if err := need(1, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RZ(params[0], qubits[0]), nil
+	case "p", "u1":
+		if err := need(1, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.P(params[0], qubits[0]), nil
+	case "u2":
+		if err := need(2, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.U2(params[0], params[1], qubits[0]), nil
+	case "u3", "u", "U":
+		if err := need(3, 1); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.U3(params[0], params[1], params[2], qubits[0]), nil
+	case "cx", "CX":
+		return gate.CX(qubits[0], qubits[1]), need(0, 2)
+	case "cy":
+		return gate.CY(qubits[0], qubits[1]), need(0, 2)
+	case "cz":
+		return gate.CZ(qubits[0], qubits[1]), need(0, 2)
+	case "ch":
+		return gate.CH(qubits[0], qubits[1]), need(0, 2)
+	case "swap":
+		return gate.SWAP(qubits[0], qubits[1]), need(0, 2)
+	case "cp", "cu1":
+		if err := need(1, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.CP(params[0], qubits[0], qubits[1]), nil
+	case "crx":
+		if err := need(1, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.CRX(params[0], qubits[0], qubits[1]), nil
+	case "cry":
+		if err := need(1, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.CRY(params[0], qubits[0], qubits[1]), nil
+	case "crz":
+		if err := need(1, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.CRZ(params[0], qubits[0], qubits[1]), nil
+	case "cu3":
+		if err := need(3, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.CU3(params[0], params[1], params[2], qubits[0], qubits[1]), nil
+	case "rzz":
+		if err := need(1, 2); err != nil {
+			return gate.Gate{}, err
+		}
+		return gate.RZZ(params[0], qubits[0], qubits[1]), nil
+	case "ccx":
+		return gate.CCX(qubits[0], qubits[1], qubits[2]), need(0, 3)
+	case "cswap":
+		return gate.CSWAP(qubits[0], qubits[1], qubits[2]), need(0, 3)
+	default:
+		return gate.Gate{}, fmt.Errorf("unknown gate %q", name)
+	}
+}
+
+// --- parameter expressions ---
+
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type identExpr string
+
+func (id identExpr) eval(env map[string]float64) (float64, error) {
+	if id == "pi" {
+		return math.Pi, nil
+	}
+	if v, ok := env[string(id)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown parameter %q", string(id))
+}
+
+type unaryExpr struct {
+	op byte
+	x  expr
+}
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	v, err := u.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if u.op == '-' {
+		return -v, nil
+	}
+	return v, nil
+}
+
+type binExpr struct {
+	op   byte
+	l, r expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case '^':
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("bad operator %q", b.op)
+}
+
+type callExpr struct {
+	fn string
+	x  expr
+}
+
+func (c callExpr) eval(env map[string]float64) (float64, error) {
+	v, err := c.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch c.fn {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		return math.Log(v), nil
+	case "sqrt":
+		return math.Sqrt(v), nil
+	}
+	return 0, fmt.Errorf("unknown function %q", c.fn)
+}
+
+// parseExpr parses an additive expression. knownParams lists identifiers
+// valid inside gate bodies (besides pi and function names).
+func (p *parser) parseExpr(knownParams []string) (expr, error) {
+	return p.parseAdditive(knownParams)
+}
+
+func (p *parser) parseAdditive(kp []string) (expr, error) {
+	l, err := p.parseMultiplicative(kp)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.advance()
+			r, err := p.parseMultiplicative(kp)
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: t.text[0], l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative(kp []string) (expr, error) {
+	l, err := p.parsePower(kp)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.advance()
+			r, err := p.parsePower(kp)
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: t.text[0], l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePower(kp []string) (expr, error) {
+	l, err := p.parseUnary(kp)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "^" {
+		p.advance()
+		r, err := p.parsePower(kp) // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: '^', l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary(kp []string) (expr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "-" {
+		p.advance()
+		x, err := p.parseUnary(kp)
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: '-', x: x}, nil
+	}
+	if t.kind == tokSymbol && t.text == "+" {
+		p.advance()
+		return p.parseUnary(kp)
+	}
+	return p.parseAtom(kp)
+}
+
+func (p *parser) parseAtom(kp []string) (expr, error) {
+	t := p.advance()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf(t, "bad number %q", t.text)
+		}
+		return numExpr(v), nil
+	case t.kind == tokIdent:
+		// Function call?
+		if p.peek().kind == tokSymbol && p.peek().text == "(" {
+			switch t.text {
+			case "sin", "cos", "tan", "exp", "ln", "sqrt":
+				p.advance()
+				x, err := p.parseExpr(kp)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return callExpr{fn: t.text, x: x}, nil
+			}
+		}
+		if t.text == "pi" {
+			return identExpr("pi"), nil
+		}
+		for _, k := range kp {
+			if k == t.text {
+				return identExpr(t.text), nil
+			}
+		}
+		return nil, p.errorf(t, "unknown identifier %q in expression", t.text)
+	case t.kind == tokSymbol && t.text == "(":
+		x, err := p.parseExpr(kp)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, p.errorf(t, "expected expression, got %s", t)
+	}
+}

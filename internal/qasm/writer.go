@@ -1,0 +1,71 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/gate"
+)
+
+// writableNames lists gates that map 1:1 to qelib1 statements.
+var writableNames = map[string]bool{
+	"id": true, "x": true, "y": true, "z": true, "h": true,
+	"s": true, "sdg": true, "t": true, "tdg": true, "sx": true,
+	"rx": true, "ry": true, "rz": true, "p": true, "u1": true,
+	"u2": true, "u3": true, "u": true,
+	"cx": true, "cy": true, "cz": true, "ch": true, "swap": true,
+	"cp": true, "cu1": true, "crx": true, "cry": true, "crz": true,
+	"cu3": true, "ccx": true, "cswap": true,
+}
+
+// Write renders the circuit as OpenQASM 2.0 source. Gates without a qelib1
+// counterpart (mcx, mcz, mcp, rzz) are lowered via gate.Decompose first, so
+// the output is always loadable by standard OpenQASM 2.0 tools.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n", c.NumQubits)
+	var emit func(g gate.Gate)
+	emit = func(g gate.Gate) {
+		if !writableNames[g.Name] {
+			dec := gate.Decompose(g)
+			if len(dec) == 1 && dec[0].Name == g.Name {
+				// No decomposition available; emit a comment so the
+				// output remains loadable.
+				fmt.Fprintf(&b, "// unsupported gate: %s\n", g)
+				return
+			}
+			for _, d := range dec {
+				emit(d)
+			}
+			return
+		}
+		name := g.Name
+		if name == "p" {
+			name = "u1" // maximum compatibility with OpenQASM 2.0 parsers
+		}
+		b.WriteString(name)
+		if len(g.Params) > 0 {
+			b.WriteString("(")
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%.17g", p)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	for _, g := range c.Gates {
+		emit(g)
+	}
+	return b.String()
+}

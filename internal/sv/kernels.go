@@ -1,0 +1,230 @@
+package sv
+
+import (
+	"fmt"
+
+	"hisvsim/internal/gate"
+)
+
+// ApplyGate applies one (possibly controlled) gate to the state, selecting
+// the fastest kernel: diagonal phase sweep, dedicated 1-/2-target paths, or
+// the general k-target gather/scatter kernel. Control qubits are handled
+// structurally (never materialized into a bigger matrix).
+func (s *State) ApplyGate(g gate.Gate) error {
+	for _, q := range g.Qubits {
+		if q < 0 || q >= s.N {
+			return fmt.Errorf("sv: gate %s qubit %d out of range [0,%d)", g.Name, q, s.N)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("sv: %w", err)
+	}
+	s.Ops++
+
+	var ctrlMask int
+	for _, c := range g.Controls() {
+		ctrlMask |= 1 << uint(c)
+	}
+	targets := g.Targets()
+
+	if d, ok := diagonalOf(g); ok {
+		s.applyDiagonal(targets, ctrlMask, d)
+		return nil
+	}
+	if g.Name == "swap" && ctrlMask == 0 {
+		s.applySwap(targets[0], targets[1])
+		return nil
+	}
+	m := g.BaseMatrix()
+	switch len(targets) {
+	case 1:
+		s.apply1(targets[0], ctrlMask, m)
+	default:
+		s.applyK(targets, ctrlMask, m)
+	}
+	return nil
+}
+
+// applySwap exchanges the amplitudes of |…1_a…0_b…⟩ and |…0_a…1_b…⟩ — no
+// arithmetic needed, so it avoids the general gather/scatter kernel.
+func (s *State) applySwap(a, b int) {
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	diff := abit | bbit
+	quarter := len(s.Amps) >> 2
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.parallelFor(quarter, func(from, to int) {
+		amps := s.Amps
+		for f := from; f < to; f++ {
+			// Insert 0 at both swap positions, then set bit a.
+			i := insertBit(insertBit(f, lo), hi) | abit
+			j := i ^ diff
+			amps[i], amps[j] = amps[j], amps[i]
+		}
+	})
+}
+
+// diagonalOf returns the 2^k diagonal of the gate's base matrix when the
+// gate is phase-only (z, s, sdg, t, tdg, rz, p/u1, rzz and their controlled
+// forms), enabling the in-place phase sweep.
+func diagonalOf(g gate.Gate) ([]complex128, bool) {
+	switch g.Name {
+	case "z", "cz", "mcz", "s", "sdg", "t", "tdg", "rz", "crz", "p", "u1", "cp", "cu1", "mcp", "rzz", "id":
+		m := g.BaseMatrix()
+		n := m.Dim()
+		d := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			d[i] = m.At(i, i)
+		}
+		return d, true
+	}
+	return nil, false
+}
+
+// applyDiagonal multiplies each amplitude whose control bits are all set by
+// the diagonal entry selected by its target bits.
+func (s *State) applyDiagonal(targets []int, ctrlMask int, d []complex128) {
+	// Fast path: single target, no controls.
+	if len(targets) == 1 && ctrlMask == 0 {
+		bit := 1 << uint(targets[0])
+		d0, d1 := d[0], d[1]
+		s.parallelFor(len(s.Amps), func(lo, hi int) {
+			amps := s.Amps
+			for i := lo; i < hi; i++ {
+				if i&bit == 0 {
+					amps[i] *= d0
+				} else {
+					amps[i] *= d1
+				}
+			}
+		})
+		return
+	}
+	s.parallelFor(len(s.Amps), func(lo, hi int) {
+		amps := s.Amps
+		for i := lo; i < hi; i++ {
+			if i&ctrlMask != ctrlMask {
+				continue
+			}
+			sub := 0
+			for j, t := range targets {
+				if i>>uint(t)&1 == 1 {
+					sub |= 1 << uint(j)
+				}
+			}
+			amps[i] *= d[sub]
+		}
+	})
+}
+
+// insertBit returns f with a zero bit inserted at position p.
+func insertBit(f, p int) int {
+	low := f & ((1 << uint(p)) - 1)
+	return ((f &^ ((1 << uint(p)) - 1)) << 1) | low
+}
+
+// apply1 applies a 2x2 unitary to one target with an optional control mask.
+func (s *State) apply1(t, ctrlMask int, m gate.Matrix) {
+	m00, m01, m10, m11 := m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1)
+	tbit := 1 << uint(t)
+	if ctrlMask == 0 {
+		half := len(s.Amps) >> 1
+		s.parallelFor(half, func(lo, hi int) {
+			amps := s.Amps
+			for f := lo; f < hi; f++ {
+				i0 := insertBit(f, t)
+				i1 := i0 | tbit
+				a0, a1 := amps[i0], amps[i1]
+				amps[i0] = m00*a0 + m01*a1
+				amps[i1] = m10*a0 + m11*a1
+			}
+		})
+		return
+	}
+	// Controlled: sweep pairs, act only when controls are set. (The control
+	// bits are disjoint from the target bit by gate validation.)
+	half := len(s.Amps) >> 1
+	s.parallelFor(half, func(lo, hi int) {
+		amps := s.Amps
+		for f := lo; f < hi; f++ {
+			i0 := insertBit(f, t)
+			if i0&ctrlMask != ctrlMask {
+				continue
+			}
+			i1 := i0 | tbit
+			a0, a1 := amps[i0], amps[i1]
+			amps[i0] = m00*a0 + m01*a1
+			amps[i1] = m10*a0 + m11*a1
+		}
+	})
+}
+
+// applyK is the general kernel: it gathers the 2^k amplitudes addressed by
+// the target bits for every assignment of the remaining bits (with control
+// bits pinned to 1), multiplies by the base matrix, and scatters back.
+func (s *State) applyK(targets []int, ctrlMask int, m gate.Matrix) {
+	k := len(targets)
+	nFixed := k
+	fixed := append([]int(nil), targets...)
+	for b := 0; b < s.N; b++ {
+		if ctrlMask>>uint(b)&1 == 1 {
+			fixed = append(fixed, b)
+			nFixed++
+		}
+	}
+	sortInts(fixed)
+	freeBits := s.N - nFixed
+	tbits := make([]int, k)
+	for j, t := range targets {
+		tbits[j] = 1 << uint(t)
+	}
+	dim := 1 << uint(k)
+	s.parallelFor(1<<uint(freeBits), func(lo, hi int) {
+		amps := s.Amps
+		sub := make([]complex128, dim)
+		res := make([]complex128, dim)
+		for f := lo; f < hi; f++ {
+			base := f
+			for _, p := range fixed {
+				base = insertBit(base, p)
+			}
+			base |= ctrlMask
+			for sIdx := 0; sIdx < dim; sIdx++ {
+				idx := base
+				for j := 0; j < k; j++ {
+					if sIdx>>uint(j)&1 == 1 {
+						idx |= tbits[j]
+					}
+				}
+				sub[sIdx] = amps[idx]
+			}
+			for r := 0; r < dim; r++ {
+				var acc complex128
+				row := m.Data[r*dim : (r+1)*dim]
+				for cIdx := 0; cIdx < dim; cIdx++ {
+					acc += row[cIdx] * sub[cIdx]
+				}
+				res[r] = acc
+			}
+			for sIdx := 0; sIdx < dim; sIdx++ {
+				idx := base
+				for j := 0; j < k; j++ {
+					if sIdx>>uint(j)&1 == 1 {
+						idx |= tbits[j]
+					}
+				}
+				amps[idx] = res[sIdx]
+			}
+		}
+	})
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

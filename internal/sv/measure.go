@@ -1,0 +1,132 @@
+package sv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample draws n basis-state samples from the state's Born distribution
+// using the given RNG (inverse-CDF over a single pass per sample batch).
+func (s *State) Sample(n int, rng *rand.Rand) []int {
+	// Build the CDF once; for repeated sampling this dominates setup but
+	// keeps each draw O(log N).
+	cdf := make([]float64, len(s.Amps))
+	acc := 0.0
+	for i, a := range s.Amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
+	out := make([]int, n)
+	for k := 0; k < n; k++ {
+		u := rng.Float64() * acc
+		out[k] = sort.SearchFloat64s(cdf, u)
+		if out[k] >= len(cdf) {
+			out[k] = len(cdf) - 1
+		}
+	}
+	return out
+}
+
+// Counts samples n shots and returns a basis-index histogram.
+func (s *State) Counts(n int, rng *rand.Rand) map[int]int {
+	out := map[int]int{}
+	for _, x := range s.Sample(n, rng) {
+		out[x]++
+	}
+	return out
+}
+
+// Marginal returns the probability distribution over the given qubits
+// (traced over the rest), indexed by the little-endian value of the listed
+// qubits (qubits[0] = bit 0 of the result index).
+func (s *State) Marginal(qubits []int) []float64 {
+	for _, q := range qubits {
+		if q < 0 || q >= s.N {
+			panic(fmt.Sprintf("sv: marginal qubit %d out of range", q))
+		}
+	}
+	out := make([]float64, 1<<uint(len(qubits)))
+	for i, a := range s.Amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p == 0 {
+			continue
+		}
+		idx := 0
+		for j, q := range qubits {
+			if i>>uint(q)&1 == 1 {
+				idx |= 1 << uint(j)
+			}
+		}
+		out[idx] += p
+	}
+	return out
+}
+
+// ExpectationZ returns ⟨Z_q⟩ = P(q=0) − P(q=1).
+func (s *State) ExpectationZ(q int) float64 {
+	return 1 - 2*s.Probability(q)
+}
+
+// ExpectationZZ returns ⟨Z_a Z_b⟩.
+func (s *State) ExpectationZZ(a, b int) float64 {
+	if a < 0 || a >= s.N || b < 0 || b >= s.N {
+		panic("sv: qubit out of range")
+	}
+	e := 0.0
+	ba, bb := 1<<uint(a), 1<<uint(b)
+	for i, amp := range s.Amps {
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		sign := 1.0
+		if (i&ba != 0) != (i&bb != 0) {
+			sign = -1
+		}
+		e += sign * p
+	}
+	return e
+}
+
+// ExpectationPauliZString returns ⟨∏ Z_q⟩ for the listed qubits.
+func (s *State) ExpectationPauliZString(qubits []int) float64 {
+	var mask int
+	for _, q := range qubits {
+		if q < 0 || q >= s.N {
+			panic("sv: qubit out of range")
+		}
+		mask |= 1 << uint(q)
+	}
+	e := 0.0
+	for i, amp := range s.Amps {
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		if parity(i & mask) {
+			e -= p
+		} else {
+			e += p
+		}
+	}
+	return e
+}
+
+func parity(x int) bool {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n%2 == 1
+}
+
+// Normalize rescales the amplitudes to unit norm (useful after numerical
+// drift in long circuits); returns the pre-normalization norm.
+func (s *State) Normalize() float64 {
+	n := s.Norm()
+	if n == 0 || math.Abs(n-1) < 1e-15 {
+		return n
+	}
+	inv := complex(1/n, 0)
+	for i := range s.Amps {
+		s.Amps[i] *= inv
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package sv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/gate"
+)
+
+func TestSampleDeterministicState(t *testing.T) {
+	s := NewState(3)
+	_ = s.ApplyGate(gate.X(1))
+	rng := rand.New(rand.NewSource(1))
+	for _, x := range s.Sample(50, rng) {
+		if x != 2 {
+			t.Fatalf("sampled %d from |010⟩", x)
+		}
+	}
+}
+
+func TestSampleBellDistribution(t *testing.T) {
+	s := NewState(2)
+	_ = s.ApplyGate(gate.H(0))
+	_ = s.ApplyGate(gate.CX(0, 1))
+	rng := rand.New(rand.NewSource(7))
+	counts := s.Counts(4000, rng)
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("impossible outcomes sampled: %v", counts)
+	}
+	frac := float64(counts[0]) / 4000
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("P(00) sampled as %v", frac)
+	}
+}
+
+func TestMarginal(t *testing.T) {
+	s := NewState(3)
+	_ = s.ApplyGate(gate.H(0))
+	_ = s.ApplyGate(gate.X(2))
+	m := s.Marginal([]int{0})
+	if math.Abs(m[0]-0.5) > 1e-12 || math.Abs(m[1]-0.5) > 1e-12 {
+		t.Fatalf("marginal(q0) = %v", m)
+	}
+	m = s.Marginal([]int{2, 0})
+	// q2=1 always; q0 uniform. Index bit0 = q2, bit1 = q0.
+	if math.Abs(m[0b01]-0.5) > 1e-12 || math.Abs(m[0b11]-0.5) > 1e-12 {
+		t.Fatalf("marginal(q2,q0) = %v", m)
+	}
+	total := 0.0
+	for _, p := range m {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("marginal not normalized: %v", total)
+	}
+}
+
+func TestMarginalPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(2).Marginal([]int{5})
+}
+
+func TestExpectationZ(t *testing.T) {
+	s := NewState(2)
+	if e := s.ExpectationZ(0); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨Z⟩|0⟩ = %v", e)
+	}
+	_ = s.ApplyGate(gate.X(0))
+	if e := s.ExpectationZ(0); math.Abs(e+1) > 1e-12 {
+		t.Fatalf("⟨Z⟩|1⟩ = %v", e)
+	}
+	_ = s.ApplyGate(gate.H(1))
+	if e := s.ExpectationZ(1); math.Abs(e) > 1e-12 {
+		t.Fatalf("⟨Z⟩|+⟩ = %v", e)
+	}
+}
+
+func TestExpectationZZBell(t *testing.T) {
+	s := NewState(2)
+	_ = s.ApplyGate(gate.H(0))
+	_ = s.ApplyGate(gate.CX(0, 1))
+	if e := s.ExpectationZZ(0, 1); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨ZZ⟩ Bell = %v", e)
+	}
+	if e := s.ExpectationZ(0); math.Abs(e) > 1e-12 {
+		t.Fatalf("⟨Z⟩ Bell = %v", e)
+	}
+}
+
+func TestExpectationPauliZString(t *testing.T) {
+	s := NewState(3)
+	_ = s.ApplyGate(gate.X(0))
+	_ = s.ApplyGate(gate.X(2))
+	// Z0 Z2 on |101⟩: (−1)·(−1) = +1; Z0 Z1 = −1.
+	if e := s.ExpectationPauliZString([]int{0, 2}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨Z0Z2⟩ = %v", e)
+	}
+	if e := s.ExpectationPauliZString([]int{0, 1}); math.Abs(e+1) > 1e-12 {
+		t.Fatalf("⟨Z0Z1⟩ = %v", e)
+	}
+	// Consistency with the pairwise form.
+	c := circuit.Random(4, 30, 5)
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st.ExpectationPauliZString([]int{1, 3}) - st.ExpectationZZ(1, 3); math.Abs(d) > 1e-12 {
+		t.Fatalf("ZZ forms disagree by %v", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := NewState(2)
+	for i := range s.Amps {
+		s.Amps[i] = 2
+	}
+	pre := s.Normalize()
+	if math.Abs(pre-4) > 1e-12 {
+		t.Fatalf("pre-norm = %v", pre)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatalf("post-norm = %v", s.Norm())
+	}
+	// Zero state: no-op.
+	z := &State{N: 1, Amps: make([]complex128, 2)}
+	if z.Normalize() != 0 {
+		t.Fatal("zero state normalized")
+	}
+}
+
+func TestOptimizePreservesState(t *testing.T) {
+	// Cross-module property: circuit.Optimize must preserve the simulated
+	// state exactly, including on circuits with injected redundancy.
+	for seed := int64(0); seed < 8; seed++ {
+		c := circuit.Random(6, 50, seed)
+		c.Append(gate.H(2), gate.H(2), gate.RZ(0.9, 0), gate.RZ(-0.9, 0),
+			gate.CX(1, 3), gate.CX(1, 3))
+		opt := circuit.Optimize(c)
+		a, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := a.Fidelity(b); math.Abs(f-1) > 1e-8 {
+			t.Fatalf("seed %d: optimize changed the state, fidelity %v", seed, f)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+# Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
+GO ?= go
+
+.PHONY: all build test bench lint fusion-bench clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — the CI smoke run.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Regenerates BENCH_fusion.json (fused vs. unfused, qft/ising/random at 16-20 qubits).
+fusion-bench:
+	$(GO) run ./cmd/benchtables -only fusion -fusion-out BENCH_fusion.json
+
+clean:
+	$(GO) clean ./...

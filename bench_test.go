@@ -18,6 +18,7 @@ import (
 
 	"hisvsim/internal/bench"
 	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
 	"hisvsim/internal/dag"
 	"hisvsim/internal/experiments"
 	"hisvsim/internal/gate"
@@ -314,5 +315,27 @@ func BenchmarkFlatSimulation(b *testing.B) {
 		}
 	}
 }
+
+// --- gate fusion ---
+
+func benchFusion(b *testing.B, fam string, fp core.FusePolicy) {
+	c, err := circuit.Named(fam, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Strategy: "dagp", Seed: 1, Fuse: fp}
+	b.SetBytes(int64(c.NumGates()) * (32 << 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusedQFT(b *testing.B)     { benchFusion(b, "qft", core.FuseOn) }
+func BenchmarkUnfusedQFT(b *testing.B)   { benchFusion(b, "qft", core.FuseOff) }
+func BenchmarkFusedIsing(b *testing.B)   { benchFusion(b, "ising", core.FuseOn) }
+func BenchmarkUnfusedIsing(b *testing.B) { benchFusion(b, "ising", core.FuseOff) }
 
 func geomean(xs []float64) float64 { return bench.Geomean(xs) }

@@ -31,6 +31,8 @@ func main() {
 		ranks     = flag.Int("ranks", 1, "simulated MPI ranks (power of two; 1 = single node)")
 		lm2       = flag.Int("second-lm", 0, "second-level (cache) working-set limit (0 = single level)")
 		seed      = flag.Int64("seed", 1, "seed for randomized partitioners")
+		fuse      = flag.String("fuse", "auto", "gate fusion: auto, on, off")
+		fuseMax   = flag.Int("fuse-max", 0, "max fused-block support in qubits (0 = default 5)")
 		verify    = flag.Bool("verify", false, "cross-check against flat simulation (doubles memory)")
 		planOnly  = flag.Bool("plan-only", false, "partition only; skip execution")
 		showParts = flag.Bool("parts", false, "print every part's gates and working set")
@@ -52,9 +54,14 @@ func main() {
 		return
 	}
 
+	fp, err := fusePolicy(*fuse)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := hisvsim.Simulate(c, hisvsim.Options{
 		Strategy: *strategy, Lm: *lm, Ranks: *ranks,
 		SecondLevelLm: *lm2, Seed: *seed,
+		Fuse: fp, MaxFuseQubits: *fuseMax,
 	})
 	if err != nil {
 		fatal(err)
@@ -62,7 +69,7 @@ func main() {
 	printPlan(res.Plan, *showParts)
 	fmt.Printf("execution: %s\n", res.Elapsed)
 	if res.Hier != nil {
-		fmt.Printf("single-node: %d parts, %d gather/scatter sweeps, %.1f MB moved, %d inner gate ops\n",
+		fmt.Printf("single-node: %d parts, %d gather/scatter sweeps, %.1f MB moved, %d inner kernel ops\n",
 			res.Hier.Parts, res.Hier.Sweeps, float64(res.Hier.BytesMoved)/(1<<20), res.Hier.InnerOps)
 	}
 	if res.Dist != nil {
@@ -104,6 +111,19 @@ func loadCircuit(family, qasmFile string, n int) (*hisvsim.Circuit, error) {
 		return hisvsim.BuildCircuit(family, n)
 	default:
 		return nil, fmt.Errorf("specify -circuit <family> or -qasm <file>")
+	}
+}
+
+func fusePolicy(s string) (hisvsim.FusePolicy, error) {
+	switch s {
+	case "auto", "":
+		return hisvsim.FuseAuto, nil
+	case "on":
+		return hisvsim.FuseOn, nil
+	case "off":
+		return hisvsim.FuseOff, nil
+	default:
+		return 0, fmt.Errorf("unknown -fuse value %q (want auto, on, or off)", s)
 	}
 }
 

@@ -1,0 +1,3 @@
+module hisvsim
+
+go 1.24

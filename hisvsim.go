@@ -46,6 +46,19 @@ type State = sv.State
 // Options configures Simulate. See core.Options for field documentation.
 type Options = core.Options
 
+// FusePolicy selects gate fusion for Simulate (Options.Fuse). Fusion is on
+// by default (FuseAuto, the zero value): runs of adjacent gates whose
+// combined support stays within Options.MaxFuseQubits (default 5) execute
+// as single fused kernels between communication points.
+type FusePolicy = core.FusePolicy
+
+// Fusion policies for Options.Fuse.
+const (
+	FuseAuto = core.FuseAuto // fusion on with default caps (zero value)
+	FuseOn   = core.FuseOn   // fusion forced on
+	FuseOff  = core.FuseOff  // per-gate execution
+)
+
 // Result bundles the plan, final state and execution metrics.
 type Result = core.Result
 
@@ -143,9 +156,10 @@ type BaselineResult = baseline.Result
 
 // RunBaseline simulates the circuit with the IQS/qHiPSTER-style distributed
 // scheme (fixed layout, pairwise exchange per global-qubit gate) for
-// comparison against Simulate with the same rank count.
+// comparison against Simulate with the same rank count. Runs of fully-local
+// gates between exchanges are fused, matching Simulate's default.
 func RunBaseline(c *Circuit, ranks int) (*BaselineResult, error) {
-	return baseline.Run(c, baseline.Config{Ranks: ranks, GatherResult: true})
+	return baseline.Run(c, baseline.Config{Ranks: ranks, GatherResult: true, Fuse: true})
 }
 
 // HDR100 returns the InfiniBand HDR-100-class communication model used in

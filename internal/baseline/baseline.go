@@ -14,10 +14,22 @@ import (
 	"time"
 
 	"hisvsim/internal/circuit"
+	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/sv"
 )
+
+// fullyLocal reports whether every qubit of the gate lies below the local
+// boundary (no communication and no rank-dependent control behavior).
+func fullyLocal(g gate.Gate, l int) bool {
+	for _, q := range g.Qubits {
+		if q >= l {
+			return false
+		}
+	}
+	return true
+}
 
 // Config describes a baseline run.
 type Config struct {
@@ -32,6 +44,11 @@ type Config struct {
 	// KeepGates skips the {1q, cx} lowering and simulates gates natively
 	// (multi-target global gates are then unsupported).
 	KeepGates bool
+	// Fuse coalesces runs of fully-local gates between communication points
+	// into fused blocks (gates touching a global qubit stay per-gate).
+	Fuse bool
+	// MaxFuseQubits caps fused-block support (0 = fuse default).
+	MaxFuseQubits int
 }
 
 // Result of a baseline run.
@@ -59,19 +76,11 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 		gates = gate.DecomposeAll(c.Gates)
 	}
 	for gi, g := range gates {
-		if len(g.Targets()) != 1 {
+		if len(g.Targets()) != 1 && !fullyLocal(g, l) {
 			// Global multi-target gates need pair exchanges per target;
 			// the lowering avoids this case entirely.
-			allLocal := true
-			for _, q := range g.Qubits {
-				if q >= l {
-					allLocal = false
-				}
-			}
-			if !allLocal {
-				return nil, fmt.Errorf("baseline: gate %d (%s) has %d targets with global qubits; lower the circuit first",
-					gi, g.Name, len(g.Targets()))
-			}
+			return nil, fmt.Errorf("baseline: gate %d (%s) has %d targets with global qubits; lower the circuit first",
+				gi, g.Name, len(g.Targets()))
 		}
 	}
 	model := cfg.Model
@@ -83,6 +92,44 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 	exchanges := make([]int, cfg.Ranks)
 	gathered := make([][]complex128, cfg.Ranks)
 
+	// Pre-fuse the runs of fully-local gates between communication points
+	// once; the fused schedule is rank-independent and shared read-only.
+	type fusedRun struct {
+		blocks []fuse.Block
+		plans  []*sv.FusedPlan
+	}
+	var localRuns map[int]fusedRun // keyed by index of the run's first gate
+	if cfg.Fuse {
+		localRuns = map[int]fusedRun{}
+		runStart := -1
+		flush := func(end int) error {
+			if runStart < 0 {
+				return nil
+			}
+			blocks, err := fuse.Fuse(gates[runStart:end], fuse.Options{MaxQubits: cfg.MaxFuseQubits})
+			if err != nil {
+				return err
+			}
+			localRuns[runStart] = fusedRun{blocks: blocks, plans: fuse.Plan(blocks, l)}
+			runStart = -1
+			return nil
+		}
+		for gi, g := range gates {
+			if fullyLocal(g, l) {
+				if runStart < 0 {
+					runStart = gi
+				}
+				continue
+			}
+			if err := flush(gi); err != nil {
+				return res, err
+			}
+		}
+		if err := flush(len(gates)); err != nil {
+			return res, err
+		}
+	}
+
 	stats, err := mpi.Run(cfg.Ranks, model, func(cm *mpi.Comm) error {
 		rank := cm.Rank()
 		local := make([]complex128, 1<<uint(l))
@@ -92,15 +139,22 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 		st := sv.NewStateRaw(local)
 		st.Workers = cfg.Workers
 
-		for gi, g := range gates {
-			localGate := true
-			for _, q := range g.Qubits {
-				if q >= l {
-					localGate = false
-					break
+		for gi := 0; gi < len(gates); gi++ {
+			g := gates[gi]
+			if run, ok := localRuns[gi]; ok {
+				// Fused run of fully-local gates: skip past the whole run.
+				t0 := time.Now()
+				if err := fuse.ApplyPlanned(st, run.blocks, run.plans); err != nil {
+					return err
 				}
+				cm.RecordCompute(time.Since(t0).Seconds())
+				for gi < len(gates) && fullyLocal(gates[gi], l) {
+					gi++
+				}
+				gi--
+				continue
 			}
-			if localGate {
+			if fullyLocal(g, l) {
 				t0 := time.Now()
 				if err := st.ApplyGate(g); err != nil {
 					return err

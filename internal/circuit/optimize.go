@@ -191,6 +191,33 @@ func sameQubitOrder(a, b gate.Gate) bool {
 	return true
 }
 
+// GroupDiagonalGates reorders a gate sequence so that diagonal gates join
+// earlier diagonal runs: a diagonal gate moves left past disjoint
+// non-diagonal gates (which it commutes with) only when it ends up adjacent
+// to another diagonal gate. Moves that would merely scatter a diagonal into
+// unrelated layers are skipped — a contiguous diagonal layer (e.g. the ZZ
+// couplings of an Ising step) must stay contiguous. Runs lengthen without
+// changing the circuit's unitary, which lets the gate-fusion engine coalesce
+// them into fewer phase sweeps.
+func GroupDiagonalGates(gs []gate.Gate) []gate.Gate {
+	out := append([]gate.Gate(nil), gs...)
+	for i := 1; i < len(out); i++ {
+		if !gate.IsDiagonal(out[i]) {
+			continue
+		}
+		j := i
+		for j > 0 && !gate.IsDiagonal(out[j-1]) && gate.Disjoint(out[j-1], out[i]) {
+			j--
+		}
+		if j < i && j > 0 && gate.IsDiagonal(out[j-1]) {
+			g := out[i]
+			copy(out[j+1:i+1], out[j:i])
+			out[j] = g
+		}
+	}
+	return out
+}
+
 // Optimize runs CancelInverses and FuseRotations to a joint fixed point.
 func Optimize(c *Circuit) *Circuit {
 	prev := c

@@ -40,6 +40,22 @@ func NewStrategy(name string, seed int64) (partition.Strategy, error) {
 	}
 }
 
+// FusePolicy selects whether executors fuse runs of adjacent gates into
+// dense/diagonal blocks. The zero value enables fusion.
+type FusePolicy int
+
+const (
+	// FuseAuto (the zero value) enables fusion with the default caps.
+	FuseAuto FusePolicy = iota
+	// FuseOn forces fusion on.
+	FuseOn
+	// FuseOff disables fusion (per-gate execution, the pre-fusion behavior).
+	FuseOff
+)
+
+// Enabled reports whether the policy turns fusion on.
+func (p FusePolicy) Enabled() bool { return p != FuseOff }
+
 // Options configures one simulation.
 type Options struct {
 	// Strategy is the partitioner name ("nat", "dfs", "dagp", "exact").
@@ -60,6 +76,13 @@ type Options struct {
 	Model mpi.CostModel
 	// SkipState skips gathering the distributed state (metrics only).
 	SkipState bool
+	// Fuse selects gate fusion (on unless FuseOff): runs of adjacent gates
+	// whose combined support stays within MaxFuseQubits execute as single
+	// fused kernels between communication/relayout points.
+	Fuse FusePolicy
+	// MaxFuseQubits caps fused-block support (0 = defaults: 5 for dense
+	// blocks, 10 for diagonal runs; an explicit value caps both).
+	MaxFuseQubits int
 }
 
 // Result of a simulation.
@@ -90,7 +113,10 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 		ranks = 1
 	}
 	localQubits := c.NumQubits - log2(ranks)
-	if lm <= 0 {
+	if lm <= 0 || (ranks > 1 && lm > localQubits) {
+		// Lm is a performance knob, not a semantics knob: the distributed
+		// executor can never place a working set wider than one rank's slab,
+		// so an over-wide request degrades to the local qubit count.
 		lm = localQubits
 	}
 	pl, err := strat.Partition(dag.FromCircuit(c), lm)
@@ -104,6 +130,7 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 		st.Workers = opts.Workers
 		m, err := hier.ExecutePlan(pl, st, hier.Options{
 			SecondLevelLm: opts.SecondLevelLm, Workers: opts.Workers,
+			Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
 		})
 		if err != nil {
 			return nil, err
@@ -114,6 +141,7 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 		dr, err := dist.Run(pl, dist.Config{
 			Ranks: ranks, Model: opts.Model, SecondLevelLm: opts.SecondLevelLm,
 			Workers: opts.Workers, GatherResult: !opts.SkipState,
+			NoFuse: !opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
 		})
 		if err != nil {
 			return nil, err

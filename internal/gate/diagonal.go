@@ -1,0 +1,25 @@
+package gate
+
+// IsDiagonal reports whether the gate's full unitary (controls included) is
+// diagonal in the computational basis. Controlled forms of diagonal base
+// matrices stay diagonal, so the test is purely name-based.
+func IsDiagonal(g Gate) bool {
+	switch g.Name {
+	case "z", "cz", "mcz", "s", "sdg", "t", "tdg", "rz", "crz", "p", "u1", "cp", "cu1", "mcp", "rzz", "id":
+		return true
+	}
+	return false
+}
+
+// Disjoint reports whether the two gates touch no common qubit (in which
+// case they commute and may be freely reordered).
+func Disjoint(a, b Gate) bool {
+	for _, qa := range a.Qubits {
+		for _, qb := range b.Qubits {
+			if qa == qb {
+				return false
+			}
+		}
+	}
+	return true
+}

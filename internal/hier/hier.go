@@ -5,13 +5,24 @@
 // applied to the inner vector, and the results are scattered back. With a
 // second-level limit set, each part is recursively partitioned so the
 // innermost vectors stay cache-resident (the paper's multi-level HiSVSIM).
+//
+// With Options.Fuse set, each part's gates are additionally coalesced into
+// dense/diagonal fused blocks (see internal/fuse) once per part, so every
+// gather/execute/scatter cycle sweeps the inner vector once per block
+// instead of once per gate. Independent sweeps of one part are executed in
+// parallel across Workers goroutines (they touch disjoint slices of the
+// outer vector), and a part whose working set spans the whole register is
+// applied directly to the outer state through the parallel kernels.
 package hier
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dag"
+	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/sv"
@@ -27,8 +38,20 @@ type Options struct {
 	// SecondLevel is the partitioner used for the second level; nil selects
 	// partition.Nat{} (cheap, and inner circuits are small).
 	SecondLevel partition.Strategy
-	// Workers bounds kernel parallelism (0 = GOMAXPROCS).
+	// Workers bounds kernel and sweep parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Fuse enables gate fusion within each part (and each second-level
+	// sub-part).
+	Fuse bool
+	// MaxFuseQubits caps fused-block support (0 = fuse default).
+	MaxFuseQubits int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PartStats records the execution footprint of one part.
@@ -39,6 +62,7 @@ type PartStats struct {
 	Sweeps     int64 // gather/scatter iterations = 2^(n-w)
 	BytesMoved int64 // gather + scatter traffic over the outer vector
 	SubParts   int   // second-level part count (1 when single-level)
+	Blocks     int   // fused blocks per sweep (0 when fusion off or multi-level)
 }
 
 // Metrics aggregates execution statistics.
@@ -58,7 +82,11 @@ func ExecutePlan(pl *partition.Plan, outer *sv.State, opts Options) (*Metrics, e
 	}
 	m := &Metrics{Parts: pl.NumParts()}
 	for _, part := range pl.Parts {
-		ps, err := executePart(pl.Circuit, part, outer, opts)
+		pp, err := preparePart(pl.Circuit, part, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hier: part %d: %w", part.Index, err)
+		}
+		ps, err := executePart(pp, outer, opts)
 		if err != nil {
 			return nil, fmt.Errorf("hier: part %d: %w", part.Index, err)
 		}
@@ -85,14 +113,31 @@ func Run(c *circuit.Circuit, lm int, s partition.Strategy, opts Options) (*sv.St
 	return outer, m, nil
 }
 
-// executePart performs the Gather-Execute-Scatter cycle of Algorithm 1 for
-// one part.
-func executePart(c *circuit.Circuit, part partition.Part, outer *sv.State, opts Options) (PartStats, error) {
+// prepared is one part's precomputed execution recipe: gates remapped onto
+// inner slots, fused blocks (fusion on, single level), or the prepared
+// second-level sub-parts. Preparing once per part keeps fusion and
+// second-level partitioning out of the 2^(n-w) sweep loop.
+type prepared struct {
+	part   partition.Part
+	gates  []gate.Gate     // remapped onto slots 0..w-1
+	offs   []int           // offs[s] = spread(s, part.Qubits), gather/scatter table
+	blocks []fuse.Block    // fused form (nil when fusion off or multi-level)
+	plans  []*sv.FusedPlan // per-block kernel tables for w-qubit inner states
+	sub    []prepared      // second-level prepared parts
+}
+
+// preparePart remaps the part's gates onto inner slots and precomputes the
+// fused blocks or the second-level plan.
+func preparePart(c *circuit.Circuit, part partition.Part, opts Options) (prepared, error) {
 	w := part.WorkingSetSize()
-	n := outer.N
-	ps := PartStats{Index: part.Index, Gates: len(part.GateIndices), Qubits: w, SubParts: 1}
-	if w == 0 {
-		return ps, nil
+	pp := prepared{part: part}
+	if w < c.NumQubits {
+		// Parts that span their whole circuit never gather/scatter (they
+		// apply directly), so the offset table would be pure waste there.
+		pp.offs = make([]int, 1<<uint(w))
+		for s := range pp.offs {
+			pp.offs[s] = spread(s, part.Qubits)
+		}
 	}
 
 	// Remap the part's gates onto inner qubit slots 0..w-1 (the paper's
@@ -105,9 +150,8 @@ func executePart(c *circuit.Circuit, part partition.Part, outer *sv.State, opts 
 	for _, gi := range part.GateIndices {
 		gates = append(gates, c.Gates[gi].Remap(func(q int) int { return slot[q] }))
 	}
+	pp.gates = gates
 
-	// Optional second level: partition the remapped sub-circuit.
-	var subPlan *partition.Plan
 	if opts.SecondLevelLm > 0 && opts.SecondLevelLm < w {
 		sub := circuit.New(fmt.Sprintf("%s_part%d", c.Name, part.Index), w)
 		sub.Gates = gates
@@ -117,47 +161,149 @@ func executePart(c *circuit.Circuit, part partition.Part, outer *sv.State, opts 
 		}
 		pl2, err := strat.Partition(dag.FromCircuit(sub), opts.SecondLevelLm)
 		if err != nil {
-			return ps, fmt.Errorf("second-level partition: %w", err)
+			return pp, fmt.Errorf("second-level partition: %w", err)
 		}
-		subPlan = pl2
-		ps.SubParts = pl2.NumParts()
+		subOpts := opts
+		subOpts.SecondLevelLm = 0
+		for _, p2 := range pl2.Parts {
+			sp, err := preparePart(sub, p2, subOpts)
+			if err != nil {
+				return pp, err
+			}
+			pp.sub = append(pp.sub, sp)
+		}
+		return pp, nil
 	}
+	if opts.Fuse {
+		blocks, err := fuse.Fuse(gates, fuse.Options{MaxQubits: opts.MaxFuseQubits})
+		if err != nil {
+			return pp, err
+		}
+		pp.blocks = blocks
+		pp.plans = fuse.Plan(blocks, w)
+	}
+	return pp, nil
+}
 
-	inner := sv.NewState(w)
-	inner.Workers = 1 // inner vectors are small; parallelism is outer-level
-	dimInner := inner.Dim()
+// applyPrepared runs one prepared part's compute against an inner state
+// whose qubits are the part's slots. workers bounds sub-part sweep
+// parallelism: 1 inside a per-sweep inner vector (parallelism is already
+// sweep-level there), the full worker count when inner is the outer state.
+func applyPrepared(pp *prepared, inner *sv.State, workers int) error {
+	if pp.sub != nil {
+		for i := range pp.sub {
+			if err := executeSweeps(&pp.sub[i], inner, workers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if pp.blocks != nil {
+		return fuse.ApplyPlanned(inner, pp.blocks, pp.plans)
+	}
+	return inner.ApplyGates(pp.gates)
+}
 
-	free := n - w
-	sweeps := int64(1) << uint(free)
-	ps.Sweeps = sweeps
+// executePart performs the Gather-Execute-Scatter cycle of Algorithm 1 for
+// one prepared part.
+func executePart(pp prepared, outer *sv.State, opts Options) (PartStats, error) {
+	part := pp.part
+	w := part.WorkingSetSize()
+	n := outer.N
+	ps := PartStats{Index: part.Index, Gates: len(part.GateIndices), Qubits: w,
+		SubParts: 1, Blocks: len(pp.blocks)}
+	if pp.sub != nil {
+		ps.SubParts = len(pp.sub)
+	}
+	if w == 0 {
+		return ps, nil
+	}
+	ps.Sweeps = int64(1) << uint(n-w)
+
+	if w == n {
+		// The part spans the whole register: apply directly to the outer
+		// state through the parallel kernels — no gather/scatter copies, so
+		// no bytes are charged.
+		if err := applyPrepared(&pp, outer, opts.workers()); err != nil {
+			return ps, err
+		}
+		return ps, nil
+	}
 	ps.BytesMoved = 2 * int64(outer.Dim()) * 16
+	if err := executeSweeps(&pp, outer, opts.workers()); err != nil {
+		return ps, err
+	}
+	return ps, nil
+}
 
-	for f := int64(0); f < sweeps; f++ {
-		base := int(f)
-		for _, q := range part.Qubits { // ascending: insert zeros at part qubits
-			base = insertBit(base, q)
-		}
-		// Gather.
-		for s := 0; s < dimInner; s++ {
-			inner.Amps[s] = outer.Amps[base|spread(s, part.Qubits)]
-		}
-		// Execute.
-		if subPlan != nil {
-			if _, err := ExecutePlan(subPlan, inner, Options{Workers: 1}); err != nil {
-				return ps, err
-			}
-		} else {
-			if err := inner.ApplyGates(gates); err != nil {
-				return ps, err
-			}
-		}
-		// Scatter.
-		for s := 0; s < dimInner; s++ {
-			outer.Amps[base|spread(s, part.Qubits)] = inner.Amps[s]
+// executeSweeps runs the 2^(n-w) gather/execute/scatter iterations of one
+// prepared part against the outer state, splitting independent sweeps
+// (disjoint outer slices) across workers goroutines.
+func executeSweeps(pp *prepared, outer *sv.State, workers int) error {
+	part := pp.part
+	w := part.WorkingSetSize()
+	sweeps := 1 << uint(outer.N-w)
+	offs := pp.offs
+	if offs == nil { // defensive: preparePart builds it for every swept part
+		offs = make([]int, 1<<uint(w))
+		for s := range offs {
+			offs[s] = spread(s, part.Qubits)
 		}
 	}
-	outer.Ops += inner.Ops
-	return ps, nil
+
+	runRange := func(lo, hi int) (int64, error) {
+		inner := sv.NewState(w)
+		inner.Workers = 1 // inner vectors are small; parallelism is sweep-level
+		dimInner := inner.Dim()
+		for f := lo; f < hi; f++ {
+			base := f
+			for _, q := range part.Qubits { // ascending: insert zeros at part qubits
+				base = insertBit(base, q)
+			}
+			for s := 0; s < dimInner; s++ {
+				inner.Amps[s] = outer.Amps[base|offs[s]]
+			}
+			if err := applyPrepared(pp, inner, 1); err != nil {
+				return inner.Ops, err
+			}
+			for s := 0; s < dimInner; s++ {
+				outer.Amps[base|offs[s]] = inner.Amps[s]
+			}
+		}
+		return inner.Ops, nil
+	}
+
+	if workers <= 1 || sweeps < 2*workers {
+		ops, err := runRange(0, sweeps)
+		outer.Ops += ops
+		return err
+	}
+	if workers > sweeps {
+		workers = sweeps
+	}
+	chunk := (sweeps + workers - 1) / workers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for lo := 0; lo < sweeps; lo += chunk {
+		hi := lo + chunk
+		if hi > sweeps {
+			hi = sweeps
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ops, err := runRange(lo, hi)
+			mu.Lock()
+			outer.Ops += ops
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // insertBit returns f with a zero bit inserted at position p.

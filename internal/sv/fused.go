@@ -1,0 +1,173 @@
+package sv
+
+import (
+	"fmt"
+
+	"hisvsim/internal/gate"
+)
+
+// This file holds the fused-block kernels: applying one dense 2^k×2^k
+// unitary (or one 2^k diagonal) produced by gate fusion to k target qubits
+// in a single sweep over the state vector. Compared with applyK, the index
+// arithmetic is precomputed once per call: stride masks expand a free index
+// into a base amplitude index in k+1 shift/mask operations, and a 2^k
+// scatter-offset table addresses the fused working set.
+
+// strideMasks returns the k+1 masks that expand a free index f (counting
+// over the n−k non-target bits) into an amplitude index with zero bits at
+// the sorted target positions: expand(f) = Σ_i (f & masks[i]) << i.
+func strideMasks(n int, sorted []int) []uint64 {
+	k := len(sorted)
+	masks := make([]uint64, k+1)
+	lo := 0
+	for i := 0; i <= k; i++ {
+		hi := n - k // bits of f live in [0, n-k)
+		if i < k {
+			hi = sorted[i] - i
+		}
+		if hi < lo {
+			hi = lo
+		}
+		masks[i] = (uint64(1)<<uint(hi) - 1) &^ (uint64(1)<<uint(lo) - 1)
+		lo = hi
+	}
+	return masks
+}
+
+// expandIndex applies the stride masks to a free index.
+func expandIndex(f int, masks []uint64) int {
+	uf := uint64(f)
+	var base uint64
+	for i, m := range masks {
+		base |= (uf & m) << uint(i)
+	}
+	return int(base)
+}
+
+// scatterOffsets returns the 2^k offsets addressed by every assignment of
+// the target bits: offs[s] = Σ_j bit_j(s) << sorted[j].
+func scatterOffsets(sorted []int) []int {
+	k := len(sorted)
+	offs := make([]int, 1<<uint(k))
+	for s := range offs {
+		o := 0
+		for j := 0; j < k; j++ {
+			if s>>uint(j)&1 == 1 {
+				o |= 1 << uint(sorted[j])
+			}
+		}
+		offs[s] = o
+	}
+	return offs
+}
+
+// FusedPlan caches the index tables the fused kernels need for one (state
+// size, target set): the stride masks and the 2^k scatter-offset table.
+// Executors that sweep the same block 2^(n-w) times build the plan once
+// (PrepareFused) instead of recomputing the tables every call.
+type FusedPlan struct {
+	N      int   // state size the plan was built for
+	Qubits []int // sorted target qubits
+	masks  []uint64
+	offs   []int
+}
+
+// PrepareFused validates the target set (strictly ascending, in range for
+// an n-qubit state) and precomputes the kernel index tables.
+func PrepareFused(n int, qubits []int) *FusedPlan {
+	for i, q := range qubits {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("sv: fused qubit %d out of range [0,%d)", q, n))
+		}
+		if i > 0 && qubits[i-1] >= q {
+			panic(fmt.Sprintf("sv: fused qubits %v not strictly ascending", qubits))
+		}
+	}
+	return &FusedPlan{N: n, Qubits: qubits,
+		masks: strideMasks(n, qubits), offs: scatterOffsets(qubits)}
+}
+
+func (s *State) checkPlan(p *FusedPlan) {
+	if p.N != s.N {
+		panic(fmt.Sprintf("sv: fused plan for %d qubits applied to %d-qubit state", p.N, s.N))
+	}
+}
+
+// ApplyFused applies a dense 2^k×2^k unitary to the k sorted target qubits
+// (little-endian: qubits[0] is the least-significant bit of the matrix
+// index). The sweep parallelizes over the free indices via parallelFor.
+func (s *State) ApplyFused(qubits []int, m gate.Matrix) {
+	s.ApplyFusedPlan(PrepareFused(s.N, qubits), m)
+}
+
+// ApplyFusedPlan is ApplyFused with the index tables precomputed.
+func (s *State) ApplyFusedPlan(p *FusedPlan, m gate.Matrix) {
+	k := len(p.Qubits)
+	if m.K != k {
+		panic(fmt.Sprintf("sv: fused matrix on %d qubits applied to %d targets", m.K, k))
+	}
+	s.checkPlan(p)
+	if k == 0 {
+		return
+	}
+	s.Ops++
+	dim := 1 << uint(k)
+	masks := p.masks
+	offs := p.offs
+	free := 1 << uint(s.N-k)
+	s.parallelFor(free, func(lo, hi int) {
+		amps := s.Amps
+		sub := make([]complex128, dim)
+		res := make([]complex128, dim)
+		for f := lo; f < hi; f++ {
+			base := expandIndex(f, masks)
+			for si := 0; si < dim; si++ {
+				sub[si] = amps[base|offs[si]]
+			}
+			for r := 0; r < dim; r++ {
+				row := m.Data[r*dim : (r+1)*dim]
+				var acc complex128
+				for ci := 0; ci < dim; ci++ {
+					acc += row[ci] * sub[ci]
+				}
+				res[r] = acc
+			}
+			for si := 0; si < dim; si++ {
+				amps[base|offs[si]] = res[si]
+			}
+		}
+	})
+}
+
+// ApplyFusedDiagonal multiplies the amplitudes addressed by the k sorted
+// target qubits by the 2^k diagonal d (one in-place sweep, no gather).
+func (s *State) ApplyFusedDiagonal(qubits []int, d []complex128) {
+	s.ApplyFusedDiagonalPlan(PrepareFused(s.N, qubits), d)
+}
+
+// ApplyFusedDiagonalPlan is ApplyFusedDiagonal with the index tables
+// precomputed.
+func (s *State) ApplyFusedDiagonalPlan(p *FusedPlan, d []complex128) {
+	k := len(p.Qubits)
+	if len(d) != 1<<uint(k) {
+		panic(fmt.Sprintf("sv: fused diagonal has %d entries for %d qubits", len(d), k))
+	}
+	s.checkPlan(p)
+	if k == 0 {
+		return
+	}
+	s.Ops++
+	dim := 1 << uint(k)
+	masks := p.masks
+	offs := p.offs
+	free := 1 << uint(s.N-k)
+	s.parallelFor(free, func(lo, hi int) {
+		amps := s.Amps
+		for f := lo; f < hi; f++ {
+			base := expandIndex(f, masks)
+			for si := 0; si < dim; si++ {
+				amps[base|offs[si]] *= d[si]
+			}
+		}
+	})
+}

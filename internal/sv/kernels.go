@@ -70,17 +70,16 @@ func (s *State) applySwap(a, b int) {
 // gate is phase-only (z, s, sdg, t, tdg, rz, p/u1, rzz and their controlled
 // forms), enabling the in-place phase sweep.
 func diagonalOf(g gate.Gate) ([]complex128, bool) {
-	switch g.Name {
-	case "z", "cz", "mcz", "s", "sdg", "t", "tdg", "rz", "crz", "p", "u1", "cp", "cu1", "mcp", "rzz", "id":
-		m := g.BaseMatrix()
-		n := m.Dim()
-		d := make([]complex128, n)
-		for i := 0; i < n; i++ {
-			d[i] = m.At(i, i)
-		}
-		return d, true
+	if !gate.IsDiagonal(g) {
+		return nil, false
 	}
-	return nil, false
+	m := g.BaseMatrix()
+	n := m.Dim()
+	d := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d, true
 }
 
 // applyDiagonal multiplies each amplitude whose control bits are all set by

@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench clean
+.PHONY: all build test bench lint fusion-bench service-bench serve-smoke clean
 
 all: lint build test
 
@@ -25,6 +25,14 @@ lint:
 # Regenerates BENCH_fusion.json (fused vs. unfused, qft/ising/random at 16-20 qubits).
 fusion-bench:
 	$(GO) run ./cmd/benchtables -only fusion -fusion-out BENCH_fusion.json
+
+# Regenerates BENCH_service.json (cold vs. cache-hit latency, jobs/sec sweep).
+service-bench:
+	$(GO) run ./cmd/benchtables -only service -service-out BENCH_service.json
+
+# Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

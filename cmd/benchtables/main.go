@@ -23,15 +23,17 @@ import (
 
 func main() {
 	var (
-		base      = flag.Int("base", 12, "base qubit count for the benchmark suite (paper: 30)")
-		ranks     = flag.String("ranks", "2,4,8", "rank counts for standard circuits")
-		bigR      = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
-		seed      = flag.Int64("seed", 1, "partitioner seed")
-		lm2       = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion")
-		fusionOut = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
-		fusionN   = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
-		fusionRep = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
+		base       = flag.Int("base", 12, "base qubit count for the benchmark suite (paper: 30)")
+		ranks      = flag.String("ranks", "2,4,8", "rank counts for standard circuits")
+		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
+		seed       = flag.Int64("seed", 1, "partitioner seed")
+		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service")
+		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
+		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
+		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
+		serviceOut = flag.String("service-out", "", "also write the service benchmark as JSON to this path (e.g. BENCH_service.json)")
+		serviceN   = flag.Int("service-qubits", 18, "register size for the service benchmark circuit")
 	)
 	flag.Parse()
 
@@ -126,6 +128,19 @@ func main() {
 			check(err)
 			check(os.WriteFile(*fusionOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *fusionOut)
+		}
+	}
+	if sel("service") || *serviceOut != "" {
+		rep, err := experiments.ServiceBench(experiments.ServiceConfig{
+			Qubits: *serviceN, Seed: *seed,
+		})
+		check(err)
+		fmt.Println(rep.Table())
+		if *serviceOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*serviceOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *serviceOut)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+// Command hisvsimd serves the HiSVSIM simulation service over HTTP/JSON:
+// an async job queue with a bounded worker pool in front of the fused
+// hierarchical/distributed executors, plus a content-addressed plan/state
+// cache so repeat circuits cost sampling, not simulation.
+//
+// Usage:
+//
+//	hisvsimd -addr :8080 -workers 4 -cache-mb 256
+//
+// Endpoints (see internal/service.NewHandler):
+//
+//	POST   /v1/jobs              submit  → {"id": "j000001", ...}
+//	GET    /v1/jobs/{id}         poll
+//	GET    /v1/jobs/{id}/result  long-poll result (?wait=30s)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/stats             counters
+//	GET    /healthz              liveness
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "circuit": {"family": "qft", "qubits": 18},
+//	  "kind": "sample", "shots": 1000, "seed": 7,
+//	  "options": {"strategy": "dagp"}
+//	}'
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight HTTP
+// requests get -grace seconds to finish, then the service cancels
+// outstanding jobs and the worker pool exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hisvsim/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 256, "max queued jobs before 429s")
+		cacheMB = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
+		maxQ    = flag.Int("max-qubits", 26, "largest accepted register")
+		maxS    = flag.Int("max-shots", 1_000_000, "largest accepted shot count")
+		retain  = flag.Int("retain", 4096, "terminal jobs kept pollable")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // 0 would select the service default; the flag promises "disables"
+	}
+	svc := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue, CacheBytes: cacheBytes,
+		MaxQubits: *maxQ, MaxShots: *maxS, RetainJobs: *retain,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hisvsimd listening on %s (workers=%d, cache=%dMiB)", *addr, svc.Stats().Workers, *cacheMB)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (grace %v)", sig, *grace)
+	case err := <-errc:
+		svc.Close()
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	st := svc.Stats()
+	log.Printf("bye: %d jobs done, %d simulations, %d cache hits",
+		st.Completed, st.Simulations, st.CacheHits)
+}
+
+// logRequests is a one-line access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -105,6 +105,7 @@ func printStats(c *hisvsim.Circuit) {
 	fmt.Printf("depth:       %d\n", c.Depth())
 	fmt.Printf("2q+ gates:   %d\n", c.MultiQubitGates())
 	fmt.Printf("state size:  %d bytes\n", c.MemoryBytes())
+	fmt.Printf("fingerprint: %s\n", c.Fingerprint())
 	counts := c.GateCounts()
 	names := make([]string, 0, len(counts))
 	for k := range counts {

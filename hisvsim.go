@@ -13,10 +13,17 @@
 // the stable surface: circuit construction (generators + OpenQASM 2.0),
 // partitioning plans, single-node hierarchical execution, and the simulated
 // multi-rank distributed executor with its IQS-style baseline.
+//
+// For serving many requests, NewService starts the asynchronous simulation
+// service (job queue, worker pool, content-addressed plan/state cache,
+// seeded shot sampling); cmd/hisvsimd exposes the same engine over
+// HTTP/JSON.
 package hisvsim
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 
 	"hisvsim/internal/baseline"
 	"hisvsim/internal/circuit"
@@ -26,6 +33,7 @@ import (
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/qasm"
+	"hisvsim/internal/service"
 	"hisvsim/internal/sv"
 )
 
@@ -148,6 +156,21 @@ func DotDAG(c *Circuit, pl *Plan) string {
 // single-node hierarchical executor.
 func Simulate(c *Circuit, opts Options) (*Result, error) { return core.Simulate(c, opts) }
 
+// SimulateContext is Simulate under a context: cancellation or deadline
+// expiry aborts the run at the next part/step boundary with the context's
+// error.
+func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	return core.SimulateContext(ctx, c, opts)
+}
+
+// Fingerprint returns the circuit's stable content hash (SHA-256 over the
+// qubit count and ordered gate list; the name is excluded). Circuits with
+// the same gate list — rebuilt or cloned — share a fingerprint, which is
+// what the service cache keys on. Note that WriteQASM lowers non-qelib1
+// gates (mcx, rzz, …), so a QASM round-trip preserves the fingerprint only
+// for circuits already in the qelib1 basis.
+func Fingerprint(c *Circuit) string { return c.Fingerprint() }
+
 // Run simulates a circuit flat (no partitioning) — the reference result.
 func Run(c *Circuit) (*State, error) { return sv.Run(c) }
 
@@ -165,3 +188,55 @@ func RunBaseline(c *Circuit, ranks int) (*BaselineResult, error) {
 // HDR100 returns the InfiniBand HDR-100-class communication model used in
 // the paper's evaluation.
 func HDR100() CostModel { return mpi.HDR100() }
+
+// Service is the asynchronous simulation service: a bounded worker pool
+// draining a job queue, with a content-addressed plan/state cache so repeat
+// circuits cost one simulation plus sampling. See internal/service for the
+// full API (Submit/Wait/Do/Job/Cancel/Stats/Close) and cmd/hisvsimd for the
+// HTTP daemon serving the same engine.
+type Service = service.Service
+
+// ServiceConfig tunes a Service (worker count, queue depth, cache budget,
+// job retention, qubit limit). The zero value selects sensible defaults.
+type ServiceConfig = service.Config
+
+// ServiceRequest describes one job: the circuit, the read-out kind, and
+// kind-specific fields (shots + seed, qubits) plus simulation Options.
+type ServiceRequest = service.Request
+
+// ServiceResult is a completed job's payload.
+type ServiceResult = service.Result
+
+// ServiceStats snapshots the service counters (jobs, simulations, cache
+// hits/misses, queue length).
+type ServiceStats = service.Stats
+
+// JobInfo is a point-in-time snapshot of a submitted job.
+type JobInfo = service.JobInfo
+
+// RequestKind selects what a service job computes.
+type RequestKind = service.Kind
+
+// Request kinds for ServiceRequest.Kind.
+const (
+	KindStatevector   = service.KindStatevector   // full amplitude vector
+	KindSample        = service.KindSample        // seeded shot sampling
+	KindExpectation   = service.KindExpectation   // ⟨∏ Z_q⟩ Pauli-Z string
+	KindProbabilities = service.KindProbabilities // marginal distribution
+)
+
+// NewService starts the asynchronous simulation service with its worker
+// pool running. Close it when done:
+//
+//	svc := hisvsim.NewService(hisvsim.ServiceConfig{Workers: 4})
+//	defer svc.Close()
+//	res, err := svc.Do(ctx, hisvsim.ServiceRequest{
+//		Circuit: hisvsim.MustCircuit("qft", 18),
+//		Kind:    hisvsim.KindSample,
+//		Shots:   1000, Seed: 7,
+//	})
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandler exposes a Service over HTTP/JSON (the cmd/hisvsimd
+// surface: submit, poll, long-poll result, cancel, stats, health).
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }

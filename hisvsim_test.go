@@ -1,9 +1,13 @@
 package hisvsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"hisvsim/internal/gate"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
@@ -140,5 +144,69 @@ func TestFacadeFamiliesAndModels(t *testing.T) {
 	}
 	if _, err := BuildCircuit("nope", 8); err == nil {
 		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	svc := NewService(ServiceConfig{Workers: 2})
+	defer svc.Close()
+	c := MustCircuit("qft", 8)
+	res, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindSample, Shots: 64, Seed: 3,
+		Options: Options{Strategy: "dagp", Lm: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 64 || res.CacheHit {
+		t.Fatalf("cold request: %d samples, hit=%v", len(res.Samples), res.CacheHit)
+	}
+	// Second request on a freshly built but identical circuit hits the
+	// cache via the content fingerprint.
+	warm, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: MustCircuit("qft", 8), Kind: KindSample, Shots: 64, Seed: 3,
+		Options: Options{Strategy: "dagp", Lm: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical circuit missed the cache")
+	}
+	for i := range res.Samples {
+		if warm.Samples[i] != res.Samples[i] {
+			t.Fatalf("seeded shots diverged at %d", i)
+		}
+	}
+	if st := svc.Stats(); st.Simulations != 1 {
+		t.Fatalf("simulations = %d", st.Simulations)
+	}
+}
+
+func TestFacadeFingerprintAndContext(t *testing.T) {
+	a := MustCircuit("ising", 8)
+	b := MustCircuit("ising", 8)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical circuits fingerprint differently")
+	}
+	if Fingerprint(a) == Fingerprint(MustCircuit("qft", 8)) {
+		t.Fatal("different circuits collide")
+	}
+	// A qelib1-basis circuit round-trips through QASM with its fingerprint
+	// intact (the name is excluded; gates/params/qubits are preserved).
+	plain := NewCircuit("plain", 3)
+	plain.Append(gate.H(0), gate.CX(0, 1), gate.RZ(0.25, 2))
+	back, err := ParseQASM(WriteQASM(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(back) != Fingerprint(plain) {
+		t.Fatal("QASM round-trip changed the fingerprint")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(ctx, a, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

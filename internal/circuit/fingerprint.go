@@ -1,0 +1,46 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable content hash of the circuit's semantics: the
+// qubit count and the ordered gate list (name, control count, qubit
+// operands, exact parameter bits). Two circuits share a fingerprint iff
+// they apply the same gates to the same qubits in the same order — the
+// circuit Name is deliberately excluded, so a "qft" built twice hashes
+// identically. Equal unitaries with different gate lists hash differently
+// (e.g. a circuit and its QASM round-trip when the writer lowers non-qelib1
+// gates). The hash is SHA-256 over a length-prefixed binary encoding, so it
+// is stable across processes and releases and usable as a content address
+// (the service layer keys its plan/state cache on it).
+func (c *Circuit) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeInt(int64(c.NumQubits))
+	writeInt(int64(len(c.Gates)))
+	for _, g := range c.Gates {
+		// Length-prefix the name (and every list) so field boundaries can
+		// never alias: ("rx", q1) and ("r", x-ish bytes) hash differently.
+		writeInt(int64(len(g.Name)))
+		h.Write([]byte(g.Name))
+		writeInt(int64(g.Ctrl))
+		writeInt(int64(len(g.Qubits)))
+		for _, q := range g.Qubits {
+			writeInt(int64(q))
+		}
+		writeInt(int64(len(g.Params)))
+		for _, p := range g.Params {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,113 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"hisvsim/internal/gate"
+)
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	for _, fam := range Families() {
+		a, err := Named(fam, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Named(fam, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%s: fingerprint differs across identical builds", fam)
+		}
+		if got := len(a.Fingerprint()); got != 64 {
+			t.Fatalf("%s: fingerprint length %d, want 64 hex chars", fam, got)
+		}
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := New("alpha", 3)
+	b := New("beta", 3)
+	for _, c := range []*Circuit{a, b} {
+		c.Append(gate.H(0), gate.CX(0, 1), gate.RZ(0.25, 2))
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint should ignore the circuit name")
+	}
+}
+
+// TestFingerprintCollisions checks that every semantic field perturbs the
+// hash: qubit count, gate order, operands, operand order, control count,
+// parameters (down to the sign bit), and gate name — including boundary
+// aliasing between the name and the qubit list.
+func TestFingerprintCollisions(t *testing.T) {
+	base := func() *Circuit {
+		c := New("c", 4)
+		c.Append(gate.H(0), gate.CX(1, 2), gate.RZ(0.5, 3))
+		return c
+	}
+	variants := map[string]*Circuit{}
+	variants["base"] = base()
+
+	widened := base()
+	widened.NumQubits = 5
+	variants["more qubits"] = widened
+
+	reordered := New("c", 4)
+	reordered.Append(gate.CX(1, 2), gate.H(0), gate.RZ(0.5, 3))
+	variants["gate order"] = reordered
+
+	otherQubit := New("c", 4)
+	otherQubit.Append(gate.H(1), gate.CX(1, 2), gate.RZ(0.5, 3))
+	variants["operand"] = otherQubit
+
+	swapped := New("c", 4)
+	swapped.Append(gate.H(0), gate.CX(2, 1), gate.RZ(0.5, 3))
+	variants["operand order"] = swapped
+
+	uncontrolled := base()
+	uncontrolled.Gates[1].Ctrl = 0
+	variants["control count"] = uncontrolled
+
+	param := New("c", 4)
+	param.Append(gate.H(0), gate.CX(1, 2), gate.RZ(0.5000001, 3))
+	variants["param value"] = param
+
+	negZero := New("c", 4)
+	negZero.Append(gate.H(0), gate.CX(1, 2), gate.RZ(0, 3))
+	posZero := New("c", 4)
+	posZero.Append(gate.H(0), gate.CX(1, 2), gate.RZ(0, 3))
+	negZero.Gates[2].Params[0] = math.Copysign(0, -1) // distinct IEEE-754 bit pattern from +0
+	variants["param -0"] = negZero
+	variants["param +0"] = posZero
+
+	renamed := base()
+	renamed.Gates[0].Name = "x"
+	variants["gate name"] = renamed
+
+	trailing := base()
+	trailing.Append(gate.X(0))
+	variants["extra gate"] = trailing
+
+	seen := map[string]string{}
+	for label, c := range variants {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %q and %q", prev, label)
+		}
+		seen[fp] = label
+	}
+}
+
+func TestFingerprintNameListAliasing(t *testing.T) {
+	// A gate whose name ends in bytes that could masquerade as the start of
+	// the qubit list must still hash differently from the honest encoding.
+	a := New("c", 2)
+	a.Append(gate.Gate{Name: "u1", Qubits: []int{0}, Params: []float64{0.5}})
+	b := New("c", 2)
+	b.Append(gate.Gate{Name: "u", Qubits: []int{0}, Params: []float64{0.5}})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("name/operand boundary aliasing")
+	}
+}

@@ -389,6 +389,15 @@ func Named(family string, n int) (*Circuit, error) {
 	}
 }
 
+// MustNamed is Named, panicking on error (for examples and tests).
+func MustNamed(family string, n int) *Circuit {
+	c, err := Named(family, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // Families lists the generator family names accepted by Named.
 func Families() []string {
 	return []string{"cat_state", "bv", "qaoa", "cc", "ising", "qft", "qnn", "grover", "qpe", "adder", "random"}

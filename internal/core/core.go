@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,7 +97,19 @@ type Result struct {
 
 // Simulate partitions and executes the circuit per the options.
 func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
+	return SimulateContext(context.Background(), c, opts)
+}
+
+// SimulateContext is Simulate under a context: cancellation or deadline
+// expiry aborts the run at the next part (single-node) or step (distributed)
+// boundary with the context's error. Options.Seed makes the randomized
+// partitioners — and therefore the produced plan and state — deterministic
+// for a fixed (circuit, options) pair.
+func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	name := opts.Strategy
@@ -129,6 +142,7 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 		st := sv.NewState(c.NumQubits)
 		st.Workers = opts.Workers
 		m, err := hier.ExecutePlan(pl, st, hier.Options{
+			Ctx:           ctx,
 			SecondLevelLm: opts.SecondLevelLm, Workers: opts.Workers,
 			Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
 		})
@@ -139,6 +153,7 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 		res.Hier = m
 	} else {
 		dr, err := dist.Run(pl, dist.Config{
+			Ctx:   ctx,
 			Ranks: ranks, Model: opts.Model, SecondLevelLm: opts.SecondLevelLm,
 			Workers: opts.Workers, GatherResult: !opts.SkipState,
 			NoFuse: !opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/mpi"
@@ -118,6 +121,49 @@ func TestSimulateRejectsInvalid(t *testing.T) {
 	}
 	if _, err := Simulate(circuit.QFT(6), Options{Strategy: "nope"}); err == nil {
 		t.Fatal("invalid strategy accepted")
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(ctx, circuit.QFT(8), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("single-node: err = %v, want context.Canceled", err)
+	}
+	if _, err := SimulateContext(ctx, circuit.QFT(8), Options{Ranks: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("distributed: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimulateContextDeadline(t *testing.T) {
+	// An already-expired deadline must abort at (or before) the first part
+	// boundary rather than running to completion.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := SimulateContext(ctx, circuit.QFT(10), Options{Strategy: "nat", Lm: 4}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSimulateSeedDeterminism(t *testing.T) {
+	// A fixed Seed pins the randomized partitioners, so the plan shape and
+	// the final state are reproducible run to run.
+	c := circuit.Random(8, 60, 2)
+	a, err := Simulate(c, Options{Strategy: "dfs", Lm: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(c, Options{Strategy: "dfs", Lm: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.NumParts() != b.Plan.NumParts() {
+		t.Fatalf("seeded runs produced %d vs %d parts", a.Plan.NumParts(), b.Plan.NumParts())
+	}
+	for i, amp := range a.State.Amps {
+		if amp != b.State.Amps[i] {
+			t.Fatalf("seeded runs diverged at amplitude %d", i)
+		}
 	}
 }
 

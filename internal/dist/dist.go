@@ -9,8 +9,10 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"hisvsim/internal/circuit"
@@ -25,6 +27,11 @@ import (
 
 // Config describes a distributed run.
 type Config struct {
+	// Ctx, when non-nil, is polled at step boundaries: a cancelled or
+	// timed-out context aborts the run with the context's error. The
+	// abort step is latched so every simulated rank leaves at the same
+	// boundary (no rank abandons a peer mid-collective).
+	Ctx context.Context
 	// Ranks is the physical node count (≥ 1). Non-powers-of-two use the
 	// paper's footnote-2 relaxation: the state shards over the next power
 	// of two of virtual ranks, mapped round-robin onto the physical nodes;
@@ -99,12 +106,41 @@ func Run(pl *partition.Plan, cfg Config) (*Result, error) {
 	}
 	res := &Result{Relayouts: relayouts, VirtualRanks: vranks}
 	gathered := make([][]complex128, vranks)
+	// stepGate latches one go/abort decision per step: the FIRST rank to
+	// reach a step boundary polls the context and publishes the verdict,
+	// and every other rank follows it. Per-rank polling would let one rank
+	// abort while a peer is already blocked inside the same step's
+	// collective exchange, stranding it until the mpi recv timeout.
+	var stepGate []atomic.Int32 // 0 undecided, 1 go, 2 abort
+	if cfg.Ctx != nil {
+		stepGate = make([]atomic.Int32, len(steps))
+	}
 	stats, err := mpi.RunMapped(vranks, realOf, model, func(cm *mpi.Comm) error {
 		local := make([]complex128, 1<<uint(l))
 		if cm.Rank() == 0 {
 			local[0] = 1
 		}
 		for si := range steps {
+			if stepGate != nil {
+				gate := stepGate[si].Load()
+				if gate == 0 {
+					verdict := int32(1)
+					if cfg.Ctx.Err() != nil {
+						verdict = 2
+					}
+					if !stepGate[si].CompareAndSwap(0, verdict) {
+						gate = stepGate[si].Load()
+					} else {
+						gate = verdict
+					}
+				}
+				if gate == 2 {
+					if err := cfg.Ctx.Err(); err != nil {
+						return err
+					}
+					return context.Canceled
+				}
+			}
 			st := &steps[si]
 			if st.newPos != nil {
 				local = relayout(cm, local, st.oldPos, st.newPos, l, 2+si)

@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dag"
@@ -142,5 +145,33 @@ func TestQuickDistEqualsFlat(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunContextCancelConsistentAcrossRanks(t *testing.T) {
+	// Cancelling mid-run must abort every simulated rank at the SAME step
+	// boundary: per-rank polling would leave a peer blocked inside a
+	// collective until the 30s mpi recv timeout panics. A cancelled or
+	// completed run are both acceptable outcomes; a timeout/panic is not.
+	c := circuit.QFT(12)
+	pl, err := (dagp.Partitioner{}).Partition(dag.FromCircuit(c), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			cancel()
+			close(done)
+		}()
+		_, err := Run(pl, Config{Ctx: ctx, Ranks: 4, GatherResult: true})
+		<-done
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("delay %v: err = %v, want nil or context.Canceled", delay, err)
+		}
 	}
 }

@@ -16,6 +16,7 @@
 package hier
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,6 +31,11 @@ import (
 
 // Options configures hierarchical execution.
 type Options struct {
+	// Ctx, when non-nil, is polled at part boundaries: a cancelled or
+	// timed-out context aborts the run with the context's error. Carried in
+	// Options (rather than a parameter) so the existing ExecutePlan/Run call
+	// surface stays stable.
+	Ctx context.Context
 	// SecondLevelLm, when > 0, re-partitions each part's gates with this
 	// tighter working-set limit and executes them through a second
 	// gather/execute/scatter level (multi-level HiSVSIM). The second level
@@ -82,6 +88,11 @@ func ExecutePlan(pl *partition.Plan, outer *sv.State, opts Options) (*Metrics, e
 	}
 	m := &Metrics{Parts: pl.NumParts()}
 	for _, part := range pl.Parts {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pp, err := preparePart(pl.Circuit, part, opts)
 		if err != nil {
 			return nil, fmt.Errorf("hier: part %d: %w", part.Index, err)

@@ -1,0 +1,93 @@
+package lru
+
+import "testing"
+
+func TestBasicGetPut(t *testing.T) {
+	c := New(100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 20)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if c.Len() != 2 || c.Size() != 30 {
+		t.Fatalf("len=%d size=%d", c.Len(), c.Size())
+	}
+}
+
+func TestEvictsColdEnd(t *testing.T) {
+	c := New(30)
+	c.Put("a", "a", 10)
+	c.Put("b", "b", 10)
+	c.Put("c", "c", 10)
+	c.Get("a") // warm a; b is now coldest
+	c.Put("d", "d", 10)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestEvictsMultipleToFit(t *testing.T) {
+	evicted := []string{}
+	c := New(30)
+	c.Evicted = func(k string, _ any, _ int64) { evicted = append(evicted, k) }
+	c.Put("a", nil, 10)
+	c.Put("b", nil, 10)
+	c.Put("c", nil, 10)
+	c.Put("big", nil, 25)
+	if c.Len() != 1 || c.Size() != 25 {
+		t.Fatalf("len=%d size=%d after big insert", c.Len(), c.Size())
+	}
+	if len(evicted) != 3 {
+		t.Fatalf("evicted %v", evicted)
+	}
+}
+
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New(10)
+	c.Put("small", nil, 5)
+	c.Put("huge", nil, 11)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry stored")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized insert wiped existing entries")
+	}
+}
+
+func TestReplaceUpdatesCost(t *testing.T) {
+	c := New(30)
+	c.Put("a", 1, 10)
+	c.Put("a", 2, 25)
+	if c.Len() != 1 || c.Size() != 25 {
+		t.Fatalf("len=%d size=%d", c.Len(), c.Size())
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("a = %v", v)
+	}
+	// Replacing with an oversized cost drops the key entirely.
+	c.Put("a", 3, 100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oversized replacement kept stale entry")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	c.Put("free", 1, 0) // even zero-cost entries are rejected at zero capacity
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+	c.Remove("a") // no-op, must not panic
+}

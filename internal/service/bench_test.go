@@ -1,0 +1,46 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+)
+
+// BenchmarkCacheHitSample measures the steady-state cost of a sample
+// request against an already-cached circuit (the service's hot path).
+func BenchmarkCacheHitSample(b *testing.B) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	c := circuit.MustNamed("qft", 14)
+	req := Request{Circuit: c, Kind: KindSample, Shots: 1000, Options: core.Options{Strategy: "dagp"}}
+	if _, err := s.Do(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Seed = int64(i)
+		res, err := s.Do(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("cache miss on hot path")
+		}
+	}
+}
+
+// BenchmarkColdSimulate measures a full miss: simulation + sampling.
+func BenchmarkColdSimulate(b *testing.B) {
+	s := New(Config{Workers: 1, CacheBytes: -1})
+	defer s.Close()
+	c := circuit.MustNamed("qft", 14)
+	req := Request{Circuit: c, Kind: KindSample, Shots: 1000, Options: core.Options{Strategy: "dagp"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Do(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/qasm"
+)
+
+// NewHandler exposes the service over HTTP/JSON:
+//
+//	POST   /v1/jobs             submit a job            → 202 {id, status}
+//	GET    /v1/jobs/{id}        poll a job snapshot     → 200 job JSON
+//	GET    /v1/jobs/{id}/result long-poll for the result (?wait=30s)
+//	DELETE /v1/jobs/{id}        cancel                  → 200 job JSON
+//	GET    /v1/stats            service counters
+//	GET    /healthz             liveness
+//
+// The submit body names the circuit either inline ("qasm") or by generator
+// family ("family" + "qubits"), plus kind/shots/seed/qubits and the
+// simulation options; see wireRequest. Sample counts are keyed by bitstring
+// (most-significant qubit first).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(s, w, r) })
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// wireRequest is the submit body.
+type wireRequest struct {
+	Circuit struct {
+		QASM   string `json:"qasm,omitempty"`
+		Family string `json:"family,omitempty"`
+		Qubits int    `json:"qubits,omitempty"`
+	} `json:"circuit"`
+	Kind      string      `json:"kind"`
+	Shots     int         `json:"shots,omitempty"`
+	Seed      int64       `json:"seed,omitempty"`
+	Qubits    []int       `json:"qubits,omitempty"`
+	Options   wireOptions `json:"options"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// wireOptions mirrors the semantically relevant core.Options fields.
+type wireOptions struct {
+	Strategy      string `json:"strategy,omitempty"`
+	Lm            int    `json:"lm,omitempty"`
+	Ranks         int    `json:"ranks,omitempty"`
+	SecondLevelLm int    `json:"second_level_lm,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	Fuse          string `json:"fuse,omitempty"` // "auto" (default), "on", "off"
+	MaxFuseQubits int    `json:"max_fuse_qubits,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+}
+
+func (o wireOptions) toCore() (core.Options, error) {
+	out := core.Options{
+		Strategy: o.Strategy, Lm: o.Lm, Ranks: o.Ranks,
+		SecondLevelLm: o.SecondLevelLm, Workers: o.Workers,
+		MaxFuseQubits: o.MaxFuseQubits, Seed: o.Seed,
+	}
+	switch o.Fuse {
+	case "", "auto":
+		out.Fuse = core.FuseAuto
+	case "on":
+		out.Fuse = core.FuseOn
+	case "off":
+		out.Fuse = core.FuseOff
+	default:
+		return out, fmt.Errorf("unknown fuse policy %q (want auto, on or off)", o.Fuse)
+	}
+	return out, nil
+}
+
+func (w wireRequest) toRequest() (Request, error) {
+	var req Request
+	switch {
+	case w.Circuit.QASM != "" && w.Circuit.Family != "":
+		return req, errors.New("circuit: give either qasm or family, not both")
+	case w.Circuit.QASM != "":
+		c, err := qasm.ParseToCircuit(w.Circuit.QASM)
+		if err != nil {
+			return req, err
+		}
+		req.Circuit = c
+	case w.Circuit.Family != "":
+		c, err := circuit.Named(w.Circuit.Family, w.Circuit.Qubits)
+		if err != nil {
+			return req, err
+		}
+		req.Circuit = c
+	default:
+		return req, errors.New("circuit: missing (give qasm or family+qubits)")
+	}
+	opts, err := w.Options.toCore()
+	if err != nil {
+		return req, err
+	}
+	req.Kind = Kind(w.Kind)
+	req.Shots = w.Shots
+	req.Seed = w.Seed
+	req.Qubits = w.Qubits
+	req.Options = opts
+	req.Timeout = time.Duration(w.TimeoutMS) * time.Millisecond
+	return req, nil
+}
+
+// wireJob is the poll/cancel response body.
+type wireJob struct {
+	ID        string      `json:"id"`
+	Kind      string      `json:"kind"`
+	Status    string      `json:"status"`
+	Error     string      `json:"error,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Result    *wireResult `json:"result,omitempty"`
+}
+
+// wireResult is the result body; only the kind's fields are populated.
+type wireResult struct {
+	Kind          string         `json:"kind"`
+	NumQubits     int            `json:"num_qubits"`
+	CacheHit      bool           `json:"cache_hit"`
+	Parts         int            `json:"parts"`
+	ElapsedMS     float64        `json:"elapsed_ms"`
+	WaitedMS      float64        `json:"waited_ms"`
+	Samples       []int          `json:"samples,omitempty"`
+	Counts        map[string]int `json:"counts,omitempty"`
+	Expectation   *float64       `json:"expectation,omitempty"`
+	Probabilities []float64      `json:"probabilities,omitempty"`
+	Amplitudes    [][2]float64   `json:"amplitudes,omitempty"`
+}
+
+func toWireJob(info JobInfo) wireJob {
+	out := wireJob{
+		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
+		Error: info.Err, Submitted: info.Submitted,
+	}
+	if !info.Started.IsZero() {
+		t := info.Started
+		out.Started = &t
+	}
+	if !info.Finished.IsZero() {
+		t := info.Finished
+		out.Finished = &t
+	}
+	if info.Result != nil {
+		out.Result = toWireResult(info.Result)
+	}
+	return out
+}
+
+func toWireResult(r *Result) *wireResult {
+	out := &wireResult{
+		Kind: string(r.Kind), NumQubits: r.NumQubits, CacheHit: r.CacheHit,
+		Parts:     r.Parts,
+		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+		WaitedMS:  float64(r.Waited) / float64(time.Millisecond),
+	}
+	switch r.Kind {
+	case KindSample:
+		out.Samples = r.Samples
+		out.Counts = make(map[string]int, len(r.Counts))
+		for basis, n := range r.Counts {
+			out.Counts[bitstring(basis, r.NumQubits)] = n
+		}
+	case KindExpectation:
+		e := r.Expectation
+		out.Expectation = &e
+	case KindProbabilities:
+		out.Probabilities = r.Probabilities
+	case KindStatevector:
+		out.Amplitudes = make([][2]float64, len(r.Amplitudes))
+		for i, a := range r.Amplitudes {
+			out.Amplitudes[i] = [2]float64{real(a), imag(a)}
+		}
+	}
+	return out
+}
+
+// bitstring renders a basis index with qubit n−1 leftmost (the usual ket
+// convention; qubit 0 is the least-significant bit of the index).
+func bitstring(basis, n int) string {
+	if n <= 0 {
+		return strconv.Itoa(basis)
+	}
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[n-1-i] = byte('0' + (basis>>uint(i))&1)
+	}
+	return string(b)
+}
+
+func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
+	var wr wireRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := wr.toRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(StatusQueued)})
+}
+
+func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	info, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireJob(info))
+}
+
+// handleResult long-polls: it waits up to ?wait (default 30s, capped at
+// 5m) for the job to finish. A job still running at the deadline yields
+// 202 with the snapshot, so clients can re-arm the poll without treating
+// it as an error.
+func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait := 30 * time.Second
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", raw, err))
+			return
+		}
+		wait = min(max(d, 0), 5*time.Minute)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	res, werr := s.Wait(ctx, id)
+	if errors.Is(werr, ErrNotFound) {
+		writeError(w, http.StatusNotFound, werr)
+		return
+	}
+	info, jerr := s.Job(id)
+	switch {
+	case jerr == nil:
+		code := http.StatusOK
+		if !info.Status.Terminal() {
+			code = http.StatusAccepted // still running: client re-arms the poll
+		}
+		writeJSON(w, code, toWireJob(info))
+	case werr == nil:
+		// Retention evicted the job between Wait and Job — serve the
+		// result Wait already handed us rather than 404ing a success.
+		writeJSON(w, http.StatusOK, wireJob{
+			ID: id, Kind: string(res.Kind), Status: string(StatusDone),
+			Result: toWireResult(res),
+		})
+	case ctx.Err() != nil:
+		// Our long-poll timer expired and the job is gone: truly unknown.
+		writeError(w, http.StatusNotFound, ErrNotFound)
+	default:
+		// Evicted terminal failure/cancel: synthesize the snapshot.
+		status := StatusFailed
+		if errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded) {
+			status = StatusCanceled
+		}
+		writeJSON(w, http.StatusOK, wireJob{ID: id, Status: string(status), Error: werr.Error()})
+	}
+}
+
+func handleCancel(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	info, err := s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireJob(info))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/qasm"
+)
+
+func newHTTPTest(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2})
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() { srv.Close(); s.Close() })
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("bad JSON body: %v", err)
+	}
+	return m
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "qft", "qubits": 8},
+		"kind": "sample", "shots": 64, "seed": 5,
+		"options": {"strategy": "dagp", "lm": 5}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", body)
+	}
+
+	// Long-poll the result.
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+id+"/result?wait=30s")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %v", resp.StatusCode, body)
+	}
+	if body["status"] != "done" {
+		t.Fatalf("status = %v", body["status"])
+	}
+	result := body["result"].(map[string]any)
+	counts := result["counts"].(map[string]any)
+	total := 0.0
+	for bits, n := range counts {
+		if len(bits) != 8 || strings.Trim(bits, "01") != "" {
+			t.Fatalf("counts key %q is not an 8-bit string", bits)
+		}
+		total += n.(float64)
+	}
+	if total != 64 {
+		t.Fatalf("counts sum to %v", total)
+	}
+
+	// Plain poll agrees.
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusOK || body["status"] != "done" {
+		t.Fatalf("poll: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPQASMCircuitAndExpectation(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	src := qasm.Write(circuit.MustNamed("bv", 6))
+	payload, _ := json.Marshal(map[string]any{
+		"circuit": map[string]string{"qasm": src},
+		"kind":    "expectation",
+		"qubits":  []int{0, 1},
+	})
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", string(payload))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, body)
+	}
+	id := body["id"].(string)
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+id+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %v", resp.StatusCode, body)
+	}
+	result := body["result"].(map[string]any)
+	if _, ok := result["expectation"].(float64); !ok {
+		t.Fatalf("no expectation in %v", result)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	cases := []string{
+		`{not json`,
+		`{"kind": "sample"}`, // no circuit
+		`{"circuit": {"family": "nope", "qubits": 4}, "kind": "sample"}`,                // bad family
+		`{"circuit": {"family": "bv", "qubits": 4}, "kind": "destroy"}`,                 // bad kind
+		`{"circuit": {"qasm": "bogus", "family": "bv", "qubits": 4}, "kind": "sample"}`, // both sources
+		`{"circuit": {"family": "bv", "qubits": 4}, "kind": "sample", "unknown": true}`, // unknown field
+		`{"circuit": {"family": "bv", "qubits": 4}, "kind": "sample",
+		  "options": {"fuse": "sometimes"}}`, // bad fuse policy
+	}
+	for _, body := range cases {
+		resp, got := postJSON(t, srv.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %.40q: status %d (%v), want 400", body, resp.StatusCode, got)
+		}
+	}
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/j424242"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job poll: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/j424242/result"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancelAndStats(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	// A heavy job to cancel plus a quick one to completion.
+	_, body := postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "qft", "qubits": 16},
+		"kind": "statevector", "options": {"strategy": "dagp", "lm": 10}
+	}`)
+	heavy := body["id"].(string)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+heavy, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+
+	_, body = postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "bv", "qubits": 6}, "kind": "probabilities", "qubits": [0, 5]
+	}`)
+	quick := body["id"].(string)
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+quick+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quick result: %d %v", resp.StatusCode, body)
+	}
+	probs := body["result"].(map[string]any)["probabilities"].([]any)
+	if len(probs) != 4 {
+		t.Fatalf("marginal over 2 qubits has %d entries", len(probs))
+	}
+
+	resp, stats := getJSON(t, srv.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	if stats["submitted"].(float64) < 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if resp, ok := getJSON(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK || ok["ok"] != true {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, ok)
+	}
+}
+
+func TestHTTPStatevectorRoundTrip(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	_, body := postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "cat_state", "qubits": 3}, "kind": "statevector"
+	}`)
+	id := body["id"].(string)
+	resp, body := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %v", resp.StatusCode, body)
+	}
+	amps := body["result"].(map[string]any)["amplitudes"].([]any)
+	if len(amps) != 8 {
+		t.Fatalf("cat_state(3) has %d amplitudes", len(amps))
+	}
+	// |000⟩ and |111⟩ at 1/√2 each.
+	a0 := amps[0].([]any)[0].(float64)
+	a7 := amps[7].([]any)[0].(float64)
+	const invRoot2 = 0.7071067811865476
+	if fmt.Sprintf("%.6f", a0) != fmt.Sprintf("%.6f", invRoot2) ||
+		fmt.Sprintf("%.6f", a7) != fmt.Sprintf("%.6f", invRoot2) {
+		t.Fatalf("cat amplitudes %v / %v", a0, a7)
+	}
+}

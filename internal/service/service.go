@@ -1,0 +1,686 @@
+// Package service is the production front of the simulator: an asynchronous
+// simulation service that turns the one-shot core.Simulate library call into
+// a job-oriented API suitable for sustained traffic.
+//
+// Three mechanisms carry the load:
+//
+//   - A bounded job queue drained by a fixed worker pool. Every job carries
+//     a context (service root + optional per-request timeout), so queued and
+//     running work is cancellable; cancellation propagates into the
+//     executors at part/step boundaries via core.SimulateContext.
+//
+//   - A content-addressed plan/result cache: entries are keyed by
+//     Circuit.Fingerprint() plus the semantically relevant simulation
+//     options, and hold the partition plan and the final state. N shot
+//     requests against the same circuit cost one simulation plus O(shots)
+//     sampling — repeat sampling reuses a prebuilt CDF (sv.Sampler) without
+//     copying the state. Concurrent misses on one key are single-flighted
+//     so a burst of identical requests still simulates once.
+//
+//   - A request API covering the common read-outs: full statevector, shot
+//     sampling (seeded, reproducible), Pauli-Z-string expectation values,
+//     and marginal probability distributions.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/lru"
+	"hisvsim/internal/partition"
+	"hisvsim/internal/sv"
+)
+
+// Kind selects what a job computes from the simulated state.
+type Kind string
+
+// Request kinds.
+const (
+	KindStatevector   Kind = "statevector"   // full amplitude vector
+	KindSample        Kind = "sample"        // Shots seeded basis-state samples
+	KindExpectation   Kind = "expectation"   // ⟨∏ Z_q⟩ over Qubits
+	KindProbabilities Kind = "probabilities" // marginal distribution over Qubits
+)
+
+// Kinds lists the accepted request kinds.
+func Kinds() []Kind {
+	return []Kind{KindStatevector, KindSample, KindExpectation, KindProbabilities}
+}
+
+// Request describes one simulation job.
+type Request struct {
+	// Circuit to simulate (required, validated on submit).
+	Circuit *circuit.Circuit
+	// Kind of read-out (required).
+	Kind Kind
+	// Shots is the sample count for KindSample (default 1024).
+	Shots int
+	// Seed drives the sampling RNG for KindSample; a fixed (circuit,
+	// options, seed) triple reproduces the exact shot sequence. It is NOT
+	// part of the cache key — differently-seeded sample requests share one
+	// simulated state.
+	Seed int64
+	// Qubits are the Z-string qubits (KindExpectation) or the marginal
+	// qubits, little-endian (KindProbabilities).
+	Qubits []int
+	// Options forwards to core.Simulate (strategy, Lm, ranks, fusion, …).
+	Options core.Options
+	// Timeout, when > 0, bounds the job from submission to completion.
+	Timeout time.Duration
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Result is a completed job's payload. Exactly the fields implied by Kind
+// are populated.
+type Result struct {
+	Kind Kind
+	// Amplitudes is the final state (KindStatevector). It is a copy of the
+	// cached state made once per job, shared by every observer of that job
+	// (Wait, Job, the HTTP snapshot): mutating it never corrupts the
+	// cache, but treat it as read-only unless you are the job's sole
+	// reader.
+	Amplitudes []complex128
+	// Samples are the drawn basis-state indices and Counts their histogram
+	// (KindSample).
+	Samples []int
+	Counts  map[int]int
+	// Expectation is ⟨∏ Z_q⟩ (KindExpectation).
+	Expectation float64
+	// Probabilities is the marginal distribution (KindProbabilities).
+	Probabilities []float64
+
+	// NumQubits is the simulated register width.
+	NumQubits int
+	// CacheHit reports whether the job reused a cached simulation.
+	CacheHit bool
+	// Parts is the partition plan's part count.
+	Parts int
+	// Elapsed is the job's execution time (excluding queue wait); Waited is
+	// the time spent queued.
+	Elapsed time.Duration
+	Waited  time.Duration
+}
+
+// JobInfo is a point-in-time snapshot of a job.
+type JobInfo struct {
+	ID        string
+	Kind      Kind
+	Status    Status
+	Err       string // non-empty iff StatusFailed/StatusCanceled
+	Result    *Result
+	Submitted time.Time
+	Started   time.Time // zero until running
+	Finished  time.Time // zero until terminal
+}
+
+// Config tunes a Service. The zero value selects the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 256); Submit
+	// returns ErrQueueFull beyond it, giving callers backpressure instead
+	// of unbounded memory growth.
+	QueueDepth int
+	// CacheBytes budgets the plan/state cache (default 256 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// RetainJobs bounds how many terminal jobs stay pollable (default
+	// 4096); older ones are forgotten FIFO.
+	RetainJobs int
+	// RetainBytes bounds the summed result payload of retained terminal
+	// jobs (default 256 MiB): big statevector results age out of the job
+	// store long before the count bound so they cannot pin memory.
+	RetainBytes int64
+	// MaxQubits rejects circuits wider than this at submit (default 26,
+	// a 1 GiB state).
+	MaxQubits int
+	// MaxShots rejects sample requests above this shot count (default
+	// 1e6), bounding per-job result memory.
+	MaxShots int
+	// MaxRanks rejects requests asking for more simulated MPI ranks than
+	// this (default 64): each virtual rank costs a goroutine plus mailbox,
+	// so an unbounded Options.Ranks would let one request exhaust memory.
+	MaxRanks int
+}
+
+// maxJobWorkers caps Options.Workers per request; more goroutines than
+// this never helps a kernel sweep and only costs scheduler memory.
+const maxJobWorkers = 1024
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.MaxQubits <= 0 {
+		c.MaxQubits = 26
+	}
+	if c.MaxShots <= 0 {
+		c.MaxShots = 1_000_000
+	}
+	if c.RetainBytes <= 0 {
+		c.RetainBytes = 256 << 20
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 64
+	}
+	return c
+}
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Simulations int64 `json:"simulations"` // actual core.Simulate executions
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	QueueLength  int   `json:"queue_length"`
+	Workers      int   `json:"workers"`
+}
+
+// Service errors.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: closed")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// Service is the asynchronous simulation engine. Create with New, submit
+// with Submit/Do, observe with Job/Wait/Stats, stop with Close.
+type Service struct {
+	cfg  Config
+	root context.Context
+	stop context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu            sync.Mutex
+	closed        bool
+	jobs          map[string]*job
+	retained      []string // terminal job IDs, oldest first
+	retainedBytes int64    // summed result payload of retained jobs
+	nextID        int64
+	cache         *lru.Cache
+	inflight      map[string]*flight
+
+	submitted, completed, failed, canceled atomic.Int64
+	simulations, cacheHits, cacheMisses    atomic.Int64
+}
+
+// job is the internal mutable job record; all fields past ctx/cancel are
+// guarded by Service.mu.
+type job struct {
+	id     string
+	req    Request
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	status    Status
+	result    *Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// cacheEntry is one simulated circuit: the plan, the final state (shared
+// read-only by every hit) and a lazily built sampler over it.
+type cacheEntry struct {
+	plan  *partition.Plan
+	state *sv.State
+
+	samplerOnce sync.Once
+	sampler     *sv.Sampler
+}
+
+func (e *cacheEntry) getSampler() *sv.Sampler {
+	e.samplerOnce.Do(func() { e.sampler = sv.NewSampler(e.state) })
+	return e.sampler
+}
+
+func (e *cacheEntry) cost() int64 {
+	// Charge the lazily built sampler CDF (8 bytes/amplitude) up front:
+	// it attaches to the entry after Put, so budgeting only the 16-byte
+	// amplitudes would let a sampled cache overshoot its budget by ~50%.
+	return int64(len(e.state.Amps))*(16+8) + 1024 // + 1 KiB plan slack
+}
+
+// flight tracks one in-progress simulation so concurrent misses on the same
+// key wait for it instead of duplicating the work.
+type flight struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// New starts a service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	root, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		root:     root,
+		stop:     stop,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     map[string]*job{},
+		cache:    lru.New(cfg.CacheBytes),
+		inflight: map[string]*flight{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a request, returning the job ID
+// immediately. It never blocks on execution: a full queue fails fast with
+// ErrQueueFull.
+func (s *Service) Submit(req Request) (string, error) {
+	if req.Kind == KindSample && req.Shots == 0 {
+		req.Shots = min(1024, s.cfg.MaxShots)
+	}
+	if err := s.validate(req); err != nil {
+		return "", err
+	}
+
+	var jctx context.Context
+	var jcancel context.CancelFunc
+	if req.Timeout > 0 {
+		jctx, jcancel = context.WithTimeout(s.root, req.Timeout)
+	} else {
+		jctx, jcancel = context.WithCancel(s.root)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jcancel()
+		return "", ErrClosed
+	}
+	s.nextID++
+	j := &job{
+		id: fmt.Sprintf("j%06d", s.nextID), req: req,
+		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
+		status: StatusQueued, submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		jcancel()
+		return "", ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.submitted.Add(1)
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+func (s *Service) validate(req Request) error {
+	if req.Circuit == nil {
+		return errors.New("service: nil circuit")
+	}
+	if err := req.Circuit.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if req.Circuit.NumQubits > s.cfg.MaxQubits {
+		return fmt.Errorf("service: circuit has %d qubits, limit %d", req.Circuit.NumQubits, s.cfg.MaxQubits)
+	}
+	if req.Options.Ranks > s.cfg.MaxRanks {
+		return fmt.Errorf("service: %d ranks exceeds limit %d", req.Options.Ranks, s.cfg.MaxRanks)
+	}
+	if req.Options.Workers > maxJobWorkers {
+		return fmt.Errorf("service: %d workers exceeds limit %d", req.Options.Workers, maxJobWorkers)
+	}
+	switch req.Kind {
+	case KindStatevector:
+	case KindSample:
+		if req.Shots < 0 {
+			return fmt.Errorf("service: negative shot count %d", req.Shots)
+		}
+		if req.Shots > s.cfg.MaxShots {
+			return fmt.Errorf("service: %d shots exceeds limit %d", req.Shots, s.cfg.MaxShots)
+		}
+	case KindExpectation, KindProbabilities:
+		seen := map[int]bool{}
+		for _, q := range req.Qubits {
+			if q < 0 || q >= req.Circuit.NumQubits {
+				return fmt.Errorf("service: qubit %d out of range [0,%d)", q, req.Circuit.NumQubits)
+			}
+			// Repeats are meaningful for Z strings (Z² = I) but would only
+			// amplify the marginal's 2^k result, so reject them there.
+			if req.Kind == KindProbabilities && seen[q] {
+				return fmt.Errorf("service: duplicate marginal qubit %d", q)
+			}
+			seen[q] = true
+		}
+	default:
+		return fmt.Errorf("service: unknown kind %q (want one of %v)", req.Kind, Kinds())
+	}
+	return nil
+}
+
+// Job returns a snapshot of the job, or ErrNotFound.
+func (s *Service) Job(id string) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return s.snapshotLocked(j), nil
+}
+
+func (s *Service) snapshotLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID: j.id, Kind: j.req.Kind, Status: j.status, Result: j.result,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	return info
+}
+
+// Cancel cancels a queued or running job. Canceling a terminal job is a
+// no-op; an unknown ID returns ErrNotFound.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	j.cancel()
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal status (returning its
+// result or failure) or ctx expires (returning ctx's error; the job keeps
+// running).
+func (s *Service) Wait(ctx context.Context, id string) (*Result, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.result, nil
+}
+
+// Do is the synchronous convenience: Submit then Wait. If ctx expires
+// while waiting, the job itself is canceled too.
+func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
+	id, err := s.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Wait(ctx, id)
+	if err != nil && ctx.Err() != nil {
+		_ = s.Cancel(id)
+	}
+	return res, err
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := s.cache.Len(), s.cache.Size()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Submitted: s.submitted.Load(), Completed: s.completed.Load(),
+		Failed: s.failed.Load(), Canceled: s.canceled.Load(),
+		Simulations: s.simulations.Load(),
+		CacheHits:   s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
+		CacheEntries: entries, CacheBytes: bytes,
+		QueueLength: queued, Workers: s.cfg.Workers,
+	}
+}
+
+// Close stops the service: no new submissions, queued jobs are canceled,
+// running jobs are interrupted via their contexts, and the worker pool is
+// drained before returning.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop() // cancels s.root and with it every job context
+	s.wg.Wait()
+	// Workers are gone; fail anything still sitting in the queue.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, nil, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.root.Done():
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+func (s *Service) run(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	if err := j.ctx.Err(); err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	res, err := s.execute(j)
+	s.finish(j, res, err)
+}
+
+func (s *Service) finish(j *job, res *Result, err error) {
+	s.mu.Lock()
+	if j.status.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.finished = time.Now()
+	j.result = res
+	j.err = err
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		s.canceled.Add(1)
+	default:
+		j.status = StatusFailed
+		s.failed.Add(1)
+	}
+	s.retained = append(s.retained, j.id)
+	s.retainedBytes += resultBytes(res)
+	for len(s.retained) > s.cfg.RetainJobs ||
+		(s.retainedBytes > s.cfg.RetainBytes && len(s.retained) > 1) {
+		old := s.jobs[s.retained[0]]
+		if old != nil {
+			s.retainedBytes -= resultBytes(old.result)
+		}
+		delete(s.jobs, s.retained[0])
+		s.retained = s.retained[1:]
+	}
+	s.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// resultBytes estimates a result's retained payload.
+func resultBytes(r *Result) int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(len(r.Amplitudes))*16 + int64(len(r.Samples))*8 +
+		int64(len(r.Counts))*16 + int64(len(r.Probabilities))*8
+}
+
+// execute resolves the cache entry (simulating on miss) and derives the
+// requested read-out.
+func (s *Service) execute(j *job) (*Result, error) {
+	start := time.Now()
+	entry, hit, err := s.entryFor(j)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind: j.req.Kind, NumQubits: entry.state.N,
+		CacheHit: hit, Parts: entry.plan.NumParts(),
+		Waited: j.started.Sub(j.submitted),
+	}
+	st := entry.state
+	switch j.req.Kind {
+	case KindStatevector:
+		res.Amplitudes = append([]complex128(nil), st.Amps...)
+	case KindSample:
+		rng := rand.New(rand.NewSource(j.req.Seed))
+		res.Samples = entry.getSampler().Sample(j.req.Shots, rng)
+		res.Counts = map[int]int{}
+		for _, x := range res.Samples {
+			res.Counts[x]++
+		}
+	case KindExpectation:
+		res.Expectation = st.ExpectationPauliZString(j.req.Qubits)
+	case KindProbabilities:
+		res.Probabilities = st.Marginal(j.req.Qubits)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// entryFor returns the cached simulation for the job's (circuit, options)
+// key, running it via single-flight on a miss. The returned hit flag is
+// true when no simulation ran on behalf of this job.
+func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
+	key := cacheKey(j.req.Circuit, j.req.Options)
+	for {
+		s.mu.Lock()
+		if v, ok := s.cache.Get(key); ok {
+			s.mu.Unlock()
+			s.cacheHits.Add(1)
+			return v.(*cacheEntry), true, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-j.ctx.Done():
+				return nil, false, j.ctx.Err()
+			}
+			if fl.err != nil {
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					// The flight owner was canceled — that says nothing
+					// about this job; loop and claim the key ourselves.
+					continue
+				}
+				// A real simulation failure would fail us identically.
+				return nil, false, fl.err
+			}
+			s.cacheHits.Add(1)
+			return fl.entry, true, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		s.cacheMisses.Add(1)
+		fl.entry, fl.err = s.simulate(j)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if fl.err == nil {
+			s.cache.Put(key, fl.entry, fl.entry.cost())
+		}
+		s.mu.Unlock()
+		close(fl.done)
+		return fl.entry, false, fl.err
+	}
+}
+
+func (s *Service) simulate(j *job) (*cacheEntry, error) {
+	s.simulations.Add(1)
+	opts := j.req.Options
+	opts.SkipState = false // the cache entry IS the state
+	res, err := core.SimulateContext(j.ctx, j.req.Circuit, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &cacheEntry{plan: res.Plan, state: res.State}, nil
+}
+
+// cacheKey is the content address of one simulation: the circuit
+// fingerprint plus every option that can change the produced state or plan.
+// Workers, Model and SkipState are excluded — they affect speed and
+// metrics, never the amplitudes — and the fuse policy collapses to its
+// Enabled bit (FuseAuto and FuseOn execute identically).
+func cacheKey(c *circuit.Circuit, o core.Options) string {
+	return fmt.Sprintf("%s|s=%s lm=%d r=%d lm2=%d f=%t mf=%d seed=%d",
+		c.Fingerprint(), o.Strategy, o.Lm, o.Ranks, o.SecondLevelLm, o.Fuse.Enabled(), o.MaxFuseQubits, o.Seed)
+}

@@ -1,0 +1,480 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/sv"
+)
+
+func newTest(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSampleMatchesDirectSimulation(t *testing.T) {
+	// Differential check: the service's sample path must reproduce exactly
+	// what a direct Simulate + State.Sample with the same seed produces.
+	s := newTest(t, Config{Workers: 2})
+	c := circuit.MustNamed("qft", 8)
+	opts := core.Options{Strategy: "dagp", Lm: 5, Seed: 3}
+
+	res, err := s.Do(context.Background(), Request{
+		Circuit: c, Kind: KindSample, Shots: 500, Seed: 99, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Simulate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.State.Sample(500, rand.New(rand.NewSource(99)))
+	if len(res.Samples) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(res.Samples), len(want))
+	}
+	for i := range want {
+		if res.Samples[i] != want[i] {
+			t.Fatalf("shot %d: service %d vs direct %d", i, res.Samples[i], want[i])
+		}
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestExpectationAndProbabilitiesMatchDirect(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("ising", 7)
+	opts := core.Options{Strategy: "nat", Lm: 4}
+	direct, err := core.Simulate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := s.Do(context.Background(), Request{
+		Circuit: c, Kind: KindExpectation, Qubits: []int{0, 3}, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := direct.State.ExpectationPauliZString([]int{0, 3}); exp.Expectation != want {
+		t.Fatalf("⟨Z0Z3⟩ service %v vs direct %v", exp.Expectation, want)
+	}
+
+	prob, err := s.Do(context.Background(), Request{
+		Circuit: c, Kind: KindProbabilities, Qubits: []int{1, 2}, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.State.Marginal([]int{1, 2})
+	for i := range want {
+		if prob.Probabilities[i] != want[i] {
+			t.Fatalf("marginal[%d] service %v vs direct %v", i, prob.Probabilities[i], want[i])
+		}
+	}
+
+	stv, err := s.Do(context.Background(), Request{Circuit: c, Kind: KindStatevector, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range direct.State.Amps {
+		if stv.Amplitudes[i] != a {
+			t.Fatalf("amplitude %d differs", i)
+		}
+	}
+}
+
+func TestDistributedRequestThroughService(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("qft", 8)
+	opts := core.Options{Strategy: "dagp", Ranks: 4}
+	res, err := s.Do(context.Background(), Request{Circuit: c, Kind: KindStatevector, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Simulate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range direct.State.Amps {
+		if res.Amplitudes[i] != a {
+			t.Fatalf("distributed service result diverges at amplitude %d", i)
+		}
+	}
+}
+
+func TestCacheHitSkipsSimulationBitIdentical(t *testing.T) {
+	// The acceptance-criterion check: a repeat circuit must NOT re-simulate
+	// (execution counter pinned at 1) and must return bit-identical results.
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("qft", 9)
+	req := Request{Circuit: c, Kind: KindStatevector, Options: core.Options{Strategy: "dagp", Lm: 6}}
+
+	cold, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	// Same circuit content rebuilt from scratch: content addressing must
+	// hit regardless of pointer identity.
+	req2 := req
+	req2.Circuit = circuit.MustNamed("qft", 9)
+	warm, err := s.Do(context.Background(), req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("repeat request missed the cache")
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("simulations = %d, want 1", got)
+	}
+	for i := range cold.Amplitudes {
+		if cold.Amplitudes[i] != warm.Amplitudes[i] {
+			t.Fatalf("cache hit not bit-identical at amplitude %d", i)
+		}
+	}
+
+	// FuseAuto and FuseOn execute identically, so they share an entry.
+	req4 := req
+	req4.Options.Fuse = core.FuseOn
+	same, err := s.Do(context.Background(), req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.CacheHit {
+		t.Fatal("FuseOn must share FuseAuto's cache entry")
+	}
+
+	// Different options → different key → fresh simulation.
+	req3 := req
+	req3.Options.Lm = 4
+	other, err := s.Do(context.Background(), req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit {
+		t.Fatal("different options must not share a cache entry")
+	}
+	if got := s.Stats().Simulations; got != 2 {
+		t.Fatalf("simulations = %d, want 2", got)
+	}
+}
+
+func TestSampleSeedsShareOneSimulation(t *testing.T) {
+	// N differently-seeded shot requests on one circuit: one simulation,
+	// N samplings; equal seeds reproduce the exact shot sequence.
+	s := newTest(t, Config{Workers: 2})
+	c := circuit.MustNamed("qaoa", 8)
+	base := Request{Circuit: c, Kind: KindSample, Shots: 100, Options: core.Options{Strategy: "dagp", Lm: 5}}
+
+	bySeed := map[int64][]int{}
+	for _, seed := range []int64{1, 2, 3, 1} {
+		req := base
+		req.Seed = seed
+		res, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := bySeed[seed]; ok {
+			for i := range prev {
+				if prev[i] != res.Samples[i] {
+					t.Fatalf("seed %d: repeat request diverged at shot %d", seed, i)
+				}
+			}
+		}
+		bySeed[seed] = res.Samples
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("simulations = %d, want 1 across 4 sample requests", got)
+	}
+}
+
+func TestConcurrentSubmissionsRace(t *testing.T) {
+	// Many goroutines hammering a small set of circuits through a small
+	// pool: exercises the queue, the single-flight path and the cache under
+	// the race detector. Identical requests must all agree bit-for-bit.
+	s := newTest(t, Config{Workers: 4, QueueDepth: 512})
+	circs := []*circuit.Circuit{
+		circuit.MustNamed("qft", 7),
+		circuit.MustNamed("bv", 7),
+		circuit.MustNamed("ising", 7),
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([][]int, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := circs[g%len(circs)]
+			res, err := s.Do(context.Background(), Request{
+				Circuit: c, Kind: KindSample, Shots: 50, Seed: 7,
+				Options: core.Options{Strategy: "dagp", Lm: 5},
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g] = res.Samples
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := len(circs); g < goroutines; g++ {
+		prev := results[g-len(circs)] // same circuit, same seed
+		for i := range prev {
+			if results[g][i] != prev[i] {
+				t.Fatalf("identical requests disagreed (goroutine %d, shot %d)", g, i)
+			}
+		}
+	}
+	if sims := s.Stats().Simulations; sims != int64(len(circs)) {
+		t.Fatalf("simulations = %d, want %d (one per distinct circuit)", sims, len(circs))
+	}
+}
+
+func TestAsyncSubmitPollWait(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("grover", 6)
+	id, err := s.Submit(Request{Circuit: c, Kind: KindSample, Shots: 10, Options: core.Options{Strategy: "nat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != id || info.Status.Terminal() && info.Result == nil {
+		t.Fatalf("inconsistent snapshot: %+v", info)
+	}
+	res, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 10 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	info, err = s.Job(id)
+	if err != nil || info.Status != StatusDone || info.Finished.IsZero() {
+		t.Fatalf("post-wait snapshot: %+v, %v", info, err)
+	}
+	if _, err := s.Job("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: %v", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// One worker pinned on a slow job; a queued job canceled behind it must
+	// finish as canceled without executing.
+	s := newTest(t, Config{Workers: 1})
+	slow := circuit.MustNamed("qft", 14)
+	quick := circuit.MustNamed("bv", 6)
+	slowID, err := s.Submit(Request{Circuit: slow, Kind: KindStatevector, Options: core.Options{Strategy: "dagp", Lm: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimID, err := s.Submit(Request{Circuit: quick, Kind: KindStatevector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(victimID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), victimID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job returned %v", err)
+	}
+	if _, err := s.Wait(context.Background(), slowID); err != nil {
+		t.Fatalf("unrelated job affected: %v", err)
+	}
+	if st := s.Stats(); st.Canceled != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	_, err := s.Do(context.Background(), Request{
+		Circuit: circuit.MustNamed("qft", 14),
+		Kind:    KindStatevector,
+		Options: core.Options{Strategy: "nat", Lm: 4},
+		Timeout: time.Nanosecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, MaxQubits: 10})
+	good := circuit.MustNamed("bv", 4)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"nil circuit", Request{Kind: KindSample}},
+		{"unknown kind", Request{Circuit: good, Kind: "bogus"}},
+		{"negative shots", Request{Circuit: good, Kind: KindSample, Shots: -1}},
+		{"qubit out of range", Request{Circuit: good, Kind: KindExpectation, Qubits: []int{9}}},
+		{"too wide", Request{Circuit: circuit.MustNamed("bv", 12), Kind: KindSample}},
+		{"too many shots", Request{Circuit: good, Kind: KindSample, Shots: 1 << 62}},
+		{"duplicate marginal qubit", Request{Circuit: good, Kind: KindProbabilities, Qubits: []int{1, 1}}},
+		{"too many ranks", Request{Circuit: good, Kind: KindSample, Options: core.Options{Ranks: 1 << 24}}},
+		{"too many workers", Request{Circuit: good, Kind: KindSample, Options: core.Options{Workers: 1 << 30}}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Submit(tc.req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if s.Stats().Submitted != 0 {
+		t.Fatal("rejected submissions were counted")
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, QueueDepth: 1})
+	blocker := Request{Circuit: circuit.MustNamed("qft", 13), Kind: KindStatevector, Options: core.Options{Strategy: "dagp", Lm: 8}}
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: worker may have taken the first job already, so allow one
+	// queued success before demanding ErrQueueFull.
+	full := false
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(blocker); errors.Is(err, ErrQueueFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("queue never reported full")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	if _, err := s.Submit(Request{Circuit: circuit.MustNamed("bv", 4), Kind: KindSample}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, CacheBytes: -1})
+	c := circuit.MustNamed("bv", 6)
+	for i := 0; i < 2; i++ {
+		res, err := s.Do(context.Background(), Request{Circuit: c, Kind: KindProbabilities, Qubits: []int{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+		if math.Abs(res.Probabilities[0]+res.Probabilities[1]-1) > 1e-9 {
+			t.Fatalf("marginal not normalized: %v", res.Probabilities)
+		}
+	}
+	if got := s.Stats().Simulations; got != 2 {
+		t.Fatalf("simulations = %d, want 2 with cache disabled", got)
+	}
+}
+
+func TestDefaultShotsClampedToMaxShots(t *testing.T) {
+	// Omitting Shots must respect an operator MaxShots below the 1024
+	// default rather than bypassing it.
+	s := newTest(t, Config{Workers: 1, MaxShots: 100})
+	res, err := s.Do(context.Background(), Request{Circuit: circuit.MustNamed("bv", 5), Kind: KindSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 100 {
+		t.Fatalf("default shots = %d, want clamp to 100", len(res.Samples))
+	}
+	// Expectation strings may still repeat qubits (Z² = I).
+	if _, err := s.Do(context.Background(), Request{
+		Circuit: circuit.MustNamed("bv", 5), Kind: KindExpectation, Qubits: []int{0, 0},
+	}); err != nil {
+		t.Fatalf("repeated Z-string qubits rejected: %v", err)
+	}
+}
+
+func TestRetainBytesEvictsHeavyResults(t *testing.T) {
+	// Statevector results beyond the byte budget age out of the job store
+	// (oldest first), while light jobs stay pollable under the count bound.
+	s := newTest(t, Config{Workers: 1, RetainBytes: 3 * (16 << 7)}) // room for ~3 7-qubit statevectors
+	for i := 0; i < 6; i++ {
+		res, err := s.Do(context.Background(), Request{Circuit: circuit.MustNamed("qft", 7), Kind: KindStatevector})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Amplitudes) != 1<<7 {
+			t.Fatalf("bad result size %d", len(res.Amplitudes))
+		}
+	}
+	// The job store must have evicted the early statevector results.
+	evicted := 0
+	for i := 1; i <= 6; i++ {
+		if _, err := s.Job(fmt.Sprintf("j%06d", i)); errors.Is(err, ErrNotFound) {
+			evicted++
+		}
+	}
+	if evicted < 2 {
+		t.Fatalf("no byte-bounded eviction: %d of 6 heavy jobs evicted", evicted)
+	}
+	// The most recent job always survives.
+	if _, err := s.Job("j000006"); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}
+
+func TestStatevectorResultIsACopy(t *testing.T) {
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("bv", 5)
+	req := Request{Circuit: c, Kind: KindStatevector}
+	a, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Amplitudes {
+		a.Amplitudes[i] = complex(42, 42) // vandalize the returned slice
+	}
+	b, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit {
+		t.Fatal("expected cache hit")
+	}
+	if b.Amplitudes[0] == complex(42, 42) {
+		t.Fatal("caller mutation reached the cached state")
+	}
+	// And the cached state still samples correctly.
+	st := sv.NewStateRaw(append([]complex128(nil), b.Amplitudes...))
+	if math.Abs(st.Norm()-1) > 1e-9 {
+		t.Fatalf("cached state corrupted: norm %v", st.Norm())
+	}
+}

@@ -4,29 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 )
 
 // Sample draws n basis-state samples from the state's Born distribution
-// using the given RNG (inverse-CDF over a single pass per sample batch).
+// using the given RNG. It builds a one-shot Sampler (single CDF pass, then
+// O(log N) per draw); callers sampling the same state repeatedly should hold
+// a NewSampler and reuse it.
 func (s *State) Sample(n int, rng *rand.Rand) []int {
-	// Build the CDF once; for repeated sampling this dominates setup but
-	// keeps each draw O(log N).
-	cdf := make([]float64, len(s.Amps))
-	acc := 0.0
-	for i, a := range s.Amps {
-		acc += real(a)*real(a) + imag(a)*imag(a)
-		cdf[i] = acc
-	}
-	out := make([]int, n)
-	for k := 0; k < n; k++ {
-		u := rng.Float64() * acc
-		out[k] = sort.SearchFloat64s(cdf, u)
-		if out[k] >= len(cdf) {
-			out[k] = len(cdf) - 1
-		}
-	}
-	return out
+	return NewSampler(s).Sample(n, rng)
 }
 
 // Counts samples n shots and returns a basis-index histogram.
@@ -40,7 +25,8 @@ func (s *State) Counts(n int, rng *rand.Rand) map[int]int {
 
 // Marginal returns the probability distribution over the given qubits
 // (traced over the rest), indexed by the little-endian value of the listed
-// qubits (qubits[0] = bit 0 of the result index).
+// qubits (qubits[0] = bit 0 of the result index). An empty qubit list
+// traces out everything: the result is the one-element distribution {1}.
 func (s *State) Marginal(qubits []int) []float64 {
 	for _, q := range qubits {
 		if q < 0 || q >= s.N {
@@ -87,14 +73,16 @@ func (s *State) ExpectationZZ(a, b int) float64 {
 	return e
 }
 
-// ExpectationPauliZString returns ⟨∏ Z_q⟩ for the listed qubits.
+// ExpectationPauliZString returns ⟨∏ Z_q⟩ for the listed qubits. A qubit
+// listed an even number of times cancels (Z² = I), so e.g. {0,0} is the
+// identity and {0,0,1} equals {1}.
 func (s *State) ExpectationPauliZString(qubits []int) float64 {
 	var mask int
 	for _, q := range qubits {
 		if q < 0 || q >= s.N {
 			panic("sv: qubit out of range")
 		}
-		mask |= 1 << uint(q)
+		mask ^= 1 << uint(q)
 	}
 	e := 0.0
 	for i, amp := range s.Amps {

@@ -115,6 +115,102 @@ func TestExpectationPauliZString(t *testing.T) {
 	}
 }
 
+func TestMarginalEmpty(t *testing.T) {
+	s := NewState(3)
+	_ = s.ApplyGate(gate.H(0))
+	_ = s.ApplyGate(gate.CX(0, 2))
+	m := s.Marginal(nil)
+	if len(m) != 1 || math.Abs(m[0]-1) > 1e-12 {
+		t.Fatalf("empty marginal = %v, want [1]", m)
+	}
+}
+
+func TestExpectationPauliZStringRepeatedQubits(t *testing.T) {
+	s := NewState(3)
+	_ = s.ApplyGate(gate.X(0))
+	_ = s.ApplyGate(gate.H(1))
+	// Z0 Z0 = I: expectation 1 on any state.
+	if e := s.ExpectationPauliZString([]int{0, 0}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨Z0Z0⟩ = %v, want 1", e)
+	}
+	// Z0 Z0 Z2 = Z2: |q2=0⟩ gives +1.
+	if e := s.ExpectationPauliZString([]int{0, 0, 2}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨Z0Z0Z2⟩ = %v, want ⟨Z2⟩ = 1", e)
+	}
+	// Z0 Z2 Z0 Z2 = I even with interleaved repeats.
+	if e := s.ExpectationPauliZString([]int{0, 2, 0, 2}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨Z0Z2Z0Z2⟩ = %v, want 1", e)
+	}
+	// Odd repetition count reduces to a single Z.
+	got := s.ExpectationPauliZString([]int{0, 0, 0})
+	want := s.ExpectationZ(0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("⟨Z0³⟩ = %v, want ⟨Z0⟩ = %v", got, want)
+	}
+	// Empty string is the identity.
+	if e := s.ExpectationPauliZString(nil); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("⟨I⟩ = %v, want 1", e)
+	}
+}
+
+func TestSampleSeededDeterminism(t *testing.T) {
+	c := circuit.Random(6, 40, 11)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Sample(200, rand.New(rand.NewSource(42)))
+	b := s.Sample(200, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded Sample diverged at shot %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	ca := s.Counts(500, rand.New(rand.NewSource(9)))
+	cb := s.Counts(500, rand.New(rand.NewSource(9)))
+	if len(ca) != len(cb) {
+		t.Fatalf("seeded Counts histograms differ: %v vs %v", ca, cb)
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Fatalf("seeded Counts differ at basis %d: %d vs %d", k, v, cb[k])
+		}
+	}
+	if other := s.Sample(200, rand.New(rand.NewSource(43)))[0]; other == a[0] && a[0] == a[1] && a[1] == a[2] {
+		// Not an error by itself — but a concentrated state makes this vacuous;
+		// the random circuit above should spread mass across many outcomes.
+		t.Logf("note: different seeds produced identical leading shots")
+	}
+}
+
+func TestSamplerMatchesStateSample(t *testing.T) {
+	c := circuit.Random(7, 60, 3)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSampler(s)
+	if sp.NumQubits() != 7 {
+		t.Fatalf("sampler width %d", sp.NumQubits())
+	}
+	direct := s.Sample(300, rand.New(rand.NewSource(5)))
+	reused := sp.Sample(300, rand.New(rand.NewSource(5)))
+	for i := range direct {
+		if direct[i] != reused[i] {
+			t.Fatalf("sampler diverged from State.Sample at shot %d", i)
+		}
+	}
+	// The sampler is a snapshot: mutating the state afterwards must not
+	// change what it draws.
+	_ = s.ApplyGate(gate.X(0))
+	after := sp.Sample(300, rand.New(rand.NewSource(5)))
+	for i := range reused {
+		if after[i] != reused[i] {
+			t.Fatalf("sampler aliased the mutated state at shot %d", i)
+		}
+	}
+}
+
 func TestNormalize(t *testing.T) {
 	s := NewState(2)
 	for i := range s.Amps {

@@ -1,0 +1,55 @@
+package sv
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sampler draws basis-state samples from a snapshot of a state's Born
+// distribution. The cumulative distribution is built once at construction
+// (one O(2^n) pass, no copy of the amplitudes) and every subsequent draw is
+// O(log 2^n), so a cached state can serve many independent shot requests at
+// sampling cost only. A Sampler is immutable after construction: concurrent
+// Sample/Counts calls with distinct RNGs are safe.
+type Sampler struct {
+	n     int
+	cdf   []float64
+	total float64
+}
+
+// NewSampler snapshots the state's distribution. Later mutation of the
+// state does not affect the sampler (the CDF is derived, not aliased).
+func NewSampler(s *State) *Sampler {
+	cdf := make([]float64, len(s.Amps))
+	acc := 0.0
+	for i, a := range s.Amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
+	return &Sampler{n: s.N, cdf: cdf, total: acc}
+}
+
+// NumQubits returns the register width the sampler was built over.
+func (sp *Sampler) NumQubits() int { return sp.n }
+
+// Sample draws n basis-state indices using the given RNG (inverse-CDF).
+func (sp *Sampler) Sample(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for k := 0; k < n; k++ {
+		u := rng.Float64() * sp.total
+		out[k] = sort.SearchFloat64s(sp.cdf, u)
+		if out[k] >= len(sp.cdf) {
+			out[k] = len(sp.cdf) - 1
+		}
+	}
+	return out
+}
+
+// Counts draws n shots and returns a basis-index histogram.
+func (sp *Sampler) Counts(n int, rng *rand.Rand) map[int]int {
+	out := map[int]int{}
+	for _, x := range sp.Sample(n, rng) {
+		out[x]++
+	}
+	return out
+}

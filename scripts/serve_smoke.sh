@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — boot hisvsimd, exercise submit → poll → sample over HTTP,
+# verify the plan/state cache actually amortizes, and shut down gracefully.
+# Used by `make serve-smoke` and the CI workflow. Needs curl + jq.
+set -eu
+
+ADDR="${HISVSIMD_ADDR:-127.0.0.1:8791}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/hisvsimd"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/hisvsimd
+
+"$BIN" -addr "$ADDR" -workers 2 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "serve-smoke: daemon never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+submit() {
+    curl -fsS "$BASE/v1/jobs" -d '{
+        "circuit": {"family": "qft", "qubits": 12},
+        "kind": "sample", "shots": 100, "seed": 7,
+        "options": {"strategy": "dagp"}
+    }' | jq -r .id
+}
+
+# Submit, then plain-poll until the snapshot goes terminal.
+ID="$(submit)"
+echo "serve-smoke: submitted $ID"
+i=0
+while :; do
+    STATUS="$(curl -fsS "$BASE/v1/jobs/$ID" | jq -r .status)"
+    [ "$STATUS" = done ] && break
+    if [ "$STATUS" = failed ] || [ "$STATUS" = canceled ]; then
+        echo "serve-smoke: job $ID ended $STATUS" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve-smoke: poll timeout" >&2; exit 1; }
+    sleep 0.2
+done
+
+# The long-poll result endpoint agrees and the shots add up.
+TOTAL="$(curl -fsS "$BASE/v1/jobs/$ID/result?wait=30s" | jq '[.result.counts[]] | add')"
+if [ "$TOTAL" != 100 ]; then
+    echo "serve-smoke: counts sum to $TOTAL, want 100" >&2
+    exit 1
+fi
+
+# A repeat submission must be a cache hit with identical counts.
+ID2="$(submit)"
+HIT="$(curl -fsS "$BASE/v1/jobs/$ID2/result?wait=30s" | jq .result.cache_hit)"
+if [ "$HIT" != true ]; then
+    echo "serve-smoke: repeat submission missed the cache" >&2
+    exit 1
+fi
+SIMS="$(curl -fsS "$BASE/v1/stats" | jq .simulations)"
+if [ "$SIMS" != 1 ]; then
+    echo "serve-smoke: $SIMS simulations for 2 identical jobs, want 1" >&2
+    exit 1
+fi
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "serve-smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+trap - EXIT
+echo "serve-smoke: OK (submit, poll, sample, cache hit, graceful shutdown)"

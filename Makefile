@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench serve-smoke clean
 
 all: lint build test
 
@@ -29,6 +29,11 @@ fusion-bench:
 # Regenerates BENCH_service.json (cold vs. cache-hit latency, jobs/sec sweep).
 service-bench:
 	$(GO) run ./cmd/benchtables -only service -service-out BENCH_service.json
+
+# Regenerates BENCH_noise.json (trajectory throughput vs. workers, Pauli
+# fast path vs. general Kraus selection, one fused plan reused throughout).
+noise-bench:
+	$(GO) run ./cmd/benchtables -only noise -noise-out BENCH_noise.json
 
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:

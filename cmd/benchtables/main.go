@@ -28,12 +28,16 @@ func main() {
 		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
 		seed       = flag.Int64("seed", 1, "partitioner seed")
 		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise")
 		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
 		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
 		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
 		serviceOut = flag.String("service-out", "", "also write the service benchmark as JSON to this path (e.g. BENCH_service.json)")
 		serviceN   = flag.Int("service-qubits", 18, "register size for the service benchmark circuit")
+		noiseOut   = flag.String("noise-out", "", "also write the noise benchmark as JSON to this path (e.g. BENCH_noise.json)")
+		noiseN     = flag.Int("noise-qubits", 12, "register size for the noise benchmark circuit")
+		noiseTraj  = flag.Int("noise-traj", 200, "trajectories per noise benchmark point")
+		noiseP     = flag.Float64("noise-p", 0.01, "depolarizing probability for the noise benchmark")
 	)
 	flag.Parse()
 
@@ -141,6 +145,19 @@ func main() {
 			check(err)
 			check(os.WriteFile(*serviceOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *serviceOut)
+		}
+	}
+	if sel("noise") || *noiseOut != "" {
+		rep, err := experiments.NoiseBench(experiments.NoiseConfig{
+			Qubits: *noiseN, Trajectories: *noiseTraj, P: *noiseP, Seed: *seed,
+		})
+		check(err)
+		fmt.Println(rep.Table())
+		if *noiseOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*noiseOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *noiseOut)
 		}
 	}
 }

@@ -6,9 +6,14 @@
 //	hisvsim -circuit qft -n 16 -strategy dagp -lm 12
 //	hisvsim -qasm file.qasm -strategy dagp -ranks 4 -verify
 //	hisvsim -circuit grover -n 15 -plan-only
+//	hisvsim -circuit ising -n 12 -depolarizing 0.01 -trajectories 500 -shots 4096
 //
 // It prints the plan summary (parts and working sets), execution metrics,
-// and optionally verifies the result against flat simulation.
+// and optionally verifies the result against flat simulation. Any of the
+// noise flags (-depolarizing, -bit-flip, -phase-flip, -amp-damp,
+// -phase-damp, -readout01/-readout10) switches to trajectory-ensemble
+// simulation: counts and a Z-string expectation aggregated over
+// -trajectories stochastic runs.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"hisvsim"
@@ -36,6 +42,19 @@ func main() {
 		verify    = flag.Bool("verify", false, "cross-check against flat simulation (doubles memory)")
 		planOnly  = flag.Bool("plan-only", false, "partition only; skip execution")
 		showParts = flag.Bool("parts", false, "print every part's gates and working set")
+
+		depol      = flag.Float64("depolarizing", 0, "depolarizing probability per gate application (enables noisy mode)")
+		bitFlip    = flag.Float64("bit-flip", 0, "bit-flip probability per gate application")
+		phaseFlip  = flag.Float64("phase-flip", 0, "phase-flip probability per gate application")
+		ampDamp    = flag.Float64("amp-damp", 0, "amplitude-damping rate per gate application")
+		phaseDamp  = flag.Float64("phase-damp", 0, "phase-damping rate per gate application")
+		noiseGates = flag.String("noise-gates", "", "restrict noise channels to these comma-separated gate names (default: all gates)")
+		readout01  = flag.Float64("readout01", 0, "readout flip probability P(read 1 | true 0)")
+		readout10  = flag.Float64("readout10", 0, "readout flip probability P(read 0 | true 1)")
+		traj       = flag.Int("trajectories", 256, "trajectory count for noisy mode")
+		shots      = flag.Int("shots", 4096, "total sampled shots for noisy mode (0 = none)")
+		zString    = flag.String("expect-z", "0", "comma-separated qubits for the noisy ⟨∏ Z_q⟩ estimate (empty = skip)")
+		noiseSeed  = flag.Int64("noise-seed", 1, "trajectory RNG seed")
 	)
 	flag.Parse()
 
@@ -58,6 +77,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	model, err := buildNoiseModel(*depol, *bitFlip, *phaseFlip, *ampDamp, *phaseDamp,
+		*noiseGates, *readout01, *readout10)
+	if err != nil {
+		fatal(err)
+	}
+	if model != nil {
+		if *verify {
+			fatal(fmt.Errorf("-verify compares against flat ideal simulation and cannot check a stochastic ensemble; drop the noise flags or -verify"))
+		}
+		if *showParts {
+			fatal(fmt.Errorf("-parts is a partition-plan report; noisy trajectories execute unpartitioned (drop -parts or the noise flags)"))
+		}
+		runNoisy(c, hisvsim.Options{
+			Strategy: *strategy, Lm: *lm, Ranks: *ranks,
+			SecondLevelLm: *lm2, Seed: *seed,
+			Fuse: fp, MaxFuseQubits: *fuseMax, Noise: model,
+		}, *traj, *shots, *zString, *noiseSeed)
+		return
+	}
+
 	res, err := hisvsim.Simulate(c, hisvsim.Options{
 		Strategy: *strategy, Lm: *lm, Ranks: *ranks,
 		SecondLevelLm: *lm2, Seed: *seed,
@@ -96,6 +136,92 @@ func main() {
 			fatal(fmt.Errorf("verification FAILED"))
 		}
 		fmt.Println("verification PASSED")
+	}
+}
+
+// buildNoiseModel assembles the flag-driven model; nil when every noise
+// flag is zero (ideal mode). Negative probabilities are rejected here so a
+// sign typo cannot silently degrade to an ideal run (values > 1 fail later
+// in Model.Validate).
+func buildNoiseModel(depol, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
+	gates string, r01, r10 float64) (*hisvsim.NoiseModel, error) {
+
+	for _, p := range []float64{depol, bitFlip, phaseFlip, ampDamp, phaseDamp, r01, r10} {
+		if p < 0 {
+			return nil, fmt.Errorf("noise probabilities must be ≥ 0 (got %g)", p)
+		}
+	}
+	var names []string
+	if gates != "" {
+		for _, g := range strings.Split(gates, ",") {
+			names = append(names, strings.TrimSpace(g))
+		}
+	}
+	model := hisvsim.NewNoiseModel()
+	add := func(p float64, ch hisvsim.NoiseChannel) {
+		if p > 0 {
+			model.AddRule(hisvsim.NoiseRule{Channel: ch, Gates: names})
+		}
+	}
+	add(depol, hisvsim.Depolarizing(depol))
+	add(bitFlip, hisvsim.BitFlip(bitFlip))
+	add(phaseFlip, hisvsim.PhaseFlip(phaseFlip))
+	add(ampDamp, hisvsim.AmplitudeDamping(ampDamp))
+	add(phaseDamp, hisvsim.PhaseDamping(phaseDamp))
+	if r01 > 0 || r10 > 0 {
+		model.WithReadout(r01, r10)
+	}
+	if len(model.Rules) == 0 && model.Readout == nil {
+		return nil, nil
+	}
+	return model, nil
+}
+
+// runNoisy executes and reports a trajectory ensemble.
+func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString string, seed int64) {
+	run := hisvsim.NoisyRun{Trajectories: traj, Seed: seed, Shots: shots}
+	if zString != "" {
+		for _, f := range strings.Split(zString, ",") {
+			var q int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &q); err != nil {
+				fatal(fmt.Errorf("bad -expect-z qubit %q", f))
+			}
+			run.Qubits = append(run.Qubits, q)
+		}
+	}
+	ens, err := hisvsim.SimulateNoisy(c, opts, run)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("noisy ensemble: %s in %s\n", ens, ens.Elapsed)
+	fmt.Printf("  channel draws: %d (pauli insertions %d, kraus applications %d)\n",
+		ens.Stats.Locations, ens.Stats.PauliApplied, ens.Stats.KrausApplied)
+	if ens.HasExpectation {
+		fmt.Printf("  ⟨∏ Z_%v⟩ = %.6f ± %.6f\n", run.Qubits, ens.Expectation, ens.StdErr)
+	}
+	if len(ens.Counts) > 0 {
+		type kv struct {
+			basis int
+			n     int
+		}
+		top := make([]kv, 0, len(ens.Counts))
+		for b, n := range ens.Counts {
+			top = append(top, kv{b, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].basis < top[j].basis
+		})
+		if len(top) > 8 {
+			top = top[:8]
+		}
+		fmt.Println("  top outcomes:")
+		for _, e := range top {
+			fmt.Printf("    |%0*b⟩ %6d  (%.4f)\n", c.NumQubits, e.basis, e.n,
+				float64(e.n)/float64(ens.Shots))
+		}
 	}
 }
 

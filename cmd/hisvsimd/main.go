@@ -24,6 +24,11 @@
 //	  "options": {"strategy": "dagp"}
 //	}'
 //
+// Noisy trajectory ensembles ride the same queue (kind "noisy_sample" or
+// "noisy_expectation" plus a "noise" spec and "trajectories"); channel
+// probabilities, readout rates and trajectory counts are bounds-checked at
+// submit and rejected with 400s.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight HTTP
 // requests get -grace seconds to finish, then the service cancels
 // outstanding jobs and the worker pool exits.
@@ -51,6 +56,7 @@ func main() {
 		cacheMB = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
 		maxQ    = flag.Int("max-qubits", 26, "largest accepted register")
 		maxS    = flag.Int("max-shots", 1_000_000, "largest accepted shot count")
+		maxT    = flag.Int("max-trajectories", 4096, "largest accepted noisy-ensemble size")
 		retain  = flag.Int("retain", 4096, "terminal jobs kept pollable")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	)
@@ -62,7 +68,8 @@ func main() {
 	}
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue, CacheBytes: cacheBytes,
-		MaxQubits: *maxQ, MaxShots: *maxS, RetainJobs: *retain,
+		MaxQubits: *maxQ, MaxShots: *maxS, MaxTrajectories: *maxT,
+		RetainJobs: *retain,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

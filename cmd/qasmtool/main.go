@@ -8,11 +8,16 @@
 //	qasmtool -in file.qasm -decompose -out o.qasm # lower to {1q, cx}
 //	qasmtool -in file.qasm -dot -strategy dagp -lm 8  # part-colored DAG
 //	qasmtool -gen qft -n 12 -out qft12.qasm       # generate a benchmark
+//	qasmtool -gen qft -n 12 | qasmtool -in - -optimize -stats  # stdin pipe
+//
+// "-in -" reads OpenQASM from standard input, so the tool composes in
+// shell pipelines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -24,7 +29,7 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input OpenQASM 2.0 file")
+		in        = flag.String("in", "", "input OpenQASM 2.0 file (\"-\" = stdin)")
 		gen       = flag.String("gen", "", "generate a benchmark family instead of reading a file")
 		n         = flag.Int("n", 12, "qubit count for -gen")
 		out       = flag.String("out", "", "output file (default stdout for rewrites)")
@@ -85,6 +90,12 @@ func main() {
 
 func load(in, gen string, n int) (*hisvsim.Circuit, error) {
 	switch {
+	case in == "-":
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading stdin: %w", err)
+		}
+		return hisvsim.ParseQASM(string(src))
 	case in != "":
 		src, err := os.ReadFile(in)
 		if err != nil {
@@ -94,7 +105,7 @@ func load(in, gen string, n int) (*hisvsim.Circuit, error) {
 	case gen != "":
 		return hisvsim.BuildCircuit(gen, n)
 	default:
-		return nil, fmt.Errorf("specify -in <file> or -gen <family>")
+		return nil, fmt.Errorf("specify -in <file> (\"-\" for stdin) or -gen <family>")
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"hisvsim/internal/dag"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/mpi"
+	"hisvsim/internal/noise"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/qasm"
 	"hisvsim/internal/service"
@@ -163,6 +164,84 @@ func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, er
 	return core.SimulateContext(ctx, c, opts)
 }
 
+// NoiseModel describes how a circuit decoheres: channel-insertion rules
+// (which single-qubit channel fires after which gates on which qubits) plus
+// an optional classical readout error. Build with NewNoiseModel /
+// GlobalNoise / NoiseOnGates and the channel constructors, then pass it via
+// Options.Noise to SimulateNoisy.
+type NoiseModel = noise.Model
+
+// NoiseRule attaches one channel to a class of gate applications.
+type NoiseRule = noise.Rule
+
+// NoiseChannel is a single-qubit quantum channel in Kraus form (with a
+// Pauli-mixture fast path where one exists).
+type NoiseChannel = noise.Channel
+
+// Readout is the classical measurement-error model (per-bit flip
+// probabilities applied to sampled bitstrings).
+type Readout = noise.Readout
+
+// NoisyRun configures a trajectory ensemble: size, seed, parallelism, and
+// the requested read-outs (Shots for counts, Qubits for a Z-string
+// expectation).
+type NoisyRun = noise.RunConfig
+
+// NoisyEnsemble is the aggregated result of a trajectory run: counts,
+// expectation ± standard error, and stochastic-work statistics.
+type NoisyEnsemble = noise.Ensemble
+
+// NewNoiseModel builds a noise model from rules.
+func NewNoiseModel(rules ...NoiseRule) *NoiseModel { return noise.NewModel(rules...) }
+
+// GlobalNoise applies one channel after every gate on every touched qubit.
+func GlobalNoise(ch NoiseChannel) *NoiseModel { return noise.Global(ch) }
+
+// NoiseOnGates restricts a channel to the named gate classes (e.g. only
+// two-qubit entanglers: NoiseOnGates(Depolarizing(0.01), "cx", "cz")).
+func NoiseOnGates(ch NoiseChannel, gates ...string) *NoiseModel {
+	return noise.OnGates(ch, gates...)
+}
+
+// Depolarizing returns the depolarizing channel with total error
+// probability p (X, Y, Z each with p/3).
+func Depolarizing(p float64) NoiseChannel { return noise.Depolarizing(p) }
+
+// BitFlip returns the bit-flip channel (X with probability p).
+func BitFlip(p float64) NoiseChannel { return noise.BitFlip(p) }
+
+// PhaseFlip returns the phase-flip channel (Z with probability p).
+func PhaseFlip(p float64) NoiseChannel { return noise.PhaseFlip(p) }
+
+// AmplitudeDamping returns the T1 relaxation channel with rate gamma
+// (non-unital: trajectories use exact norm-weighted Kraus selection).
+func AmplitudeDamping(gamma float64) NoiseChannel { return noise.AmplitudeDamping(gamma) }
+
+// PhaseDamping returns the pure-dephasing (T2) channel with rate gamma.
+func PhaseDamping(gamma float64) NoiseChannel { return noise.PhaseDamping(gamma) }
+
+// SimulateNoisy runs a stochastic trajectory ensemble of the circuit under
+// opts.Noise: the circuit plus noise model compiles once into a fused
+// trajectory plan, run.Trajectories seeded trajectories replay it in
+// parallel, and the ensemble aggregates sampled counts (run.Shots) and/or a
+// Z-string expectation with standard error (run.Qubits). A zero-effect
+// model reduces to ONE ideal simulation (strategy/ranks honored,
+// bit-for-bit identical to Simulate) plus sampling.
+//
+//	model := hisvsim.GlobalNoise(hisvsim.Depolarizing(0.01)).WithReadout(0.02, 0.02)
+//	ens, err := hisvsim.SimulateNoisy(c,
+//		hisvsim.Options{Noise: model},
+//		hisvsim.NoisyRun{Trajectories: 500, Seed: 7, Shots: 4096})
+func SimulateNoisy(c *Circuit, opts Options, run NoisyRun) (*NoisyEnsemble, error) {
+	return core.SimulateNoisy(c, opts, run)
+}
+
+// SimulateNoisyContext is SimulateNoisy under a context: cancellation
+// aborts the ensemble at the next trajectory boundary.
+func SimulateNoisyContext(ctx context.Context, c *Circuit, opts Options, run NoisyRun) (*NoisyEnsemble, error) {
+	return core.SimulateNoisyContext(ctx, c, opts, run)
+}
+
 // Fingerprint returns the circuit's stable content hash (SHA-256 over the
 // qubit count and ordered gate list; the name is excluded). Circuits with
 // the same gate list — rebuilt or cloned — share a fingerprint, which is
@@ -223,6 +302,9 @@ const (
 	KindSample        = service.KindSample        // seeded shot sampling
 	KindExpectation   = service.KindExpectation   // ⟨∏ Z_q⟩ Pauli-Z string
 	KindProbabilities = service.KindProbabilities // marginal distribution
+
+	KindNoisySample      = service.KindNoisySample      // trajectory-ensemble counts
+	KindNoisyExpectation = service.KindNoisyExpectation // trajectory-mean ⟨∏ Z_q⟩ ± stderr
 )
 
 // NewService starts the asynchronous simulation service with its worker

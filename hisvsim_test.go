@@ -210,3 +210,54 @@ func TestFacadeFingerprintAndContext(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestFacadeSimulateNoisy(t *testing.T) {
+	c := MustCircuit("ising", 8)
+	model := GlobalNoise(Depolarizing(0.01)).WithReadout(0.01, 0.01)
+	ens, err := SimulateNoisy(c, Options{Noise: model}, NoisyRun{
+		Trajectories: 50, Seed: 2, Shots: 500, Qubits: []int{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Trajectories != 50 || ens.NoiseFree {
+		t.Fatalf("ensemble: %+v", ens)
+	}
+	total := 0
+	for _, n := range ens.Counts {
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	if !ens.HasExpectation || math.Abs(ens.Expectation) > 1 {
+		t.Fatalf("expectation %v (has=%v)", ens.Expectation, ens.HasExpectation)
+	}
+
+	// Ideal Simulate refuses the model; SimulateNoisy without noise takes
+	// the one-simulation fast path.
+	if _, err := Simulate(c, Options{Noise: model}); err == nil {
+		t.Fatal("Simulate accepted a noise model")
+	}
+	free, err := SimulateNoisy(c, Options{}, NoisyRun{Trajectories: 8, Shots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.NoiseFree {
+		t.Fatal("ideal ensemble missed the noise-free fast path")
+	}
+
+	// The service speaks the noisy kinds too.
+	svc := NewService(ServiceConfig{Workers: 2})
+	defer svc.Close()
+	res, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindNoisySample, Shots: 200, Trajectories: 10,
+		Noise: model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trajectories != 10 || len(res.Counts) == 0 {
+		t.Fatalf("service noisy result: %+v", res)
+	}
+}

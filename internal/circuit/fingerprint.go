@@ -18,6 +18,18 @@ import (
 // is stable across processes and releases and usable as a content address
 // (the service layer keys its plan/state cache on it).
 func (c *Circuit) Fingerprint() string {
+	return c.FingerprintWith(nil)
+}
+
+// FingerprintWith is Fingerprint extended by an extra domain payload folded
+// into the hash after the gate list: two calls agree iff both the circuit
+// semantics and the extra bytes agree. The service layer uses it to key
+// cached simulations on circuit + noise model (the noise model contributes
+// its own stable binary encoding). A nil or empty extra yields exactly
+// Fingerprint(). A non-empty extra is length-prefixed before hashing, and
+// the gate encoding is self-delimiting (gate count upfront), so an extra
+// payload can never alias a longer gate list.
+func (c *Circuit) FingerprintWith(extra []byte) string {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(x int64) {
@@ -41,6 +53,10 @@ func (c *Circuit) Fingerprint() string {
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
 			h.Write(buf[:])
 		}
+	}
+	if len(extra) > 0 {
+		writeInt(int64(len(extra)))
+		h.Write(extra)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

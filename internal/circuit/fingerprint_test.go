@@ -111,3 +111,36 @@ func TestFingerprintNameListAliasing(t *testing.T) {
 		t.Fatal("name/operand boundary aliasing")
 	}
 }
+
+func TestFingerprintWith(t *testing.T) {
+	c := New("fp", 3)
+	c.Append(gate.H(0), gate.CX(0, 1))
+
+	// Nil and empty extras are exactly the base fingerprint.
+	if c.FingerprintWith(nil) != c.Fingerprint() {
+		t.Fatal("FingerprintWith(nil) differs from Fingerprint()")
+	}
+	if c.FingerprintWith([]byte{}) != c.Fingerprint() {
+		t.Fatal("FingerprintWith(empty) differs from Fingerprint()")
+	}
+
+	// A non-empty extra changes the hash, deterministically.
+	a := c.FingerprintWith([]byte("noise-v1"))
+	if a == c.Fingerprint() {
+		t.Fatal("extra payload did not perturb the fingerprint")
+	}
+	if a != c.FingerprintWith([]byte("noise-v1")) {
+		t.Fatal("FingerprintWith not deterministic")
+	}
+	if a == c.FingerprintWith([]byte("noise-v2")) {
+		t.Fatal("different extras collide")
+	}
+
+	// The extra never leaks into the circuit identity: two circuits with
+	// different gates stay distinct under the same extra.
+	d := New("fp2", 3)
+	d.Append(gate.H(0), gate.CX(1, 0))
+	if c.FingerprintWith([]byte("x")) == d.FingerprintWith([]byte("x")) {
+		t.Fatal("distinct circuits collide under a shared extra")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hisvsim/internal/dist"
 	"hisvsim/internal/hier"
 	"hisvsim/internal/mpi"
+	"hisvsim/internal/noise"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/partition/dagp"
 	"hisvsim/internal/partition/exact"
@@ -84,6 +85,10 @@ type Options struct {
 	// MaxFuseQubits caps fused-block support (0 = defaults: 5 for dense
 	// blocks, 10 for diagonal runs; an explicit value caps both).
 	MaxFuseQubits int
+	// Noise attaches a noise model for SimulateNoisy (nil = ideal). Plain
+	// Simulate rejects an effective (non-zero) noise model rather than
+	// silently returning ideal amplitudes.
+	Noise *noise.Model
 }
 
 // Result of a simulation.
@@ -111,6 +116,9 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Re
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if !opts.Noise.IsZero() {
+		return nil, fmt.Errorf("core: options carry a noise model; use SimulateNoisy for noisy runs")
 	}
 	name := opts.Strategy
 	if name == "" {

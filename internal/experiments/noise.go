@@ -1,0 +1,173 @@
+// Noise-subsystem benchmark: trajectory throughput against worker count
+// (one compiled plan reused across every trajectory) and the Pauli
+// fast path against general norm-weighted Kraus selection. This is the
+// evaluation artifact behind BENCH_noise.json (cmd/benchtables -only noise).
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hisvsim/internal/bench"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/noise"
+)
+
+// NoiseConfig scales the noise benchmark.
+type NoiseConfig struct {
+	// Family/Qubits pick the benchmark circuit (default ising-12: deep
+	// enough that channel draws dominate, small enough for CI smoke).
+	Family string
+	Qubits int
+	// P is the per-gate channel probability / damping rate (default 0.01).
+	P float64
+	// Trajectories per measurement (default 200).
+	Trajectories int
+	// Workers are the trajectory-parallel widths swept (default 1,2,4,8).
+	Workers []int
+	// Seed drives the trajectory RNGs.
+	Seed int64
+}
+
+// WithDefaults fills the zero values.
+func (c NoiseConfig) WithDefaults() NoiseConfig {
+	if c.Family == "" {
+		c.Family = "ising"
+	}
+	if c.Qubits == 0 {
+		c.Qubits = 12
+	}
+	if c.P == 0 {
+		c.P = 0.01
+	}
+	if c.Trajectories == 0 {
+		c.Trajectories = 200
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// NoiseScalingRow is one worker-count trajectory-throughput measurement.
+type NoiseScalingRow struct {
+	Workers    int     `json:"workers"`
+	TrajPerSec float64 `json:"traj_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// NoiseReport is the full benchmark output (the BENCH_noise.json schema).
+type NoiseReport struct {
+	Circuit      string  `json:"circuit"`
+	Qubits       int     `json:"qubits"`
+	Gates        int     `json:"gates"`
+	P            float64 `json:"p"`
+	Trajectories int     `json:"trajectories"`
+	Locations    int     `json:"locations"` // channel insertions per trajectory
+	Blocks       int     `json:"blocks"`    // fused blocks per trajectory
+	CompileMS    float64 `json:"compile_ms"`
+
+	// Pauli fast path vs. forced norm-weighted Kraus selection on the SAME
+	// depolarizing model and plan structure (1 worker each).
+	PauliTrajPerSec float64 `json:"pauli_traj_per_sec"`
+	KrausTrajPerSec float64 `json:"kraus_traj_per_sec"`
+	PauliSpeedup    float64 `json:"pauli_speedup"`
+
+	// Scaling sweeps trajectory-parallel workers over one shared compiled
+	// plan (the Pauli path).
+	Scaling []NoiseScalingRow `json:"scaling"`
+}
+
+// NoiseBench measures the trajectory engine end to end: compile one plan,
+// then (a) compare the Pauli fast path against forced Kraus selection at a
+// single worker, and (b) sweep trajectory throughput across worker counts
+// reusing the same compiled plan.
+func NoiseBench(cfg NoiseConfig) (*NoiseReport, error) {
+	cfg = cfg.WithDefaults()
+	c, err := circuit.Named(cfg.Family, cfg.Qubits)
+	if err != nil {
+		return nil, fmt.Errorf("noise bench: %w", err)
+	}
+	model := noise.Global(noise.Depolarizing(cfg.P))
+	ctx := context.Background()
+
+	start := time.Now()
+	plan, err := noise.Compile(c, model, noise.CompileOptions{Fuse: true})
+	if err != nil {
+		return nil, err
+	}
+	kplan, err := noise.Compile(c, model, noise.CompileOptions{Fuse: true, ForceKraus: true})
+	if err != nil {
+		return nil, err
+	}
+	compileMS := time.Since(start).Seconds() * 1e3 / 2
+
+	rep := &NoiseReport{
+		Circuit: cfg.Family, Qubits: cfg.Qubits, Gates: c.NumGates(), P: cfg.P,
+		Trajectories: cfg.Trajectories, Locations: plan.Locations(),
+		Blocks: plan.Blocks(), CompileMS: compileMS,
+	}
+
+	run := func(p *noise.Plan, workers int) (float64, float64, error) {
+		start := time.Now()
+		ens, err := noise.RunEnsemble(ctx, p, noise.RunConfig{
+			Trajectories: cfg.Trajectories, Seed: cfg.Seed, Workers: workers,
+			Qubits: []int{0},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		el := time.Since(start)
+		return float64(ens.Trajectories) / el.Seconds(), el.Seconds() * 1e3, nil
+	}
+
+	// Warm-up, then the fast-path comparison.
+	if _, _, err := run(plan, 1); err != nil {
+		return nil, err
+	}
+	if rep.PauliTrajPerSec, _, err = run(plan, 1); err != nil {
+		return nil, err
+	}
+	if rep.KrausTrajPerSec, _, err = run(kplan, 1); err != nil {
+		return nil, err
+	}
+	rep.PauliSpeedup = safeDiv(rep.PauliTrajPerSec, rep.KrausTrajPerSec)
+
+	for _, w := range cfg.Workers {
+		tps, ms, err := run(plan, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scaling = append(rep.Scaling, NoiseScalingRow{
+			Workers: w, TrajPerSec: tps, ElapsedMS: ms,
+		})
+	}
+	return rep, nil
+}
+
+// Table renders the report as the benchtables ASCII tables.
+func (r *NoiseReport) Table() *bench.Table {
+	t := bench.NewTable(fmt.Sprintf("Noise: %s-%d, depolarizing p=%g, %d trajectories (%d channel sites, %d fused blocks)",
+		r.Circuit, r.Qubits, r.P, r.Trajectories, r.Locations, r.Blocks),
+		"metric", "value")
+	t.AddRow("plan compile ms", r.CompileMS)
+	t.AddRow("pauli fast path traj/sec", r.PauliTrajPerSec)
+	t.AddRow("general kraus traj/sec", r.KrausTrajPerSec)
+	t.AddRow("pauli speedup", r.PauliSpeedup)
+	for _, row := range r.Scaling {
+		t.AddRow(fmt.Sprintf("traj/sec @ %d workers", row.Workers), row.TrajPerSec)
+	}
+	return t
+}
+
+// JSON renders the report as indented JSON (the BENCH_noise.json payload).
+func (r *NoiseReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

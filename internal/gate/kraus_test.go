@@ -1,0 +1,82 @@
+package gate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKrausValidate(t *testing.T) {
+	// A proper amplitude-damping set is complete.
+	g := 0.3
+	ad := Kraus{
+		m2(1, 0, 0, complex(math.Sqrt(1-g), 0)),
+		m2(0, complex(math.Sqrt(g), 0), 0, 0),
+	}
+	if err := ad.Validate(1e-12); err != nil {
+		t.Fatalf("amplitude damping: %v", err)
+	}
+	if ad.NumQubits() != 1 {
+		t.Fatalf("NumQubits = %d, want 1", ad.NumQubits())
+	}
+
+	// Dropping an operator breaks completeness.
+	if err := ad[:1].Validate(1e-12); err == nil {
+		t.Fatal("incomplete Kraus set validated")
+	}
+	if err := (Kraus{}).Validate(1e-12); err == nil {
+		t.Fatal("empty Kraus set validated")
+	}
+	if err := (Kraus{Identity(1), Identity(2)}).Validate(1e-12); err == nil {
+		t.Fatal("mixed-arity Kraus set validated")
+	}
+}
+
+func TestKrausIsIdentity(t *testing.T) {
+	if !(Kraus{Identity(1)}).IsIdentity(0) {
+		t.Fatal("identity set not detected")
+	}
+	if (Kraus{PauliMatrix(PauliX)}).IsIdentity(1e-12) {
+		t.Fatal("X detected as identity")
+	}
+	if (Kraus{Identity(1), NewMatrix(1)}).IsIdentity(1e-12) {
+		t.Fatal("two-operator set detected as identity")
+	}
+}
+
+func TestPauliMatrices(t *testing.T) {
+	for p := PauliI; p <= PauliZ; p++ {
+		m := PauliMatrix(p)
+		if !m.IsUnitary(1e-12) {
+			t.Fatalf("Pauli %d not unitary", p)
+		}
+		// P² = I for every Pauli.
+		if !m.Mul(m).EqualTol(Identity(1), 1e-12) {
+			t.Fatalf("Pauli %d squared is not identity", p)
+		}
+	}
+	// The gate forms match the matrices.
+	for p := PauliI; p <= PauliZ; p++ {
+		g := PauliGate(p, 3)
+		if g.Qubits[0] != 3 {
+			t.Fatalf("PauliGate(%d) on qubit %d", p, g.Qubits[0])
+		}
+		if !g.BaseMatrix().EqualTol(PauliMatrix(p), 1e-12) {
+			t.Fatalf("PauliGate(%d) matrix mismatch", p)
+		}
+	}
+	// Y = iXZ up to the factor: check XZ anticommutation via Y.
+	xz := PauliMatrix(PauliX).Mul(PauliMatrix(PauliZ))
+	if !xz.Scale(complex(0, 1)).EqualTol(PauliMatrix(PauliY), 1e-12) {
+		t.Fatal("iXZ != Y")
+	}
+}
+
+func TestMatrixScaleAndDiff(t *testing.T) {
+	m := PauliMatrix(PauliX).Scale(2)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 2 {
+		t.Fatalf("Scale: got %v", m)
+	}
+	if d := m.MaxAbsDiff(PauliMatrix(PauliX)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %g, want 1", d)
+	}
+}

@@ -1,0 +1,78 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelConstructorsAreCPTP(t *testing.T) {
+	params := []float64{0, 0.001, 0.1, 0.5, 1}
+	for _, name := range ChannelNames() {
+		for _, p := range params {
+			ch, err := NewChannel(name, p)
+			if err != nil {
+				t.Fatalf("%s(%g): %v", name, p, err)
+			}
+			if err := ch.Validate(); err != nil {
+				t.Fatalf("%s(%g): %v", name, p, err)
+			}
+			if got := ch.IsZero(); got != (p == 0) {
+				t.Fatalf("%s(%g): IsZero = %v", name, p, got)
+			}
+		}
+	}
+}
+
+func TestPauliProbabilitiesSumToOne(t *testing.T) {
+	for _, ch := range []Channel{
+		Depolarizing(0.3), BitFlip(0.2), PhaseFlip(0.15), PhaseDamping(0.4),
+	} {
+		if ch.Pauli == nil {
+			t.Fatalf("%s: no Pauli unraveling", ch.Name)
+		}
+		sum := 0.0
+		for _, p := range ch.Pauli {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("%s: Pauli probabilities sum to %g", ch.Name, sum)
+		}
+	}
+	if AmplitudeDamping(0.3).Pauli != nil {
+		t.Fatal("amplitude damping (non-unital) must not have a Pauli unraveling")
+	}
+}
+
+func TestChannelValidateRejectsBadParams(t *testing.T) {
+	for _, name := range ChannelNames() {
+		for _, p := range []float64{-0.1, 1.5, math.NaN()} {
+			ch, err := NewChannel(name, p)
+			if err != nil {
+				t.Fatalf("%s: constructor rejected %g (validation should)", name, p)
+			}
+			if err := ch.Validate(); err == nil {
+				t.Fatalf("%s(%g) validated", name, p)
+			}
+		}
+	}
+	if _, err := NewChannel("bogus", 0.1); err == nil {
+		t.Fatal("unknown channel name accepted")
+	}
+	var zero Channel
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero-value channel validated")
+	}
+}
+
+func TestPhaseDampingEqualsPhaseFlip(t *testing.T) {
+	// Phase damping γ is the dephasing channel with flip probability
+	// (1 − √(1−γ))/2; the Pauli unravelings must agree exactly.
+	gamma := 0.36
+	p := (1 - math.Sqrt(1-gamma)) / 2
+	pd, pf := PhaseDamping(gamma), PhaseFlip(p)
+	for i := range pd.Pauli {
+		if math.Abs(pd.Pauli[i]-pf.Pauli[i]) > 1e-12 {
+			t.Fatalf("Pauli[%d]: phase damping %g vs phase flip %g", i, pd.Pauli[i], pf.Pauli[i])
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package noise
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"hisvsim/internal/sv"
+)
+
+// RunConfig configures a trajectory ensemble.
+type RunConfig struct {
+	// Trajectories is the ensemble size (default 256).
+	Trajectories int
+	// Seed derives every per-trajectory RNG; a fixed (plan, config) pair
+	// reproduces the ensemble exactly, independent of Workers.
+	Seed int64
+	// Workers bounds trajectory-level parallelism (0 = GOMAXPROCS). The
+	// service layer passes its worker-pool width so trajectory batches fan
+	// out across the same bounded pool the job queue uses.
+	Workers int
+	// Shots, when > 0, draws this many basis-state samples in total,
+	// distributed across trajectories (readout error applied per shot).
+	Shots int
+	// Qubits, when non-nil, also estimates ⟨∏ Z_q⟩ over the listed qubits:
+	// the trajectory mean with its standard error.
+	Qubits []int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Trajectories <= 0 {
+		c.Trajectories = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Ensemble is the aggregated result of a trajectory run.
+type Ensemble struct {
+	// Trajectories is the number of trajectories executed.
+	Trajectories int
+	// Shots is the total sample count behind Counts.
+	Shots int
+	// Counts is the basis-index histogram across all trajectories, with
+	// readout error applied (nil unless Shots > 0).
+	Counts map[int]int
+	// Expectation and StdErr are the trajectory mean of ⟨∏ Z_q⟩ and its
+	// standard error (sample stddev / √T); valid iff HasExpectation.
+	Expectation    float64
+	StdErr         float64
+	HasExpectation bool
+	// Stats sums the stochastic work across trajectories.
+	Stats TrajStats
+	// NoiseFree reports the ensemble came from the ideal-state fast path
+	// (zero effective channels): one simulation served every trajectory.
+	NoiseFree bool
+	// Elapsed is the ensemble wall time.
+	Elapsed time.Duration
+}
+
+// mix64 is SplitMix64: decorrelates the per-trajectory seeds derived from
+// (Seed, trajectory index) so adjacent trajectories don't see adjacent
+// rand.Source streams.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// trajRNG returns trajectory t's private RNG.
+func trajRNG(seed int64, t int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(uint64(seed) ^ mix64(uint64(t)+1)))))
+}
+
+// shotsFor splits cfg.Shots across trajectories: the first Shots%T
+// trajectories take one extra shot.
+func shotsFor(shots, trajectories, t int) int {
+	base := shots / trajectories
+	if t < shots%trajectories {
+		base++
+	}
+	return base
+}
+
+// applyReadout flips each measured bit of sample x per the readout error.
+// The draw pattern depends only on (x, ro), so a fixed RNG stream yields a
+// fixed flipped sample.
+func applyReadout(x, n int, ro *Readout, rng *rand.Rand) int {
+	for b := 0; b < n; b++ {
+		if x>>uint(b)&1 == 0 {
+			if ro.P01 > 0 && rng.Float64() < ro.P01 {
+				x |= 1 << uint(b)
+			}
+		} else {
+			if ro.P10 > 0 && rng.Float64() < ro.P10 {
+				x &^= 1 << uint(b)
+			}
+		}
+	}
+	return x
+}
+
+// RunEnsemble executes cfg.Trajectories stochastic trajectories of the plan
+// in parallel and aggregates counts and/or expectation values. Counts are
+// identical for a fixed (plan, Seed, Trajectories, Shots) regardless of
+// Workers; the expectation is reduced in trajectory order, so it too is
+// bit-stable across worker counts.
+func RunEnsemble(ctx context.Context, p *Plan, cfg RunConfig) (*Ensemble, error) {
+	cfg = cfg.withDefaults()
+	return runTrajectories(ctx, cfg, p)
+}
+
+// RunEnsembleFromState is the noise-free fast path: every trajectory shares
+// one already-simulated ideal state, so the trajectory loop only samples
+// (with readout error, through one shared CDF) and measures. core's
+// SimulateNoisy routes zero-noise ensembles here, keeping them bit-for-bit
+// identical to ideal simulation while still honoring the trajectory-split
+// sampling and per-trajectory seeded RNGs of the noisy path.
+func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg RunConfig) (*Ensemble, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	T := cfg.Trajectories
+	ens := &Ensemble{Trajectories: T, Shots: cfg.Shots, NoiseFree: true}
+	if cfg.Shots > 0 {
+		sampler := sv.NewSampler(st) // one CDF pass serves every trajectory
+		ens.Counts = make(map[int]int)
+		for t := 0; t < T; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			shots := shotsFor(cfg.Shots, T, t)
+			if shots == 0 {
+				continue
+			}
+			rng := trajRNG(cfg.Seed, t)
+			for _, x := range sampler.Sample(shots, rng) {
+				if ro != nil {
+					x = applyReadout(x, st.N, ro, rng)
+				}
+				ens.Counts[x]++
+			}
+		}
+	}
+	if cfg.Qubits != nil {
+		// Every trajectory is the same pure state: the mean is exact and the
+		// trajectory spread is identically zero.
+		ens.HasExpectation = true
+		ens.Expectation = st.ExpectationPauliZString(cfg.Qubits)
+		ens.StdErr = 0
+	}
+	ens.Elapsed = time.Since(start)
+	return ens, nil
+}
+
+// trajResult is one trajectory's contribution, merged in trajectory order.
+type trajResult struct {
+	counts map[int]int
+	exp    float64
+	stats  TrajStats
+}
+
+// runTrajectories drives the ensemble: trajectories are chunked across
+// workers, each with a seed-derived private RNG, and merged deterministically.
+func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, error) {
+	start := time.Now()
+	ro := p.Readout()
+	T := cfg.Trajectories
+	wantExp := cfg.Qubits != nil
+	results := make([]trajResult, T)
+	errs := make([]error, T)
+
+	workers := cfg.Workers
+	if workers > T {
+		workers = T
+	}
+	chunk := (T + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < T; lo += chunk {
+		hi := lo + chunk
+		if hi > T {
+			hi = T
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				if err := ctx.Err(); err != nil {
+					errs[t] = err
+					return
+				}
+				rng := trajRNG(cfg.Seed, t)
+				st, stats, err := p.RunTrajectory(rng)
+				if err != nil {
+					errs[t] = err
+					return
+				}
+				r := trajResult{stats: stats}
+				if shots := shotsFor(cfg.Shots, T, t); shots > 0 {
+					samples := st.Sample(shots, rng)
+					r.counts = make(map[int]int, len(samples))
+					for _, x := range samples {
+						if ro != nil {
+							x = applyReadout(x, p.n, ro, rng)
+						}
+						r.counts[x]++
+					}
+				}
+				if wantExp {
+					r.exp = st.ExpectationPauliZString(cfg.Qubits)
+				}
+				results[t] = r
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ens := &Ensemble{Trajectories: T, Shots: cfg.Shots}
+	if cfg.Shots > 0 {
+		ens.Counts = make(map[int]int)
+	}
+	var sum, sumsq float64
+	for t := range results {
+		r := &results[t]
+		ens.Stats.add(r.stats)
+		for x, c := range r.counts {
+			ens.Counts[x] += c
+		}
+		sum += r.exp
+		sumsq += r.exp * r.exp
+	}
+	if wantExp {
+		ens.HasExpectation = true
+		mean := sum / float64(T)
+		ens.Expectation = mean
+		if T > 1 {
+			// Sample variance of the per-trajectory expectations; the mean's
+			// standard error is its square root over √T.
+			variance := (sumsq - float64(T)*mean*mean) / float64(T-1)
+			if variance < 0 {
+				variance = 0 // rounding of identical values
+			}
+			ens.StdErr = math.Sqrt(variance / float64(T))
+		}
+	}
+	ens.Elapsed = time.Since(start)
+	return ens, nil
+}
+
+// String summarizes the ensemble for logs and CLI output.
+func (e *Ensemble) String() string {
+	s := fmt.Sprintf("%d trajectories", e.Trajectories)
+	if e.NoiseFree {
+		s += " (noise-free fast path)"
+	}
+	if e.Shots > 0 {
+		s += fmt.Sprintf(", %d shots over %d outcomes", e.Shots, len(e.Counts))
+	}
+	if e.HasExpectation {
+		s += fmt.Sprintf(", ⟨Z…⟩ = %.6f ± %.6f", e.Expectation, e.StdErr)
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package noise
+
+import (
+	"bytes"
+	"testing"
+
+	"hisvsim/internal/gate"
+)
+
+func TestRuleMatching(t *testing.T) {
+	m := NewModel(
+		Rule{Channel: Depolarizing(0.1), Gates: []string{"cx"}},
+		Rule{Channel: BitFlip(0.2), Qubits: []int{1}},
+	)
+	// cx on {0, 1}: rule 0 hits both qubits, rule 1 hits qubit 1.
+	ins := insertionsFor(m, gate.CX(0, 1))
+	if len(ins) != 3 {
+		t.Fatalf("cx insertions = %d, want 3", len(ins))
+	}
+	if ins[0].qubit != 0 || ins[1].qubit != 1 || ins[0].ch.Name != "depolarizing" {
+		t.Fatalf("unexpected insertion order: %+v", ins)
+	}
+	if ins[2].ch.Name != "bit_flip" || ins[2].qubit != 1 {
+		t.Fatalf("rule 2 insertion: %s on q%d", ins[2].ch.Name, ins[2].qubit)
+	}
+	// h on {2}: neither rule matches.
+	if got := insertionsFor(m, gate.H(2)); len(got) != 0 {
+		t.Fatalf("h insertions = %d, want 0", len(got))
+	}
+	// Zero-probability channels are elided.
+	if got := insertionsFor(Global(Depolarizing(0)), gate.H(0)); len(got) != 0 {
+		t.Fatalf("zero-p insertions = %d, want 0", len(got))
+	}
+}
+
+func TestModelIsZero(t *testing.T) {
+	if !(&Model{}).IsZero() || !(*Model)(nil).IsZero() {
+		t.Fatal("empty/nil model not zero")
+	}
+	if !Global(Depolarizing(0)).IsZero() {
+		t.Fatal("zero-probability model not zero")
+	}
+	if Global(Depolarizing(0.1)).IsZero() {
+		t.Fatal("noisy model reported zero")
+	}
+	if (&Model{Readout: &Readout{P01: 0.1}}).IsZero() {
+		t.Fatal("readout-only model reported zero")
+	}
+	if !(&Model{Readout: &Readout{}}).IsZero() {
+		t.Fatal("zero readout model not zero")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := Global(Depolarizing(0.1)).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Global(Depolarizing(1.5)).Validate(4); err == nil {
+		t.Fatal("out-of-range probability validated")
+	}
+	bad := NewModel(Rule{Channel: BitFlip(0.1), Qubits: []int{7}})
+	if err := bad.Validate(4); err == nil {
+		t.Fatal("out-of-range rule qubit validated")
+	}
+	ro := Global(BitFlip(0.1)).WithReadout(0.1, 1.2)
+	if err := ro.Validate(4); err == nil {
+		t.Fatal("out-of-range readout validated")
+	}
+}
+
+func TestModelHash(t *testing.T) {
+	a := Global(Depolarizing(0.01))
+	if !bytes.Equal(a.Hash(), Global(Depolarizing(0.01)).Hash()) {
+		t.Fatal("identical models hash differently")
+	}
+	perturbations := []*Model{
+		Global(Depolarizing(0.02)),                                    // parameter
+		Global(BitFlip(0.01)),                                         // channel kind
+		OnGates(Depolarizing(0.01), "cx"),                             // gate filter
+		NewModel(Rule{Channel: Depolarizing(0.01), Qubits: []int{0}}), // qubit filter
+		Global(Depolarizing(0.01)).WithReadout(0.01, 0),               // readout
+	}
+	for i, b := range perturbations {
+		if bytes.Equal(a.Hash(), b.Hash()) {
+			t.Fatalf("perturbation %d did not change the hash", i)
+		}
+	}
+	// Zero models hash to nil so they share the ideal cache entry.
+	if Global(Depolarizing(0)).Hash() != nil {
+		t.Fatal("zero model hash not nil")
+	}
+	if (*Model)(nil).Hash() != nil {
+		t.Fatal("nil model hash not nil")
+	}
+}

@@ -1,0 +1,274 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/fuse"
+	"hisvsim/internal/gate"
+	"hisvsim/internal/sv"
+)
+
+// CompileOptions configures trajectory-plan compilation.
+type CompileOptions struct {
+	// Fuse coalesces maximal noise-free gate runs into fused blocks
+	// (internal/fuse); channel insertions bound the runs, so a model that
+	// only decorates e.g. cx gates still fuses the single-qubit stretches
+	// between them. Default off; executors pass their own policy.
+	Fuse bool
+	// MaxFuseQubits caps fused-block support (0 = fuse defaults).
+	MaxFuseQubits int
+	// ForceKraus disables the Pauli fast path: every channel runs through
+	// exact norm-weighted Kraus selection. The two unravelings agree in
+	// distribution; this knob exists for differential tests and the
+	// fast-path benchmark.
+	ForceKraus bool
+}
+
+// step is one unit of a compiled trajectory plan: either a fused gate run
+// (blocks non-nil) or a single channel insertion (ch non-nil).
+type step struct {
+	blocks []fuse.Block
+	plans  []*sv.FusedPlan
+	gates  []gate.Gate // unfused fallback when CompileOptions.Fuse is off
+
+	ch    *Channel
+	qubit int
+}
+
+// Plan is a compiled noisy circuit: the gate sequence pre-fused between
+// channel-insertion points, ready to be replayed across many trajectories.
+// A Plan is immutable after Compile and safe for concurrent RunTrajectory
+// calls (the executors share the fused kernels and matrices read-only).
+type Plan struct {
+	n          int
+	steps      []step
+	locations  int // channel-insertion count per trajectory
+	blocks     int // fused blocks per trajectory
+	gateCount  int
+	readout    *Readout
+	forceKraus bool
+}
+
+// NumQubits returns the register width the plan executes on.
+func (p *Plan) NumQubits() int { return p.n }
+
+// Locations returns the channel insertions per trajectory.
+func (p *Plan) Locations() int { return p.locations }
+
+// Blocks returns the fused execution blocks per trajectory.
+func (p *Plan) Blocks() int { return p.blocks }
+
+// NoiseFree reports whether the plan has no channel insertions at all —
+// every trajectory would produce the ideal state, so callers should run the
+// ideal executors once instead (core.SimulateNoisy does exactly that,
+// keeping zero-noise runs bit-for-bit identical to ideal simulation).
+func (p *Plan) NoiseFree() bool { return p.locations == 0 }
+
+// Readout returns the effective readout error (nil when absent).
+func (p *Plan) Readout() *Readout { return p.readout }
+
+// MemoryBytes estimates the plan's resident size (fused matrices, diagonal
+// and index tables, Kraus operators) for cache budgeting.
+func (p *Plan) MemoryBytes() int64 {
+	var b int64 = 256
+	for _, st := range p.steps {
+		for _, blk := range st.blocks {
+			b += int64(len(blk.Matrix.Data))*16 + int64(len(blk.Diag))*16
+			b += int64(len(blk.Gates)) * 64
+		}
+		for _, fp := range st.plans {
+			if fp != nil {
+				b += int64(1) << uint(len(fp.Qubits)+3) // scatter-offset table
+			}
+		}
+		b += int64(len(st.gates)) * 64
+		if st.ch != nil {
+			b += int64(len(st.ch.Kraus)) * 64
+		}
+	}
+	return b
+}
+
+// Compile lowers a circuit plus noise model into a trajectory plan: walk the
+// gates in order, collect the channel insertions each gate triggers, and
+// fuse every maximal insertion-free gate run into dense/diagonal blocks.
+// Zero-probability channels are elided, so a structurally noisy model with
+// p = 0 compiles to exactly the ideal plan.
+func Compile(c *circuit.Circuit, m *Model, opts CompileOptions) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(c.NumQubits); err != nil {
+		return nil, err
+	}
+	p := &Plan{n: c.NumQubits, gateCount: c.NumGates(), forceKraus: opts.ForceKraus}
+	if m != nil {
+		p.readout = m.effectiveReadout()
+	}
+
+	var run []gate.Gate
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		st := step{}
+		if opts.Fuse {
+			blocks, err := fuse.Fuse(run, fuse.Options{MaxQubits: opts.MaxFuseQubits})
+			if err != nil {
+				return err
+			}
+			st.blocks = blocks
+			st.plans = fuse.Plan(blocks, c.NumQubits)
+			p.blocks += len(blocks)
+		} else {
+			st.gates = run
+			p.blocks += len(run)
+		}
+		p.steps = append(p.steps, st)
+		run = nil
+		return nil
+	}
+
+	for _, g := range c.Gates {
+		run = append(run, g)
+		insertions := insertionsFor(m, g)
+		if len(insertions) == 0 {
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		p.steps = append(p.steps, insertions...)
+		p.locations += len(insertions)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// insertionsFor returns the channel-insertion steps gate g triggers under
+// the model, in rule order then ascending qubit order.
+func insertionsFor(m *Model, g gate.Gate) []step {
+	if m == nil {
+		return nil
+	}
+	var out []step
+	for ri := range m.Rules {
+		r := &m.Rules[ri]
+		if r.Channel.IsZero() || !r.matchesGate(g.Name) {
+			continue
+		}
+		for _, q := range g.SortedQubits() {
+			if r.matchesQubit(q) {
+				out = append(out, step{ch: &r.Channel, qubit: q})
+			}
+		}
+	}
+	return out
+}
+
+// TrajStats counts the stochastic work of one (or many, summed) trajectories.
+type TrajStats struct {
+	// Locations is the number of channel draws.
+	Locations int64
+	// PauliApplied counts non-identity Pauli injections (fast path).
+	PauliApplied int64
+	// KrausApplied counts norm-weighted Kraus applications (general path).
+	KrausApplied int64
+}
+
+func (a *TrajStats) add(b TrajStats) {
+	a.Locations += b.Locations
+	a.PauliApplied += b.PauliApplied
+	a.KrausApplied += b.KrausApplied
+}
+
+// RunTrajectory executes one stochastic trajectory from |0…0⟩: gate blocks
+// replay the fused plan, channel steps draw one branch each from rng.
+// Exactly one rng draw is consumed per channel location (plus the draws the
+// sampling layer makes afterwards), so a trajectory's randomness is fully
+// determined by its RNG seed.
+func (p *Plan) RunTrajectory(rng *rand.Rand) (*sv.State, TrajStats, error) {
+	st := sv.NewState(p.n)
+	st.Workers = 1 // parallelism is trajectory-level (RunEnsemble)
+	var stats TrajStats
+	for i := range p.steps {
+		s := &p.steps[i]
+		switch {
+		case s.ch != nil:
+			stats.Locations++
+			if err := p.applyChannel(st, s.ch, s.qubit, rng, &stats); err != nil {
+				return nil, stats, err
+			}
+		case s.blocks != nil:
+			if err := fuse.ApplyPlanned(st, s.blocks, s.plans); err != nil {
+				return nil, stats, err
+			}
+		default:
+			if err := st.ApplyGates(s.gates); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	return st, stats, nil
+}
+
+// applyChannel draws one branch of the channel and applies it to qubit q.
+func (p *Plan) applyChannel(st *sv.State, ch *Channel, q int, rng *rand.Rand, stats *TrajStats) error {
+	u := rng.Float64()
+	if ch.Pauli != nil && !p.forceKraus {
+		// Pauli fast path: fixed probabilities, unitary insertions, no
+		// renormalization. The identity branch applies nothing.
+		acc := 0.0
+		for i, prob := range ch.Pauli {
+			acc += prob
+			if u < acc || i == len(ch.Pauli)-1 {
+				if i != gate.PauliI {
+					stats.PauliApplied++
+					st.ApplyMatrix1(q, gate.PauliMatrix(i))
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+	// Exact norm-weighted selection: p_i = ‖K_i ψ‖². The last operator is
+	// selected by elimination (probabilities sum to 1), but its norm is
+	// still measured for the exact renormalization factor.
+	last := len(ch.Kraus) - 1
+	chosen := last
+	var pc float64
+	acc := 0.0
+	for i := 0; i < last; i++ {
+		pi := st.Kraus1Norm2(q, ch.Kraus[i])
+		if u < acc+pi {
+			chosen, pc = i, pi
+			break
+		}
+		acc += pi
+	}
+	if chosen == last {
+		pc = st.Kraus1Norm2(q, ch.Kraus[last])
+	}
+	if pc <= 0 {
+		// A zero-probability branch can only be reached through floating-
+		// point rounding of the accumulated probabilities; applying it would
+		// annihilate the state. Fall back to the likeliest branch.
+		for i, k := range ch.Kraus {
+			if pi := st.Kraus1Norm2(q, k); pi > pc {
+				chosen, pc = i, pi
+			}
+		}
+		if pc <= 0 {
+			return fmt.Errorf("noise: channel %s on qubit %d has no positive-probability branch", ch.Name, q)
+		}
+	}
+	stats.KrausApplied++
+	st.ApplyMatrix1(q, ch.Kraus[chosen])
+	st.Scale(complex(1/math.Sqrt(pc), 0))
+	return nil
+}

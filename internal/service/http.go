@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
+	"hisvsim/internal/noise"
 	"hisvsim/internal/qasm"
 )
 
@@ -49,12 +51,74 @@ type wireRequest struct {
 		Family string `json:"family,omitempty"`
 		Qubits int    `json:"qubits,omitempty"`
 	} `json:"circuit"`
-	Kind      string      `json:"kind"`
-	Shots     int         `json:"shots,omitempty"`
-	Seed      int64       `json:"seed,omitempty"`
-	Qubits    []int       `json:"qubits,omitempty"`
-	Options   wireOptions `json:"options"`
-	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Kind         string      `json:"kind"`
+	Shots        int         `json:"shots,omitempty"`
+	Seed         int64       `json:"seed,omitempty"`
+	Qubits       []int       `json:"qubits,omitempty"`
+	Noise        *wireNoise  `json:"noise,omitempty"`
+	Trajectories int         `json:"trajectories,omitempty"`
+	Options      wireOptions `json:"options"`
+	TimeoutMS    int64       `json:"timeout_ms,omitempty"`
+}
+
+// wireNoise is the JSON noise-model spec for the noisy kinds:
+//
+//	"noise": {
+//	  "rules": [
+//	    {"channel": "depolarizing", "p": 0.01},
+//	    {"channel": "amplitude_damping", "p": 0.002, "gates": ["cx"]},
+//	    {"channel": "bit_flip", "p": 0.01, "qubits": [0, 1]}
+//	  ],
+//	  "readout": {"p01": 0.01, "p10": 0.02}
+//	}
+//
+// Channel probabilities, readout probabilities and rule qubits are bounds-
+// checked here (and again by the service), so a bad model is a 400 at
+// submit, mirroring the qubits/shots validation.
+type wireNoise struct {
+	Rules   []wireNoiseRule `json:"rules,omitempty"`
+	Readout *wireReadout    `json:"readout,omitempty"`
+}
+
+// wireNoiseRule is one channel attachment.
+type wireNoiseRule struct {
+	Channel string   `json:"channel"`          // depolarizing, bit_flip, phase_flip, amplitude_damping, phase_damping
+	P       float64  `json:"p"`                // error probability / damping rate in [0,1]
+	Gates   []string `json:"gates,omitempty"`  // restrict to these gate names
+	Qubits  []int    `json:"qubits,omitempty"` // restrict to these qubits
+}
+
+// wireReadout is the classical measurement-error spec.
+type wireReadout struct {
+	P01 float64 `json:"p01"` // P(read 1 | true 0)
+	P10 float64 `json:"p10"` // P(read 0 | true 1)
+}
+
+// toModel validates the wire spec and builds the noise model.
+func (w *wireNoise) toModel() (*noise.Model, error) {
+	if w == nil {
+		return nil, nil
+	}
+	m := &noise.Model{}
+	for i, r := range w.Rules {
+		if r.P < 0 || r.P > 1 || math.IsNaN(r.P) {
+			return nil, fmt.Errorf("noise rule %d: p=%g out of [0,1]", i, r.P)
+		}
+		ch, err := noise.NewChannel(r.Channel, r.P)
+		if err != nil {
+			return nil, fmt.Errorf("noise rule %d: %w", i, err)
+		}
+		m.AddRule(noise.Rule{Channel: ch, Gates: r.Gates, Qubits: r.Qubits})
+	}
+	if w.Readout != nil {
+		for _, p := range []float64{w.Readout.P01, w.Readout.P10} {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return nil, fmt.Errorf("noise readout: probability %g out of [0,1]", p)
+			}
+		}
+		m.WithReadout(w.Readout.P01, w.Readout.P10)
+	}
+	return m, nil
 }
 
 // wireOptions mirrors the semantically relevant core.Options fields.
@@ -112,10 +176,16 @@ func (w wireRequest) toRequest() (Request, error) {
 	if err != nil {
 		return req, err
 	}
+	model, err := w.Noise.toModel()
+	if err != nil {
+		return req, err
+	}
 	req.Kind = Kind(w.Kind)
 	req.Shots = w.Shots
 	req.Seed = w.Seed
 	req.Qubits = w.Qubits
+	req.Noise = model
+	req.Trajectories = w.Trajectories
 	req.Options = opts
 	req.Timeout = time.Duration(w.TimeoutMS) * time.Millisecond
 	return req, nil
@@ -144,6 +214,8 @@ type wireResult struct {
 	Samples       []int          `json:"samples,omitempty"`
 	Counts        map[string]int `json:"counts,omitempty"`
 	Expectation   *float64       `json:"expectation,omitempty"`
+	StdErr        *float64       `json:"stderr,omitempty"`
+	Trajectories  int            `json:"trajectories,omitempty"`
 	Probabilities []float64      `json:"probabilities,omitempty"`
 	Amplitudes    [][2]float64   `json:"amplitudes,omitempty"`
 }
@@ -175,15 +247,21 @@ func toWireResult(r *Result) *wireResult {
 		WaitedMS:  float64(r.Waited) / float64(time.Millisecond),
 	}
 	switch r.Kind {
-	case KindSample:
+	case KindSample, KindNoisySample:
 		out.Samples = r.Samples
 		out.Counts = make(map[string]int, len(r.Counts))
 		for basis, n := range r.Counts {
 			out.Counts[bitstring(basis, r.NumQubits)] = n
 		}
-	case KindExpectation:
+		out.Trajectories = r.Trajectories
+	case KindExpectation, KindNoisyExpectation:
 		e := r.Expectation
 		out.Expectation = &e
+		if r.Kind == KindNoisyExpectation {
+			se := r.StdErr
+			out.StdErr = &se
+			out.Trajectories = r.Trajectories
+		}
 	case KindProbabilities:
 		out.Probabilities = r.Probabilities
 	case KindStatevector:

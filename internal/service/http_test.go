@@ -207,3 +207,98 @@ func TestHTTPStatevectorRoundTrip(t *testing.T) {
 		t.Fatalf("cat amplitudes %v / %v", a0, a7)
 	}
 }
+
+func TestHTTPNoisySampleEndToEnd(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "ising", "qubits": 6},
+		"kind": "noisy_sample", "shots": 200, "seed": 9, "trajectories": 10,
+		"noise": {
+			"rules": [
+				{"channel": "depolarizing", "p": 0.02},
+				{"channel": "amplitude_damping", "p": 0.01, "gates": ["cx", "rzz"]}
+			],
+			"readout": {"p01": 0.01, "p10": 0.02}
+		},
+		"options": {"strategy": "dagp"}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, body)
+	}
+	id := body["id"].(string)
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+id+"/result?wait=30s")
+	if resp.StatusCode != http.StatusOK || body["status"] != "done" {
+		t.Fatalf("result: %d %v", resp.StatusCode, body)
+	}
+	result := body["result"].(map[string]any)
+	if result["trajectories"].(float64) != 10 {
+		t.Fatalf("trajectories = %v", result["trajectories"])
+	}
+	total := 0.0
+	for bits, n := range result["counts"].(map[string]any) {
+		if len(bits) != 6 || strings.Trim(bits, "01") != "" {
+			t.Fatalf("counts key %q is not a 6-bit string", bits)
+		}
+		total += n.(float64)
+	}
+	if total != 200 {
+		t.Fatalf("counts sum to %v, want 200", total)
+	}
+}
+
+func TestHTTPNoisyExpectationEndToEnd(t *testing.T) {
+	_, srv := newHTTPTest(t)
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", `{
+		"circuit": {"family": "qft", "qubits": 6},
+		"kind": "noisy_expectation", "qubits": [0, 2], "trajectories": 16,
+		"noise": {"rules": [{"channel": "phase_damping", "p": 0.05}]}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, body)
+	}
+	id := body["id"].(string)
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/"+id+"/result?wait=30s")
+	if resp.StatusCode != http.StatusOK || body["status"] != "done" {
+		t.Fatalf("result: %d %v", resp.StatusCode, body)
+	}
+	result := body["result"].(map[string]any)
+	if _, ok := result["expectation"].(float64); !ok {
+		t.Fatalf("no expectation in %v", result)
+	}
+	if se, ok := result["stderr"].(float64); !ok || se < 0 {
+		t.Fatalf("bad stderr in %v", result)
+	}
+}
+
+func TestHTTPNoisyValidation(t *testing.T) {
+	// Out-of-bounds noise probabilities and trajectory counts must be 400s
+	// at the HTTP layer, mirroring the qubits/shots validation.
+	_, srv := newHTTPTest(t)
+	circuitStanza := `"circuit": {"family": "bv", "qubits": 5}`
+	cases := []string{
+		`{` + circuitStanza + `, "kind": "noisy_sample",
+		  "noise": {"rules": [{"channel": "depolarizing", "p": 1.5}]}}`, // p > 1
+		`{` + circuitStanza + `, "kind": "noisy_sample",
+		  "noise": {"rules": [{"channel": "depolarizing", "p": -0.1}]}}`, // p < 0
+		`{` + circuitStanza + `, "kind": "noisy_sample",
+		  "noise": {"rules": [{"channel": "warp", "p": 0.1}]}}`, // unknown channel
+		`{` + circuitStanza + `, "kind": "noisy_sample",
+		  "noise": {"readout": {"p01": 2, "p10": 0}}}`, // readout out of bounds
+		`{` + circuitStanza + `, "kind": "noisy_sample", "trajectories": 1000000,
+		  "noise": {"rules": [{"channel": "bit_flip", "p": 0.1}]}}`, // over trajectory cap
+		`{` + circuitStanza + `, "kind": "noisy_sample", "trajectories": -5,
+		  "noise": {"rules": [{"channel": "bit_flip", "p": 0.1}]}}`, // negative trajectories
+		`{` + circuitStanza + `, "kind": "noisy_expectation", "qubits": [7],
+		  "noise": {"rules": [{"channel": "bit_flip", "p": 0.1}]}}`, // qubit out of range
+		`{` + circuitStanza + `, "kind": "sample",
+		  "noise": {"rules": [{"channel": "bit_flip", "p": 0.1}]}}`, // noise on ideal kind
+		`{` + circuitStanza + `, "kind": "noisy_sample",
+		  "noise": {"rules": [{"channel": "bit_flip", "p": 0.1, "qubits": [9]}]}}`, // rule qubit out of range
+	}
+	for _, body := range cases {
+		resp, got := postJSON(t, srv.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %.60q: status %d (%v), want 400", body, resp.StatusCode, got)
+		}
+	}
+}

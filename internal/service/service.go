@@ -19,7 +19,10 @@
 //
 //   - A request API covering the common read-outs: full statevector, shot
 //     sampling (seeded, reproducible), Pauli-Z-string expectation values,
-//     and marginal probability distributions.
+//     and marginal probability distributions — plus noisy trajectory
+//     ensembles (noisy_sample / noisy_expectation), whose compiled
+//     circuit+noise plans live in the same cache and whose trajectories fan
+//     out across the worker-pool width.
 package service
 
 import (
@@ -35,6 +38,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
 	"hisvsim/internal/lru"
+	"hisvsim/internal/noise"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/sv"
 )
@@ -48,12 +52,25 @@ const (
 	KindSample        Kind = "sample"        // Shots seeded basis-state samples
 	KindExpectation   Kind = "expectation"   // ⟨∏ Z_q⟩ over Qubits
 	KindProbabilities Kind = "probabilities" // marginal distribution over Qubits
+
+	// KindNoisySample and KindNoisyExpectation run a stochastic trajectory
+	// ensemble under Request.Noise instead of a single ideal simulation:
+	// trajectory batches fan out across the worker-pool width, the compiled
+	// (circuit + noise) plan is cached and reused across requests, and the
+	// results aggregate counts (noisy_sample) or the trajectory-mean
+	// ⟨∏ Z_q⟩ with its standard error (noisy_expectation).
+	KindNoisySample      Kind = "noisy_sample"
+	KindNoisyExpectation Kind = "noisy_expectation"
 )
 
 // Kinds lists the accepted request kinds.
 func Kinds() []Kind {
-	return []Kind{KindStatevector, KindSample, KindExpectation, KindProbabilities}
+	return []Kind{KindStatevector, KindSample, KindExpectation, KindProbabilities,
+		KindNoisySample, KindNoisyExpectation}
 }
+
+// Noisy reports whether the kind runs a trajectory ensemble.
+func (k Kind) Noisy() bool { return k == KindNoisySample || k == KindNoisyExpectation }
 
 // Request describes one simulation job.
 type Request struct {
@@ -68,9 +85,16 @@ type Request struct {
 	// part of the cache key — differently-seeded sample requests share one
 	// simulated state.
 	Seed int64
-	// Qubits are the Z-string qubits (KindExpectation) or the marginal
-	// qubits, little-endian (KindProbabilities).
+	// Qubits are the Z-string qubits (KindExpectation, KindNoisyExpectation)
+	// or the marginal qubits, little-endian (KindProbabilities).
 	Qubits []int
+	// Noise is the noise model for the noisy kinds (nil = ideal: the
+	// trajectory layer reduces to one cached simulation plus sampling).
+	// Ignored — and rejected when effective — for the ideal kinds.
+	Noise *noise.Model
+	// Trajectories is the ensemble size for the noisy kinds (default 256,
+	// capped by Config.MaxTrajectories).
+	Trajectories int
 	// Options forwards to core.Simulate (strategy, Lm, ranks, fusion, …).
 	Options core.Options
 	// Timeout, when > 0, bounds the job from submission to completion.
@@ -108,8 +132,12 @@ type Result struct {
 	// (KindSample).
 	Samples []int
 	Counts  map[int]int
-	// Expectation is ⟨∏ Z_q⟩ (KindExpectation).
+	// Expectation is ⟨∏ Z_q⟩ (KindExpectation), or its trajectory mean
+	// (KindNoisyExpectation) with StdErr the standard error of that mean.
 	Expectation float64
+	StdErr      float64
+	// Trajectories is the executed ensemble size (noisy kinds).
+	Trajectories int
 	// Probabilities is the marginal distribution (KindProbabilities).
 	Probabilities []float64
 
@@ -165,6 +193,11 @@ type Config struct {
 	// this (default 64): each virtual rank costs a goroutine plus mailbox,
 	// so an unbounded Options.Ranks would let one request exhaust memory.
 	MaxRanks int
+	// MaxTrajectories rejects noisy requests above this ensemble size
+	// (default 4096): each trajectory is a full 2^n sweep of the circuit,
+	// so the bound plays the same backpressure role MaxShots does for
+	// sampling.
+	MaxTrajectories int
 }
 
 // maxJobWorkers caps Options.Workers per request; more goroutines than
@@ -196,18 +229,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxRanks <= 0 {
 		c.MaxRanks = 64
 	}
+	if c.MaxTrajectories <= 0 {
+		c.MaxTrajectories = 4096
+	}
 	return c
 }
 
 // Stats is a snapshot of service counters.
 type Stats struct {
-	Submitted   int64 `json:"submitted"`
-	Completed   int64 `json:"completed"`
-	Failed      int64 `json:"failed"`
-	Canceled    int64 `json:"canceled"`
-	Simulations int64 `json:"simulations"` // actual core.Simulate executions
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	Submitted    int64 `json:"submitted"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	Canceled     int64 `json:"canceled"`
+	Simulations  int64 `json:"simulations"`  // actual core.Simulate executions
+	Trajectories int64 `json:"trajectories"` // stochastic trajectories executed
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
@@ -231,6 +268,13 @@ type Service struct {
 
 	queue chan *job
 	wg    sync.WaitGroup
+	// trajTokens bounds trajectory-level parallelism ACROSS noisy jobs:
+	// every noisy job runs at least one trajectory lane (its own worker
+	// slot) and widens by however many shared tokens it can grab, so the
+	// total live trajectory goroutines — each holding a 2^n state — stay
+	// O(Workers) no matter how many noisy jobs run concurrently (a per-job
+	// width of cfg.Workers would square that).
+	trajTokens chan struct{}
 
 	mu            sync.Mutex
 	closed        bool
@@ -243,6 +287,7 @@ type Service struct {
 
 	submitted, completed, failed, canceled atomic.Int64
 	simulations, cacheHits, cacheMisses    atomic.Int64
+	trajectories                           atomic.Int64
 }
 
 // job is the internal mutable job record; all fields past ctx/cancel are
@@ -297,13 +342,17 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:      cfg,
-		root:     root,
-		stop:     stop,
-		queue:    make(chan *job, cfg.QueueDepth),
-		jobs:     map[string]*job{},
-		cache:    lru.New(cfg.CacheBytes),
-		inflight: map[string]*flight{},
+		cfg:        cfg,
+		root:       root,
+		stop:       stop,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       map[string]*job{},
+		cache:      lru.New(cfg.CacheBytes),
+		inflight:   map[string]*flight{},
+		trajTokens: make(chan struct{}, cfg.Workers), // Workers−1 tokens below
+	}
+	for i := 0; i < cfg.Workers-1; i++ {
+		s.trajTokens <- struct{}{}
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -316,8 +365,11 @@ func New(cfg Config) *Service {
 // immediately. It never blocks on execution: a full queue fails fast with
 // ErrQueueFull.
 func (s *Service) Submit(req Request) (string, error) {
-	if req.Kind == KindSample && req.Shots == 0 {
+	if (req.Kind == KindSample || req.Kind == KindNoisySample) && req.Shots == 0 {
 		req.Shots = min(1024, s.cfg.MaxShots)
+	}
+	if req.Kind.Noisy() && req.Trajectories == 0 {
+		req.Trajectories = min(256, s.cfg.MaxTrajectories)
 	}
 	if err := s.validate(req); err != nil {
 		return "", err
@@ -371,16 +423,35 @@ func (s *Service) validate(req Request) error {
 	if req.Options.Workers > maxJobWorkers {
 		return fmt.Errorf("service: %d workers exceeds limit %d", req.Options.Workers, maxJobWorkers)
 	}
+	if !req.Options.Noise.IsZero() {
+		// The noise model rides on the Request (so it can be validated and
+		// cache-keyed uniformly), never on the forwarded simulation options.
+		return fmt.Errorf("service: set Request.Noise, not Options.Noise")
+	}
+	if req.Kind.Noisy() {
+		if req.Trajectories < 0 {
+			return fmt.Errorf("service: negative trajectory count %d", req.Trajectories)
+		}
+		if req.Trajectories > s.cfg.MaxTrajectories {
+			return fmt.Errorf("service: %d trajectories exceeds limit %d", req.Trajectories, s.cfg.MaxTrajectories)
+		}
+		if err := req.Noise.Validate(req.Circuit.NumQubits); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+	} else if !req.Noise.IsZero() {
+		return fmt.Errorf("service: kind %q does not accept a noise model (use %q or %q)",
+			req.Kind, KindNoisySample, KindNoisyExpectation)
+	}
 	switch req.Kind {
 	case KindStatevector:
-	case KindSample:
+	case KindSample, KindNoisySample:
 		if req.Shots < 0 {
 			return fmt.Errorf("service: negative shot count %d", req.Shots)
 		}
 		if req.Shots > s.cfg.MaxShots {
 			return fmt.Errorf("service: %d shots exceeds limit %d", req.Shots, s.cfg.MaxShots)
 		}
-	case KindExpectation, KindProbabilities:
+	case KindExpectation, KindProbabilities, KindNoisyExpectation:
 		seen := map[int]bool{}
 		for _, q := range req.Qubits {
 			if q < 0 || q >= req.Circuit.NumQubits {
@@ -480,8 +551,9 @@ func (s *Service) Stats() Stats {
 	return Stats{
 		Submitted: s.submitted.Load(), Completed: s.completed.Load(),
 		Failed: s.failed.Load(), Canceled: s.canceled.Load(),
-		Simulations: s.simulations.Load(),
-		CacheHits:   s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
+		Simulations:  s.simulations.Load(),
+		Trajectories: s.trajectories.Load(),
+		CacheHits:    s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
 		CacheEntries: entries, CacheBytes: bytes,
 		QueueLength: queued, Workers: s.cfg.Workers,
 	}
@@ -586,6 +658,9 @@ func resultBytes(r *Result) int64 {
 // execute resolves the cache entry (simulating on miss) and derives the
 // requested read-out.
 func (s *Service) execute(j *job) (*Result, error) {
+	if j.req.Kind.Noisy() {
+		return s.executeNoisy(j)
+	}
 	start := time.Now()
 	entry, hit, err := s.entryFor(j)
 	if err != nil {
@@ -662,6 +737,125 @@ func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
 		close(fl.done)
 		return fl.entry, false, fl.err
 	}
+}
+
+// executeNoisy runs a trajectory-ensemble job. The compiled (circuit +
+// noise model) plan is cached and shared across requests — fuse and plan
+// once, then every request replays it for its own seeded trajectories — and
+// the trajectory batch fans out across the service's worker-pool width.
+// Zero-effect models degrade gracefully to the ideal plan/state cache: the
+// ensemble then costs sampling only, exactly like KindSample.
+func (s *Service) executeNoisy(j *job) (*Result, error) {
+	start := time.Now()
+	req := j.req
+	// Widen beyond this job's own worker slot only by tokens from the
+	// shared pool, so concurrent noisy jobs cannot multiply into
+	// Workers² live trajectory states; tokens return when the job ends.
+	width := 1
+	for width < s.cfg.Workers {
+		select {
+		case <-s.trajTokens:
+			width++
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for i := 1; i < width; i++ {
+			s.trajTokens <- struct{}{}
+		}
+	}()
+	run := noise.RunConfig{
+		Trajectories: req.Trajectories, Seed: req.Seed,
+		Workers: width,
+	}
+	if req.Kind == KindNoisySample {
+		run.Shots = req.Shots
+	} else {
+		run.Qubits = req.Qubits
+		if run.Qubits == nil {
+			run.Qubits = []int{}
+		}
+	}
+	plan, hit, err := s.noisePlanFor(j)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind: req.Kind, NumQubits: req.Circuit.NumQubits,
+		Waited: j.started.Sub(j.submitted),
+	}
+	var ens *noise.Ensemble
+	if plan.NoiseFree() {
+		entry, stateHit, err := s.entryFor(j)
+		if err != nil {
+			return nil, err
+		}
+		hit = stateHit // the simulation, not the plan, is the cost that matters
+		res.Parts = entry.plan.NumParts()
+		ens, err = noise.RunEnsembleFromState(j.ctx, entry.state, plan.Readout(), run)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ens, err = noise.RunEnsemble(j.ctx, plan, run)
+		if err != nil {
+			return nil, err
+		}
+		s.trajectories.Add(int64(ens.Trajectories))
+	}
+	res.CacheHit = hit
+	res.Trajectories = ens.Trajectories
+	if req.Kind == KindNoisySample {
+		res.Counts = ens.Counts
+	} else {
+		res.Expectation = ens.Expectation
+		res.StdErr = ens.StdErr
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// noisePlanEntry wraps a compiled trajectory plan for the LRU cache.
+type noisePlanEntry struct {
+	plan *noise.Plan
+}
+
+// noisePlanFor returns the compiled trajectory plan for the job's
+// (circuit, noise, fusion) key, compiling on miss. Unlike entryFor, misses
+// are not single-flighted: compilation is plan construction, not
+// simulation, so a duplicated compile under a request burst is benign.
+func (s *Service) noisePlanFor(j *job) (*noise.Plan, bool, error) {
+	key := noisePlanKey(j.req.Circuit, j.req.Options, j.req.Noise)
+	s.mu.Lock()
+	if v, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return v.(*noisePlanEntry).plan, true, nil
+	}
+	s.mu.Unlock()
+	s.cacheMisses.Add(1)
+	plan, err := noise.Compile(j.req.Circuit, j.req.Noise, noise.CompileOptions{
+		Fuse: j.req.Options.Fuse.Enabled(), MaxFuseQubits: j.req.Options.MaxFuseQubits,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.cache.Put(key, &noisePlanEntry{plan: plan}, plan.MemoryBytes())
+	s.mu.Unlock()
+	return plan, false, nil
+}
+
+// noisePlanKey is the content address of a compiled trajectory plan: the
+// circuit fingerprint with the noise model's digest folded in, plus the
+// fusion options that shape the compiled blocks. The request seed is
+// excluded — differently-seeded ensembles replay one plan — and so are
+// Strategy/Lm/Ranks, which only steer the zero-noise ideal path (keyed
+// separately by cacheKey).
+func noisePlanKey(c *circuit.Circuit, o core.Options, m *noise.Model) string {
+	return fmt.Sprintf("noise|%s|f=%t mf=%d", c.FingerprintWith(m.Hash()), o.Fuse.Enabled(), o.MaxFuseQubits)
 }
 
 func (s *Service) simulate(j *job) (*cacheEntry, error) {

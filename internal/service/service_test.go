@@ -12,6 +12,7 @@ import (
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
+	"hisvsim/internal/noise"
 	"hisvsim/internal/sv"
 )
 
@@ -476,5 +477,175 @@ func TestStatevectorResultIsACopy(t *testing.T) {
 	st := sv.NewStateRaw(append([]complex128(nil), b.Amplitudes...))
 	if math.Abs(st.Norm()-1) > 1e-9 {
 		t.Fatalf("cached state corrupted: norm %v", st.Norm())
+	}
+}
+
+func TestNoisySampleDeterministicAndPlanCached(t *testing.T) {
+	s := newTest(t, Config{Workers: 2})
+	c := circuit.MustNamed("ising", 6)
+	req := Request{
+		Circuit: c, Kind: KindNoisySample, Shots: 400, Seed: 7, Trajectories: 20,
+		Noise: noise.Global(noise.Depolarizing(0.02)),
+	}
+	a, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit {
+		t.Fatal("first noisy request hit the plan cache")
+	}
+	if a.Trajectories != 20 {
+		t.Fatalf("Trajectories = %d, want 20", a.Trajectories)
+	}
+	total := 0
+	for _, n := range a.Counts {
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("counts sum to %d, want 400", total)
+	}
+
+	// Same request again: the compiled plan is reused and the seeded
+	// ensemble reproduces the exact counts.
+	b, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit {
+		t.Fatal("repeat noisy request missed the plan cache")
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatal("seeded noisy counts not reproducible")
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("count[%d] = %d vs %d", k, v, b.Counts[k])
+		}
+	}
+	// No ideal simulation ran; trajectories were executed and counted.
+	st := s.Stats()
+	if st.Simulations != 0 {
+		t.Fatalf("noisy jobs ran %d ideal simulations", st.Simulations)
+	}
+	if st.Trajectories != 40 {
+		t.Fatalf("Trajectories stat = %d, want 40", st.Trajectories)
+	}
+}
+
+func TestNoisyExpectationStdErr(t *testing.T) {
+	s := newTest(t, Config{Workers: 2})
+	res, err := s.Do(context.Background(), Request{
+		Circuit: circuit.MustNamed("qft", 6), Kind: KindNoisyExpectation,
+		Qubits: []int{0, 1}, Seed: 3, Trajectories: 40,
+		Noise: noise.Global(noise.AmplitudeDamping(0.05)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trajectories != 40 {
+		t.Fatalf("Trajectories = %d", res.Trajectories)
+	}
+	if res.StdErr < 0 || math.IsNaN(res.StdErr) {
+		t.Fatalf("StdErr = %g", res.StdErr)
+	}
+	if math.Abs(res.Expectation) > 1 {
+		t.Fatalf("Expectation = %g out of [-1,1]", res.Expectation)
+	}
+}
+
+func TestNoisyZeroModelSharesIdealCache(t *testing.T) {
+	// A noisy request whose model is all-zero must reuse the ideal state
+	// cache entry: one simulation serves both the ideal and "noisy" jobs.
+	s := newTest(t, Config{Workers: 1})
+	c := circuit.MustNamed("qft", 7)
+	opts := core.Options{Strategy: "dagp", Lm: 5, Seed: 1}
+	if _, err := s.Do(context.Background(), Request{
+		Circuit: c, Kind: KindSample, Shots: 100, Options: opts,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Do(context.Background(), Request{
+		Circuit: c, Kind: KindNoisySample, Shots: 100, Trajectories: 4,
+		Noise: noise.Global(noise.Depolarizing(0)), Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("zero-noise job missed the ideal state cache")
+	}
+	if got := s.Stats().Simulations; got != 1 {
+		t.Fatalf("%d simulations for ideal + zero-noise job, want 1", got)
+	}
+}
+
+func TestNoisyValidation(t *testing.T) {
+	s := newTest(t, Config{Workers: 1, MaxTrajectories: 100})
+	c := circuit.MustNamed("bv", 5)
+	bad := []Request{
+		{Circuit: c, Kind: KindNoisySample, Trajectories: 101,
+			Noise: noise.Global(noise.BitFlip(0.1))}, // over trajectory cap
+		{Circuit: c, Kind: KindNoisySample, Trajectories: -1,
+			Noise: noise.Global(noise.BitFlip(0.1))}, // negative trajectories
+		{Circuit: c, Kind: KindNoisySample,
+			Noise: noise.Global(noise.BitFlip(1.5))}, // probability out of bounds
+		{Circuit: c, Kind: KindNoisyExpectation, Qubits: []int{9},
+			Noise: noise.Global(noise.BitFlip(0.1))}, // qubit out of range
+		{Circuit: c, Kind: KindSample,
+			Noise: noise.Global(noise.BitFlip(0.1))}, // noise on an ideal kind
+		{Circuit: c, Kind: KindSample,
+			Options: core.Options{Noise: noise.Global(noise.BitFlip(0.1))}}, // noise inside options
+	}
+	for i, req := range bad {
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("bad request %d accepted", i)
+		}
+	}
+	// The boundary values pass.
+	if _, err := s.Submit(Request{Circuit: c, Kind: KindNoisySample, Trajectories: 100,
+		Noise: noise.Global(noise.BitFlip(0.1))}); err != nil {
+		t.Errorf("limit trajectory count rejected: %v", err)
+	}
+}
+
+func TestConcurrentNoisyJobsShareTrajectoryTokens(t *testing.T) {
+	// Several noisy jobs in flight at once: the shared token pool must
+	// neither deadlock nor change the seeded results.
+	s := newTest(t, Config{Workers: 3})
+	c := circuit.MustNamed("qft", 6)
+	req := func(seed int64) Request {
+		return Request{
+			Circuit: c, Kind: KindNoisySample, Shots: 100, Seed: seed,
+			Trajectories: 12, Noise: noise.Global(noise.Depolarizing(0.05)),
+		}
+	}
+	ids := make([]string, 6)
+	for i := range ids {
+		id, err := s.Submit(req(int64(i % 2))) // two seed groups
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	results := make([]*Result, len(ids))
+	for i, id := range ids {
+		res, err := s.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	// Jobs with equal seeds agree exactly, regardless of how many tokens
+	// each happened to grab.
+	for i := 2; i < len(results); i++ {
+		want := results[i%2]
+		if len(results[i].Counts) != len(want.Counts) {
+			t.Fatalf("job %d counts differ from its seed group", i)
+		}
+		for k, v := range want.Counts {
+			if results[i].Counts[k] != v {
+				t.Fatalf("job %d count[%d] = %d, want %d", i, k, results[i].Counts[k], v)
+			}
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package sv
+
+import (
+	"fmt"
+	"sync"
+
+	"hisvsim/internal/gate"
+)
+
+// This file holds the raw-matrix entry points the noise layer needs: applying
+// an arbitrary (not necessarily unitary) operator to one qubit, computing the
+// squared norm such an application would produce without mutating the state,
+// and rescaling amplitudes. Together they implement exact norm-weighted Kraus
+// selection: p_i = ‖K_i ψ‖², apply the chosen K_i, then scale by 1/√p_i.
+
+// ApplyMatrix1 applies an arbitrary 2×2 matrix to qubit t. Unlike ApplyGate
+// it does not require a named gate and does not assume unitarity, so the
+// state's norm may change (Kraus operators, projectors).
+func (s *State) ApplyMatrix1(t int, m gate.Matrix) {
+	if t < 0 || t >= s.N {
+		panic(fmt.Sprintf("sv: qubit %d out of range [0,%d)", t, s.N))
+	}
+	if m.K != 1 {
+		panic(fmt.Sprintf("sv: ApplyMatrix1 got a %d-qubit matrix", m.K))
+	}
+	s.Ops++
+	s.apply1(t, 0, m)
+}
+
+// Kraus1Norm2 returns ‖Kψ‖² for the 2×2 operator K on qubit t without
+// mutating the state — the branch probability of selecting K in a
+// trajectory unraveling (1 for unitary K on a normalized state).
+func (s *State) Kraus1Norm2(t int, m gate.Matrix) float64 {
+	if t < 0 || t >= s.N {
+		panic(fmt.Sprintf("sv: qubit %d out of range [0,%d)", t, s.N))
+	}
+	if m.K != 1 {
+		panic(fmt.Sprintf("sv: Kraus1Norm2 got a %d-qubit matrix", m.K))
+	}
+	m00, m01, m10, m11 := m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1)
+	tbit := 1 << uint(t)
+	half := len(s.Amps) >> 1
+	abs2 := func(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+	sumRange := func(lo, hi int) float64 {
+		p := 0.0
+		for f := lo; f < hi; f++ {
+			i0 := insertBit(f, t)
+			a0, a1 := s.Amps[i0], s.Amps[i0|tbit]
+			p += abs2(m00*a0+m01*a1) + abs2(m10*a0+m11*a1)
+		}
+		return p
+	}
+	// Small states dominate trajectory workloads: serial below the same
+	// threshold the sweep kernels use. The parallel reduction owns its
+	// chunking (it must map chunks to partial slots, which parallelFor's
+	// callback contract does not expose).
+	w := s.workers()
+	if w <= 1 || half < parallelThreshold {
+		return sumRange(0, half)
+	}
+	if w > half {
+		w = half
+	}
+	chunk := (half + w - 1) / w
+	partial := make([]float64, (half+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < half; i, lo = i+1, lo+chunk {
+		hi := min(lo+chunk, half)
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partial[i] = sumRange(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	// Fixed chunk-ordered reduction: bit-identical for a given worker count.
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// Scale multiplies every amplitude by c (used to renormalize after a Kraus
+// application: c = 1/√p).
+func (s *State) Scale(c complex128) {
+	s.parallelFor(len(s.Amps), func(lo, hi int) {
+		amps := s.Amps
+		for i := lo; i < hi; i++ {
+			amps[i] *= c
+		}
+	})
+}

@@ -71,6 +71,30 @@ if [ "$SIMS" != 1 ]; then
     exit 1
 fi
 
+# A noisy trajectory-ensemble job: counts add up and the shot total holds.
+NID="$(curl -fsS "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 8},
+    "kind": "noisy_sample", "shots": 200, "seed": 7, "trajectories": 20,
+    "noise": {"rules": [{"channel": "depolarizing", "p": 0.01}],
+              "readout": {"p01": 0.01, "p10": 0.01}}
+}' | jq -r .id)"
+NTOTAL="$(curl -fsS "$BASE/v1/jobs/$NID/result?wait=30s" | jq '[.result.counts[]] | add')"
+if [ "$NTOTAL" != 200 ]; then
+    echo "serve-smoke: noisy counts sum to $NTOTAL, want 200" >&2
+    exit 1
+fi
+
+# Out-of-bounds noise probabilities are 400s.
+NCODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 8},
+    "kind": "noisy_sample",
+    "noise": {"rules": [{"channel": "depolarizing", "p": 1.5}]}
+}')"
+if [ "$NCODE" != 400 ]; then
+    echo "serve-smoke: bad noise probability returned $NCODE, want 400" >&2
+    exit 1
+fi
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 if ! wait "$PID"; then
@@ -79,4 +103,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (submit, poll, sample, cache hit, graceful shutdown)"
+echo "serve-smoke: OK (submit, poll, sample, cache hit, noisy ensemble, graceful shutdown)"

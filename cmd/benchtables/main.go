@@ -153,6 +153,9 @@ func main() {
 		})
 		check(err)
 		fmt.Println(rep.Table())
+		if cav := rep.Caveat(); cav != "" {
+			fmt.Println(cav)
+		}
 		if *noiseOut != "" {
 			b, err := rep.JSON()
 			check(err)

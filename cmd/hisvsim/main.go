@@ -7,9 +7,14 @@
 //	hisvsim -qasm file.qasm -strategy dagp -ranks 4 -verify
 //	hisvsim -circuit grover -n 15 -plan-only
 //	hisvsim -circuit ising -n 12 -depolarizing 0.01 -trajectories 500 -shots 4096
+//	hisvsim -circuit ising -n 8 -observables '-1*ZZ@0,1; 0.5*X@2'
+//	hisvsim -backends
 //
 // It prints the plan summary (parts and working sets), execution metrics,
-// and optionally verifies the result against flat simulation. Any of the
+// and optionally verifies the result against flat simulation. -backend
+// picks the execution engine from the registry (-backends lists them);
+// -observables evaluates weighted Pauli strings (X/Y/Z Hamiltonian terms)
+// on the final state — or as trajectory means under noise. Any of the
 // noise flags (-depolarizing, -bit-flip, -phase-flip, -amp-damp,
 // -phase-damp, -readout01/-readout10) switches to trajectory-ensemble
 // simulation: counts and a Z-string expectation aggregated over
@@ -22,6 +27,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"hisvsim"
@@ -32,6 +38,9 @@ func main() {
 		family    = flag.String("circuit", "", "benchmark family to generate: "+strings.Join(hisvsim.Families(), ", "))
 		n         = flag.Int("n", 16, "qubit count for -circuit")
 		qasmFile  = flag.String("qasm", "", "OpenQASM 2.0 file to simulate instead of -circuit")
+		backendN  = flag.String("backend", "", "execution backend: "+strings.Join(hisvsim.BackendNames(), ", ")+" (default: by rank count)")
+		backends  = flag.Bool("backends", false, "list the registered execution backends and exit")
+		observes  = flag.String("observables", "", "semicolon-separated Pauli observables to evaluate, e.g. '-1*ZZ@0,1; 0.5*X@2'")
 		strategy  = flag.String("strategy", "dagp", "partitioner: "+strings.Join(hisvsim.Strategies(), ", "))
 		lm        = flag.Int("lm", 0, "working-set limit per part (0 = local qubit count)")
 		ranks     = flag.Int("ranks", 1, "simulated MPI ranks (power of two; 1 = single node)")
@@ -58,9 +67,37 @@ func main() {
 	)
 	flag.Parse()
 
+	if *backends {
+		for _, b := range hisvsim.Backends() {
+			caps := b.Capabilities
+			ranksDoc := "single-node"
+			switch {
+			case caps.SingleRank && caps.MultiRank:
+				ranksDoc = "1..N ranks"
+			case caps.MultiRank:
+				ranksDoc = "multi-rank"
+			}
+			if caps.Partitioned {
+				ranksDoc += ", partitioned"
+			}
+			fmt.Printf("%-10s %-24s %s\n", b.Name, "("+ranksDoc+")", caps.Description)
+		}
+		return
+	}
+
+	obs, err := parseObservables(*observes)
+	if err != nil {
+		fatal(err)
+	}
+
 	c, err := loadCircuit(*family, *qasmFile, *n)
 	if err != nil {
 		fatal(err)
+	}
+	for _, ob := range obs {
+		if err := ob.Validate(c.NumQubits); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("circuit: %s\n", c.String())
 
@@ -91,14 +128,16 @@ func main() {
 			fatal(fmt.Errorf("-parts is a partition-plan report; noisy trajectories execute unpartitioned (drop -parts or the noise flags)"))
 		}
 		runNoisy(c, hisvsim.Options{
+			Backend:  *backendN,
 			Strategy: *strategy, Lm: *lm, Ranks: *ranks,
 			SecondLevelLm: *lm2, Seed: *seed,
 			Fuse: fp, MaxFuseQubits: *fuseMax, Noise: model,
-		}, *traj, *shots, *zString, *noiseSeed)
+		}, *traj, *shots, *zString, *noiseSeed, obs)
 		return
 	}
 
 	res, err := hisvsim.Simulate(c, hisvsim.Options{
+		Backend:  *backendN,
 		Strategy: *strategy, Lm: *lm, Ranks: *ranks,
 		SecondLevelLm: *lm2, Seed: *seed,
 		Fuse: fp, MaxFuseQubits: *fuseMax,
@@ -106,7 +145,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	printPlan(res.Plan, *showParts)
+	fmt.Printf("backend: %s\n", res.Backend)
+	if res.Plan != nil {
+		printPlan(res.Plan, *showParts)
+	}
 	fmt.Printf("execution: %s\n", res.Elapsed)
 	if res.Hier != nil {
 		fmt.Printf("single-node: %d parts, %d gather/scatter sweeps, %.1f MB moved, %d inner kernel ops\n",
@@ -120,10 +162,17 @@ func main() {
 				s.Rank, s.MsgsSent, float64(s.BytesSent)/(1<<20), s.CommSeconds, s.ComputeSeconds)
 		}
 	}
+	if res.Baseline != nil {
+		fmt.Printf("baseline: %d ranks, %d pair exchanges, %.1f MB over network\n",
+			*ranks, res.Baseline.Exchanges, float64(res.Baseline.BytesComm)/(1<<20))
+	}
 	if res.State != nil {
 		top := res.State.MostLikely()
 		fmt.Printf("most likely outcome: |%0*b⟩ with probability %.4f\n",
 			c.NumQubits, top, res.State.BasisProbability(top))
+		for _, ob := range obs {
+			fmt.Printf("observable %s = %.9f\n", ob, res.State.ExpectationPauliString(ob))
+		}
 	}
 	if *verify {
 		want, err := hisvsim.Run(c)
@@ -177,9 +226,48 @@ func buildNoiseModel(depol, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
 	return model, nil
 }
 
+// parseObservables parses the -observables flag: semicolon-separated
+// weighted Pauli strings of the form "[coeff*]OPS@q0,q1,…", e.g.
+// "-1*ZZ@0,1; 0.5*X@2; Y@3".
+func parseObservables(s string) ([]hisvsim.PauliString, error) {
+	var out []hisvsim.PauliString
+	for _, raw := range strings.Split(s, ";") {
+		term := strings.TrimSpace(raw)
+		if term == "" {
+			continue
+		}
+		p := hisvsim.PauliString{}
+		if i := strings.Index(term, "*"); i >= 0 {
+			c, err := strconv.ParseFloat(strings.TrimSpace(term[:i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad observable coefficient in %q: %w", term, err)
+			}
+			if c == 0 {
+				return nil, fmt.Errorf("observable %q has coefficient 0, which always contributes nothing — drop the term", term)
+			}
+			p.Coeff = c
+			term = strings.TrimSpace(term[i+1:])
+		}
+		ops, qs, ok := strings.Cut(term, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad observable %q (want [coeff*]OPS@q0,q1,…)", term)
+		}
+		p.Ops = strings.TrimSpace(ops)
+		for _, f := range strings.Split(qs, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad observable qubit in %q: %w", term, err)
+			}
+			p.Qubits = append(p.Qubits, q)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // runNoisy executes and reports a trajectory ensemble.
-func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString string, seed int64) {
-	run := hisvsim.NoisyRun{Trajectories: traj, Seed: seed, Shots: shots}
+func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString string, seed int64, obs []hisvsim.PauliString) {
+	run := hisvsim.NoisyRun{Trajectories: traj, Seed: seed, Shots: shots, Observables: obs}
 	if zString != "" {
 		for _, f := range strings.Split(zString, ",") {
 			var q int
@@ -198,6 +286,9 @@ func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString
 		ens.Stats.Locations, ens.Stats.PauliApplied, ens.Stats.KrausApplied)
 	if ens.HasExpectation {
 		fmt.Printf("  ⟨∏ Z_%v⟩ = %.6f ± %.6f\n", run.Qubits, ens.Expectation, ens.StdErr)
+	}
+	for k, st := range ens.Observables {
+		fmt.Printf("  observable %s = %.6f ± %.6f\n", obs[k], st.Mean, st.StdErr)
 	}
 	if len(ens.Counts) > 0 {
 		type kv struct {

@@ -13,21 +13,35 @@
 //	GET    /v1/jobs/{id}         poll
 //	GET    /v1/jobs/{id}/result  long-poll result (?wait=30s)
 //	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/backends          registered execution backends
 //	GET    /v1/stats             counters
 //	GET    /healthz              liveness
 //
-// Example:
+// The v2 surface is kind "run": one "readouts" spec asks for any mix of
+// statevector, seeded shots, marginal distributions and weighted
+// Pauli-string observables, and one cached simulation answers all of them;
+// "options.backend" picks the execution engine. Example:
 //
 //	curl -s localhost:8080/v1/jobs -d '{
 //	  "circuit": {"family": "qft", "qubits": 18},
-//	  "kind": "sample", "shots": 1000, "seed": 7,
+//	  "kind": "run",
+//	  "readouts": {
+//	    "shots": 1000, "seed": 7,
+//	    "marginals": [[0, 1]],
+//	    "observables": [{"paulis": "ZZ", "qubits": [0, 1]},
+//	                    {"coeff": 0.5, "paulis": "X", "qubits": [2]}]
+//	  },
 //	  "options": {"strategy": "dagp"}
 //	}'
 //
-// Noisy trajectory ensembles ride the same queue (kind "noisy_sample" or
-// "noisy_expectation" plus a "noise" spec and "trajectories"); channel
-// probabilities, readout rates and trajectory counts are bounds-checked at
-// submit and rejected with 400s.
+// The v1 kinds (statevector/sample/expectation/probabilities and the noisy
+// pair) remain as deprecated shims with byte-compatible responses.
+//
+// Noisy trajectory ensembles ride the same queue (kind "run" plus a
+// "noise" spec, or the legacy noisy kinds); channel probabilities, readout
+// rates and trajectory counts are bounds-checked at submit and rejected
+// with 400s. Compiled trajectory plans cache in their own small LRU
+// (-plan-cache-mb) so statevector entries cannot evict them.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight HTTP
 // requests get -grace seconds to finish, then the service cancels
@@ -54,6 +68,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 256, "max queued jobs before 429s")
 		cacheMB = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
+		planMB  = flag.Int64("plan-cache-mb", 16, "compiled trajectory-plan cache budget in MiB (0 or negative disables)")
 		maxQ    = flag.Int("max-qubits", 26, "largest accepted register")
 		maxS    = flag.Int("max-shots", 1_000_000, "largest accepted shot count")
 		maxT    = flag.Int("max-trajectories", 4096, "largest accepted noisy-ensemble size")
@@ -66,8 +81,13 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // 0 would select the service default; the flag promises "disables"
 	}
+	planBytes := *planMB << 20
+	if *planMB <= 0 {
+		planBytes = -1
+	}
 	svc := service.New(service.Config{
-		Workers: *workers, QueueDepth: *queue, CacheBytes: cacheBytes,
+		Workers: *workers, QueueDepth: *queue,
+		CacheBytes: cacheBytes, PlanCacheBytes: planBytes,
 		MaxQubits: *maxQ, MaxShots: *maxS, MaxTrajectories: *maxT,
 		RetainJobs: *retain,
 	})

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"hisvsim/internal/backend"
 	"hisvsim/internal/baseline"
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
@@ -102,6 +103,22 @@ func WriteQASM(c *Circuit) string { return qasm.Write(c) }
 
 // Strategies lists the partitioner names Simulate and Partition accept.
 func Strategies() []string { return core.StrategyNames() }
+
+// BackendInfo pairs a registered execution backend's name with its
+// capabilities.
+type BackendInfo = backend.Info
+
+// BackendCapabilities describes which execution specs a backend accepts.
+type BackendCapabilities = backend.Capabilities
+
+// Backends lists every registered execution backend ("flat", "hier",
+// "dist", "baseline") with its capabilities. Options.Backend selects one
+// by name; an empty name picks by rank count ("hier" single-node, "dist"
+// beyond), exactly the pre-registry behavior.
+func Backends() []BackendInfo { return core.Backends() }
+
+// BackendNames lists just the registered backend names, sorted.
+func BackendNames() []string { return core.BackendNames() }
 
 // Partition builds an acyclic plan for the circuit with working-set limit
 // lm using the named strategy ("nat", "dfs", "dagp", or "exact").
@@ -191,6 +208,12 @@ type NoisyRun = noise.RunConfig
 // expectation ± standard error, and stochastic-work statistics.
 type NoisyEnsemble = noise.Ensemble
 
+// PauliString is a weighted Pauli operator in the state-kernel form
+// (NoisyRun.Observables and State.ExpectationPauliString). Observable is
+// the same concept on the request surface; prefer it with Evaluate /
+// KindRun.
+type PauliString = sv.PauliString
+
 // NewNoiseModel builds a noise model from rules.
 func NewNoiseModel(rules ...NoiseRule) *NoiseModel { return noise.NewModel(rules...) }
 
@@ -240,6 +263,53 @@ func SimulateNoisy(c *Circuit, opts Options, run NoisyRun) (*NoisyEnsemble, erro
 // aborts the ensemble at the next trajectory boundary.
 func SimulateNoisyContext(ctx context.Context, c *Circuit, opts Options, run NoisyRun) (*NoisyEnsemble, error) {
 	return core.SimulateNoisyContext(ctx, c, opts, run)
+}
+
+// ReadoutSpec is the unified multi-readout request of the v2 surface: any
+// mix of statevector, seeded shots, marginal distributions and weighted
+// Pauli-string observables, all answered by ONE simulation (or one
+// trajectory ensemble under a noise model). Evaluate, ServiceRequest
+// (KindRun) and the hisvsimd "readouts" JSON body all speak it.
+type ReadoutSpec = core.ReadoutSpec
+
+// Observable is one weighted Pauli string Coeff·⟨∏ σ⟩ with σ ∈ {I,X,Y,Z}
+// (a Hamiltonian term; zero Coeff means 1). A Hamiltonian H = Σ c_k P_k is
+// a list of Observables and its energy the sum of the returned values.
+type Observable = core.Observable
+
+// ObservableValue is one evaluated observable (trajectory mean ± standard
+// error under noise; exact with StdErr 0 otherwise).
+type ObservableValue = core.ObservableValue
+
+// Readouts bundles every read-out a ReadoutSpec produced.
+type Readouts = core.Readouts
+
+// RunReport is Evaluate's result: the read-outs plus the execution
+// artifact that produced them (ideal Result or noisy Ensemble).
+type RunReport = core.RunReport
+
+// Evaluate runs ONE simulation of the circuit under opts and derives every
+// read-out the spec asks for — the v2 request surface:
+//
+//	rep, err := hisvsim.Evaluate(c, hisvsim.Options{Backend: "hier"}, hisvsim.ReadoutSpec{
+//		Shots: 1024, Seed: 7,
+//		Marginals:   [][]int{{0, 1}},
+//		Observables: []hisvsim.Observable{
+//			{Name: "zz01", Coeff: -1, Paulis: "ZZ", Qubits: []int{0, 1}},
+//			{Name: "x2", Paulis: "X", Qubits: []int{2}},
+//		},
+//	})
+//
+// With an effective Options.Noise model the read-outs aggregate over a
+// trajectory ensemble of spec.Trajectories runs instead (statevector is
+// then rejected).
+func Evaluate(c *Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
+	return core.Evaluate(c, opts, spec)
+}
+
+// EvaluateContext is Evaluate under a context.
+func EvaluateContext(ctx context.Context, c *Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
+	return core.EvaluateContext(ctx, c, opts, spec)
 }
 
 // Fingerprint returns the circuit's stable content hash (SHA-256 over the
@@ -298,6 +368,12 @@ type RequestKind = service.Kind
 
 // Request kinds for ServiceRequest.Kind.
 const (
+	// KindRun is the v2 unified kind: ServiceRequest.Readouts holds a
+	// ReadoutSpec and one cached simulation answers every listed read-out.
+	KindRun = service.KindRun
+
+	// Deprecated single-readout kinds (thin shims over KindRun's path;
+	// responses stay byte-compatible with the v1 surface).
 	KindStatevector   = service.KindStatevector   // full amplitude vector
 	KindSample        = service.KindSample        // seeded shot sampling
 	KindExpectation   = service.KindExpectation   // ⟨∏ Z_q⟩ Pauli-Z string

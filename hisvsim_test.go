@@ -261,3 +261,59 @@ func TestFacadeSimulateNoisy(t *testing.T) {
 		t.Fatalf("service noisy result: %+v", res)
 	}
 }
+
+func TestFacadeBackendsAndEvaluate(t *testing.T) {
+	names := BackendNames()
+	if len(names) < 4 {
+		t.Fatalf("BackendNames() = %v, want the four built-ins", names)
+	}
+	for _, info := range Backends() {
+		if info.Name == "" || info.Capabilities.Description == "" {
+			t.Fatalf("bad backend info %+v", info)
+		}
+	}
+
+	c := MustCircuit("ising", 7)
+	spec := ReadoutSpec{
+		Shots: 200, Seed: 3,
+		Marginals: [][]int{{0, 1}},
+		Observables: []Observable{
+			{Name: "zz", Coeff: -1, Paulis: "ZZ", Qubits: []int{0, 1}},
+			{Name: "x", Paulis: "X", Qubits: []int{2}},
+		},
+	}
+	rep, err := Evaluate(c, Options{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sim == nil || rep.Sim.Backend != "hier" {
+		t.Fatalf("default backend: %+v", rep.Sim)
+	}
+	// An explicit backend must agree with the default within tolerance.
+	flat, err := Evaluate(c, Options{Backend: "flat"}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rep.Observables {
+		if d := rep.Observables[k].Value - flat.Observables[k].Value; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("observable %d: hier %v vs flat %v", k, rep.Observables[k].Value, flat.Observables[k].Value)
+		}
+	}
+
+	// KindRun through the service: one simulation, all read-outs.
+	svc := NewService(ServiceConfig{Workers: 2})
+	defer svc.Close()
+	res, err := svc.Do(context.Background(), ServiceRequest{Circuit: c, Kind: KindRun, Readouts: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Simulations != 1 {
+		t.Fatalf("service multi-readout ran %d simulations", st.Simulations)
+	}
+	if res.Observables[0].Value != rep.Observables[0].Value {
+		t.Fatalf("service %v != library %v", res.Observables[0].Value, rep.Observables[0].Value)
+	}
+	if res.Backend != "hier" {
+		t.Fatalf("service backend %q", res.Backend)
+	}
+}

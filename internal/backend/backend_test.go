@@ -1,0 +1,120 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hisvsim/internal/circuit"
+)
+
+func TestRegistryNamesAndDefaults(t *testing.T) {
+	names := Names()
+	for _, want := range []string{NameFlat, NameHier, NameDist, NameBaseline} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	if got := DefaultName(1); got != NameHier {
+		t.Errorf("DefaultName(1) = %q, want %q", got, NameHier)
+	}
+	if got := DefaultName(0); got != NameHier {
+		t.Errorf("DefaultName(0) = %q, want %q", got, NameHier)
+	}
+	if got := DefaultName(4); got != NameDist {
+		t.Errorf("DefaultName(4) = %q, want %q", got, NameDist)
+	}
+	if _, err := Get("no-such-engine"); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("Get(unknown) error = %v, want unknown-backend error", err)
+	}
+	if _, name, err := Resolve("", 2); err != nil || name != NameDist {
+		t.Errorf("Resolve(\"\", 2) = %q, %v", name, err)
+	}
+	for _, info := range List() {
+		if info.Capabilities.Description == "" {
+			t.Errorf("backend %q has no description", info.Name)
+		}
+		if !info.Capabilities.SingleRank && !info.Capabilities.MultiRank {
+			t.Errorf("backend %q accepts no rank count at all", info.Name)
+		}
+	}
+}
+
+// TestBackendsAgreeOnState is the registry-level differential test: every
+// engine must produce the same final state for specs within its
+// capabilities.
+func TestBackendsAgreeOnState(t *testing.T) {
+	c, err := circuit.Named("qft", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _ := Get(NameFlat)
+	ref, err := flat.Run(context.Background(), c, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{NameHier, Spec{Strategy: "dagp", Lm: 5, Seed: 3, Fuse: true}},
+		{NameHier, Spec{Strategy: "nat", Lm: 4}},
+		{NameDist, Spec{Ranks: 2, Seed: 3, Fuse: true}},
+		{NameDist, Spec{Ranks: 4, Seed: 3}},
+		{NameBaseline, Spec{Ranks: 2, Fuse: true}},
+		{NameBaseline, Spec{Ranks: 1}},
+	}
+	for _, tc := range cases {
+		b, err := Get(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Run(context.Background(), c, tc.spec)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", tc.name, tc.spec, err)
+		}
+		if got.State == nil {
+			t.Fatalf("%s %+v: nil state", tc.name, tc.spec)
+		}
+		if !got.State.EqualTol(ref.State, 1e-9) {
+			t.Errorf("%s %+v: state diverges from flat reference", tc.name, tc.spec)
+		}
+		if b.Capabilities().Partitioned && got.Plan == nil {
+			t.Errorf("%s: partitioned backend returned no plan", tc.name)
+		}
+	}
+}
+
+func TestSingleRankBackendsRejectMultiRank(t *testing.T) {
+	c, err := circuit.Named("bv", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameFlat, NameHier} {
+		b, _ := Get(name)
+		if _, err := b.Run(context.Background(), c, Spec{Ranks: 4}); err == nil {
+			t.Errorf("%s accepted 4 ranks", name)
+		}
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	c, err := circuit.Named("qft", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Names() {
+		b, _ := Get(name)
+		if _, err := b.Run(ctx, c, Spec{}); err == nil {
+			t.Errorf("%s ignored a canceled context", name)
+		}
+	}
+}

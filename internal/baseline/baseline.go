@@ -9,8 +9,10 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"hisvsim/internal/circuit"
@@ -33,6 +35,11 @@ func fullyLocal(g gate.Gate, l int) bool {
 
 // Config describes a baseline run.
 type Config struct {
+	// Ctx, when non-nil, is polled at gate boundaries: a cancelled or
+	// timed-out context aborts the run with the context's error. The abort
+	// gate is latched so every simulated rank leaves at the same boundary
+	// (no rank abandons a partner mid-exchange).
+	Ctx context.Context
 	// Ranks must be a power of two.
 	Ranks int
 	// Model is the communication cost model (default mpi.HDR100()).
@@ -130,6 +137,19 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 		}
 	}
 
+	// gateGate latches one go/abort decision per gate index (the same
+	// scheme dist uses per step): the FIRST rank to reach a boundary polls
+	// the context and publishes the verdict, every other rank follows it —
+	// per-rank polling could strand a partner already blocked inside the
+	// same gate's pairwise exchange.
+	var gateGate []atomic.Int32 // 0 undecided, 1 go, 2 abort
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return res, err
+		}
+		gateGate = make([]atomic.Int32, len(gates))
+	}
+
 	stats, err := mpi.Run(cfg.Ranks, model, func(cm *mpi.Comm) error {
 		rank := cm.Rank()
 		local := make([]complex128, 1<<uint(l))
@@ -140,6 +160,26 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 		st.Workers = cfg.Workers
 
 		for gi := 0; gi < len(gates); gi++ {
+			if gateGate != nil {
+				verdict := gateGate[gi].Load()
+				if verdict == 0 {
+					want := int32(1)
+					if cfg.Ctx.Err() != nil {
+						want = 2
+					}
+					if gateGate[gi].CompareAndSwap(0, want) {
+						verdict = want
+					} else {
+						verdict = gateGate[gi].Load()
+					}
+				}
+				if verdict == 2 {
+					if err := cfg.Ctx.Err(); err != nil {
+						return err
+					}
+					return context.Canceled
+				}
+			}
 			g := gates[gi]
 			if run, ok := localRuns[gi]; ok {
 				// Fused run of fully-local gates: skip past the whole run.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"hisvsim/internal/backend"
 	"hisvsim/internal/baseline"
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dag"
@@ -17,30 +18,24 @@ import (
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/noise"
 	"hisvsim/internal/partition"
-	"hisvsim/internal/partition/dagp"
-	"hisvsim/internal/partition/exact"
 	"hisvsim/internal/perfmodel"
 	"hisvsim/internal/sv"
 )
 
 // StrategyNames lists the accepted partitioning strategy names.
-func StrategyNames() []string { return []string{"nat", "dfs", "dagp", "exact"} }
+func StrategyNames() []string { return backend.StrategyNames() }
 
-// NewStrategy builds a partitioner by name.
+// NewStrategy builds a partitioner by name ("" selects dagp).
 func NewStrategy(name string, seed int64) (partition.Strategy, error) {
-	switch name {
-	case "nat":
-		return partition.Nat{}, nil
-	case "dfs":
-		return partition.DFS{Trials: 10, Seed: seed}, nil
-	case "dagp":
-		return dagp.Partitioner{Opts: dagp.Options{Seed: seed}}, nil
-	case "exact":
-		return exact.Solver{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %q (want one of %v)", name, StrategyNames())
-	}
+	return backend.NewStrategy(name, seed)
 }
+
+// BackendNames lists the registered execution backends ("flat", "hier",
+// "dist", "baseline", plus anything Register-ed on top).
+func BackendNames() []string { return backend.Names() }
+
+// Backends lists every registered backend with its capabilities.
+func Backends() []backend.Info { return backend.List() }
 
 // FusePolicy selects whether executors fuse runs of adjacent gates into
 // dense/diagonal blocks. The zero value enables fusion.
@@ -60,6 +55,11 @@ func (p FusePolicy) Enabled() bool { return p != FuseOff }
 
 // Options configures one simulation.
 type Options struct {
+	// Backend names the execution engine ("flat", "hier", "dist",
+	// "baseline"; see BackendNames). Empty selects by rank count exactly as
+	// before the registry existed: "hier" on a single node, "dist" when
+	// Ranks > 1.
+	Backend string
 	// Strategy is the partitioner name ("nat", "dfs", "dagp", "exact").
 	Strategy string
 	// Lm is the first-level working-set limit; 0 selects the local qubit
@@ -93,11 +93,15 @@ type Options struct {
 
 // Result of a simulation.
 type Result struct {
-	Plan    *partition.Plan
-	State   *sv.State     // final state (nil when SkipState && Ranks > 1)
-	Hier    *hier.Metrics // single-node metrics (nil when distributed)
-	Dist    *dist.Result  // distributed metrics (nil when single-node)
-	Elapsed time.Duration // wall time of the execution phase
+	// Backend is the resolved name of the engine that executed the run
+	// (never empty; defaults are resolved before execution).
+	Backend  string
+	Plan     *partition.Plan  // nil for unpartitioned backends (flat, baseline)
+	State    *sv.State        // final state (nil when SkipState on a distributed backend)
+	Hier     *hier.Metrics    // single-node metrics (hier backend only)
+	Dist     *dist.Result     // distributed metrics (dist backend only)
+	Baseline *baseline.Result // IQS-baseline metrics (baseline backend only)
+	Elapsed  time.Duration    // wall time of the execution phase
 }
 
 // Simulate partitions and executes the circuit per the options.
@@ -110,6 +114,10 @@ func Simulate(c *circuit.Circuit, opts Options) (*Result, error) {
 // boundary with the context's error. Options.Seed makes the randomized
 // partitioners — and therefore the produced plan and state — deterministic
 // for a fixed (circuit, options) pair.
+//
+// The execution engine is a registry lookup: Options.Backend names it, an
+// empty name resolves by rank count ("hier" single-node, "dist" beyond) —
+// the exact fork this function hard-coded before the backend registry.
 func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -120,60 +128,50 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Re
 	if !opts.Noise.IsZero() {
 		return nil, fmt.Errorf("core: options carry a noise model; use SimulateNoisy for noisy runs")
 	}
-	name := opts.Strategy
-	if name == "" {
-		name = "dagp"
-	}
-	strat, err := NewStrategy(name, opts.Seed)
+	b, name, err := backend.Resolve(opts.Backend, opts.Ranks)
 	if err != nil {
 		return nil, err
 	}
-	lm := opts.Lm
-	ranks := opts.Ranks
-	if ranks <= 1 {
-		ranks = 1
-	}
-	localQubits := c.NumQubits - log2(ranks)
-	if lm <= 0 || (ranks > 1 && lm > localQubits) {
-		// Lm is a performance knob, not a semantics knob: the distributed
-		// executor can never place a working set wider than one rank's slab,
-		// so an over-wide request degrades to the local qubit count.
-		lm = localQubits
-	}
-	pl, err := strat.Partition(dag.FromCircuit(c), lm)
+	exec, err := b.Run(ctx, c, specFor(opts))
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: pl}
-	start := time.Now()
-	if ranks == 1 {
-		st := sv.NewState(c.NumQubits)
-		st.Workers = opts.Workers
-		m, err := hier.ExecutePlan(pl, st, hier.Options{
-			Ctx:           ctx,
-			SecondLevelLm: opts.SecondLevelLm, Workers: opts.Workers,
-			Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.State = st
-		res.Hier = m
-	} else {
-		dr, err := dist.Run(pl, dist.Config{
-			Ctx:   ctx,
-			Ranks: ranks, Model: opts.Model, SecondLevelLm: opts.SecondLevelLm,
-			Workers: opts.Workers, GatherResult: !opts.SkipState,
-			NoFuse: !opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dr
-		res.State = dr.State
+	return &Result{
+		Backend: name,
+		Plan:    exec.Plan, State: exec.State,
+		Hier: exec.Hier, Dist: exec.Dist, Baseline: exec.Baseline,
+		Elapsed: exec.Elapsed,
+	}, nil
+}
+
+// specFor lowers the public options into the backend execution spec.
+func specFor(opts Options) backend.Spec {
+	return backend.Spec{
+		Strategy: opts.Strategy, Lm: opts.Lm, Ranks: opts.Ranks,
+		SecondLevelLm: opts.SecondLevelLm, Workers: opts.Workers,
+		Seed: opts.Seed, Model: opts.Model, SkipState: opts.SkipState,
+		Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,
 	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+}
+
+// ResolveBackend validates a backend name against the registry — including
+// its rank capabilities — returning the resolved (defaulted) name. The
+// service layer uses it to reject unknown or capability-mismatched
+// backends at submit time (a 400, not a failed job) and to key its
+// cache/stats on the engine that will actually execute.
+func ResolveBackend(name string, ranks int) (string, error) {
+	b, resolved, err := backend.Resolve(name, ranks)
+	if err != nil {
+		return "", err
+	}
+	caps := b.Capabilities()
+	if ranks > 1 && !caps.MultiRank {
+		return "", fmt.Errorf("core: backend %q runs single-node only (got %d ranks)", resolved, ranks)
+	}
+	if ranks <= 1 && !caps.SingleRank {
+		return "", fmt.Errorf("core: backend %q requires a multi-rank run (got ranks ≤ 1)", resolved)
+	}
+	return resolved, nil
 }
 
 func log2(x int) int {

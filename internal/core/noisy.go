@@ -34,6 +34,13 @@ func SimulateNoisy(c *circuit.Circuit, opts Options, run noise.RunConfig) (*nois
 // not partitions, are the parallelism axis); Strategy/Lm/Ranks only shape
 // the zero-noise fast path.
 func SimulateNoisyContext(ctx context.Context, c *circuit.Circuit, opts Options, run noise.RunConfig) (*noise.Ensemble, error) {
+	// Effective-noise ensembles execute on the flat trajectory engine, so
+	// Options.Backend only steers the zero-noise fast path — but an unknown
+	// name is still rejected here, not silently ignored, so a typo'd
+	// backend cannot return results from a different engine than requested.
+	if _, err := ResolveBackend(opts.Backend, opts.Ranks); err != nil {
+		return nil, err
+	}
 	model := opts.Noise
 	plan, err := noise.Compile(c, model, noise.CompileOptions{
 		Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits,

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/noise"
+	"hisvsim/internal/sv"
+)
+
+// This file is the v2 request surface: one ReadoutSpec describes every
+// read-out a caller wants from a single simulation — amplitudes, seeded
+// shots, marginal distributions, and general Pauli-string observables
+// (Hamiltonian terms) — replacing the one-kind-per-job model. Core,
+// the service, the HTTP daemon, the CLI and the façade all speak it; N
+// read-outs on one circuit cost one simulation (or one trajectory
+// ensemble under a noise model).
+
+// Observable is one weighted Pauli string to evaluate: Coeff·⟨∏ σ⟩ with
+// σ ∈ {I, X, Y, Z} per listed qubit. A zero Coeff means 1 (unweighted), so
+// a Hamiltonian H = Σ c_k P_k is a list of Observables and its energy the
+// sum of the returned values.
+type Observable struct {
+	// Name is an optional label echoed back with the value.
+	Name string
+	// Coeff scales the expectation (0 = 1).
+	Coeff float64
+	// Paulis spells the operator ("XZY"); Qubits lists the qubit each
+	// letter acts on (same length). Only all-Z strings may repeat a qubit
+	// (Z² = I, the legacy Z-string semantics).
+	Paulis string
+	Qubits []int
+}
+
+// pauli lowers the observable to the sv kernel form.
+func (o Observable) pauli() sv.PauliString {
+	return sv.PauliString{Coeff: o.Coeff, Ops: o.Paulis, Qubits: o.Qubits}
+}
+
+// ObservableValue is one evaluated observable.
+type ObservableValue struct {
+	// Name echoes Observable.Name.
+	Name string
+	// Value is Coeff·⟨∏ σ⟩ — exact for ideal runs, the trajectory mean for
+	// noisy ones (StdErr then carries the standard error of that mean).
+	Value  float64
+	StdErr float64
+}
+
+// ReadoutSpec is the unified multi-readout request: any mix of the four
+// read-outs, all served by one simulation. The zero value asks for
+// nothing and is rejected by Validate.
+type ReadoutSpec struct {
+	// Statevector requests the full amplitude vector (rejected under an
+	// effective noise model: a trajectory ensemble has no single state).
+	Statevector bool
+	// Shots > 0 requests that many seeded basis-state samples.
+	Shots int
+	// Seed drives the sampling RNG and, for noisy runs, the trajectory
+	// RNGs. A fixed (circuit, options, spec) triple reproduces the exact
+	// shot sequence.
+	Seed int64
+	// Marginals requests one probability distribution per qubit list
+	// (little-endian over the listed qubits).
+	Marginals [][]int
+	// Observables requests one weighted Pauli-string expectation each.
+	Observables []Observable
+	// Trajectories is the ensemble size for noisy runs (0 = default 256);
+	// ignored when the noise model is absent or zero-effect.
+	Trajectories int
+}
+
+// Empty reports whether the spec requests nothing.
+func (s ReadoutSpec) Empty() bool {
+	return !s.Statevector && s.Shots <= 0 && len(s.Marginals) == 0 && len(s.Observables) == 0
+}
+
+// Validate checks the spec against an n-qubit register.
+func (s ReadoutSpec) Validate(n int) error {
+	if s.Empty() {
+		return fmt.Errorf("core: empty readout spec (ask for a statevector, shots, marginals or observables)")
+	}
+	if s.Shots < 0 {
+		return fmt.Errorf("core: negative shot count %d", s.Shots)
+	}
+	if s.Trajectories < 0 {
+		return fmt.Errorf("core: negative trajectory count %d", s.Trajectories)
+	}
+	for mi, qs := range s.Marginals {
+		seen := map[int]bool{}
+		for _, q := range qs {
+			if q < 0 || q >= n {
+				return fmt.Errorf("core: marginal %d: qubit %d out of range [0,%d)", mi, q, n)
+			}
+			if seen[q] {
+				return fmt.Errorf("core: marginal %d: duplicate qubit %d", mi, q)
+			}
+			seen[q] = true
+		}
+	}
+	for oi, ob := range s.Observables {
+		if err := ob.pauli().Validate(n); err != nil {
+			return fmt.Errorf("core: observable %d: %w", oi, err)
+		}
+	}
+	return nil
+}
+
+// Readouts is every read-out the spec produced. Fields for read-outs the
+// spec did not request stay zero.
+type Readouts struct {
+	// Amplitudes is the final state (Statevector; a private copy).
+	Amplitudes []complex128
+	// Samples are the drawn basis indices and Counts their histogram
+	// (Shots > 0). Noisy ensembles aggregate Counts only (Samples nil).
+	Samples []int
+	Counts  map[int]int
+	// Marginals and Observables are in spec order.
+	Marginals   [][]float64
+	Observables []ObservableValue
+	// Trajectories is the executed ensemble size (0 for ideal runs).
+	Trajectories int
+}
+
+// EvaluateState derives every requested read-out from an already-simulated
+// state. The sampler may be nil (one is built if shots are requested);
+// callers holding a prebuilt sampler for the state (the service cache)
+// pass it to skip the CDF pass. The state is never mutated.
+func EvaluateState(st *sv.State, sampler *sv.Sampler, spec ReadoutSpec) *Readouts {
+	out := &Readouts{}
+	if spec.Statevector {
+		out.Amplitudes = append([]complex128(nil), st.Amps...)
+	}
+	if spec.Shots > 0 {
+		if sampler == nil {
+			sampler = sv.NewSampler(st)
+		}
+		rng := rand.New(rand.NewSource(spec.Seed))
+		out.Samples = sampler.Sample(spec.Shots, rng)
+		out.Counts = make(map[int]int, len(out.Samples))
+		for _, x := range out.Samples {
+			out.Counts[x]++
+		}
+	}
+	if len(spec.Marginals) > 0 {
+		out.Marginals = make([][]float64, len(spec.Marginals))
+		for k, qs := range spec.Marginals {
+			out.Marginals[k] = st.Marginal(qs)
+		}
+	}
+	if len(spec.Observables) > 0 {
+		out.Observables = make([]ObservableValue, len(spec.Observables))
+		for k, ob := range spec.Observables {
+			out.Observables[k] = ObservableValue{Name: ob.Name, Value: st.ExpectationPauliString(ob.pauli())}
+		}
+	}
+	return out
+}
+
+// NoisyRunConfig lowers the spec to the trajectory-ensemble config (the
+// service layer calls it with its own worker-pool width).
+func (s ReadoutSpec) NoisyRunConfig(workers int) noise.RunConfig {
+	cfg := noise.RunConfig{
+		Trajectories: s.Trajectories, Seed: s.Seed, Workers: workers,
+		Shots:     s.Shots,
+		Marginals: s.Marginals,
+	}
+	if len(s.Observables) > 0 {
+		cfg.Observables = make([]sv.PauliString, len(s.Observables))
+		for k, ob := range s.Observables {
+			cfg.Observables[k] = ob.pauli()
+		}
+	}
+	return cfg
+}
+
+// ReadoutsFromEnsemble maps an ensemble back onto the spec's read-outs.
+func ReadoutsFromEnsemble(ens *noise.Ensemble, spec ReadoutSpec) *Readouts {
+	out := &Readouts{
+		Counts:    ens.Counts,
+		Marginals: ens.Marginals,
+	}
+	if !ens.NoiseFree {
+		out.Trajectories = ens.Trajectories
+	}
+	if len(spec.Observables) > 0 {
+		out.Observables = make([]ObservableValue, len(spec.Observables))
+		for k, ob := range spec.Observables {
+			out.Observables[k] = ObservableValue{
+				Name: ob.Name, Value: ens.Observables[k].Mean, StdErr: ens.Observables[k].StdErr,
+			}
+		}
+	}
+	return out
+}
+
+// RunReport is Evaluate's result: the read-outs plus whichever execution
+// artifact produced them.
+type RunReport struct {
+	Readouts
+	// Sim is the ideal simulation behind the read-outs (nil when an
+	// effective noise model forced a trajectory ensemble).
+	Sim *Result
+	// Ensemble is the trajectory ensemble (nil for ideal runs; a fully
+	// zero-effect model counts as ideal, but a readout-only model still
+	// rides the ensemble path so its bit flips reach the counts).
+	Ensemble *noise.Ensemble
+}
+
+// Evaluate runs one simulation and derives every read-out the spec asks
+// for. See EvaluateContext.
+func Evaluate(c *circuit.Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
+	return EvaluateContext(context.Background(), c, opts, spec)
+}
+
+// EvaluateContext is the unified entry point of the v2 surface: one
+// circuit, one Options (backend, partitioning, fusion, optional noise
+// model), one ReadoutSpec — one simulation, many answers.
+//
+// Ideal (opts.Noise nil or zero-effect): the circuit executes once through
+// the selected backend and every read-out derives from that state.
+// Noisy: the circuit+model compile to a trajectory plan; counts,
+// marginals and observables aggregate over spec.Trajectories seeded
+// trajectories (Statevector is rejected — an ensemble has no single
+// state).
+func EvaluateContext(ctx context.Context, c *circuit.Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(c.NumQubits); err != nil {
+		return nil, err
+	}
+	if opts.Noise.IsZero() {
+		ideal := opts
+		ideal.Noise = nil
+		ideal.SkipState = false
+		res, err := SimulateContext(ctx, c, ideal)
+		if err != nil {
+			return nil, err
+		}
+		return &RunReport{Readouts: *EvaluateState(res.State, nil, spec), Sim: res}, nil
+	}
+	if spec.Statevector {
+		return nil, fmt.Errorf("core: statevector readout is undefined under an effective noise model (a trajectory ensemble has no single state)")
+	}
+	ens, err := SimulateNoisyContext(ctx, c, opts, spec.NoisyRunConfig(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	return &RunReport{Readouts: *ReadoutsFromEnsemble(ens, spec), Ensemble: ens}, nil
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"time"
 
 	"hisvsim/internal/bench"
@@ -79,6 +80,24 @@ type NoiseReport struct {
 	// Scaling sweeps trajectory-parallel workers over one shared compiled
 	// plan (the Pauli path).
 	Scaling []NoiseScalingRow `json:"scaling"`
+
+	// NumCPU records how many CPUs the benchmark host exposed. On a
+	// single-core runner the worker sweep is necessarily flat — goroutines
+	// time-slice one core — so flat Scaling rows with NumCPU = 1 are a
+	// hardware artifact, not a trajectory-engine regression.
+	NumCPU int `json:"num_cpu"`
+}
+
+// Caveat returns the single-core warning for the ASCII output ("" on
+// multi-core hosts). cmd/benchtables prints it under the noise table so
+// flat worker-scaling rows in BENCH_noise.json are not misread.
+func (r *NoiseReport) Caveat() string {
+	if r.NumCPU > 1 {
+		return ""
+	}
+	return fmt.Sprintf("note: host exposes %d CPU — trajectory workers time-slice one core, so the flat\n"+
+		"worker-scaling rows above are a hardware artifact, not an engine regression;\n"+
+		"re-measure on a multi-core box before comparing scaling numbers.", r.NumCPU)
 }
 
 // NoiseBench measures the trajectory engine end to end: compile one plan,
@@ -109,6 +128,7 @@ func NoiseBench(cfg NoiseConfig) (*NoiseReport, error) {
 		Circuit: cfg.Family, Qubits: cfg.Qubits, Gates: c.NumGates(), P: cfg.P,
 		Trajectories: cfg.Trajectories, Locations: plan.Locations(),
 		Blocks: plan.Blocks(), CompileMS: compileMS,
+		NumCPU: runtime.NumCPU(),
 	}
 
 	run := func(p *noise.Plan, workers int) (float64, float64, error) {

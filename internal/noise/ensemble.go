@@ -27,8 +27,18 @@ type RunConfig struct {
 	// distributed across trajectories (readout error applied per shot).
 	Shots int
 	// Qubits, when non-nil, also estimates ⟨∏ Z_q⟩ over the listed qubits:
-	// the trajectory mean with its standard error.
+	// the trajectory mean with its standard error (the legacy Z-string
+	// read-out; Observables is the general form).
 	Qubits []int
+	// Observables, when non-empty, estimates each weighted Pauli string
+	// (Coeff·⟨∏ σ⟩) as a trajectory mean with standard error. Measuring
+	// draws nothing from the trajectory RNGs, so adding observables never
+	// perturbs the sampled counts.
+	Observables []sv.PauliString
+	// Marginals, when non-empty, estimates each listed marginal probability
+	// distribution (little-endian over the listed qubits) as a trajectory
+	// mean.
+	Marginals [][]int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -55,6 +65,12 @@ type Ensemble struct {
 	Expectation    float64
 	StdErr         float64
 	HasExpectation bool
+	// Observables holds one trajectory-mean ± stderr per requested
+	// RunConfig.Observables entry, in request order.
+	Observables []ObservableStat
+	// Marginals holds one trajectory-mean probability distribution per
+	// requested RunConfig.Marginals entry, in request order.
+	Marginals [][]float64
 	// Stats sums the stochastic work across trajectories.
 	Stats TrajStats
 	// NoiseFree reports the ensemble came from the ideal-state fast path
@@ -62,6 +78,14 @@ type Ensemble struct {
 	NoiseFree bool
 	// Elapsed is the ensemble wall time.
 	Elapsed time.Duration
+}
+
+// ObservableStat is one observable's ensemble estimate.
+type ObservableStat struct {
+	// Mean is the trajectory mean of Coeff·⟨∏ σ⟩; StdErr its standard
+	// error (0 on the noise-free fast path, where the value is exact).
+	Mean   float64
+	StdErr float64
 }
 
 // mix64 is SplitMix64: decorrelates the per-trajectory seeds derived from
@@ -107,6 +131,26 @@ func applyReadout(x, n int, ro *Readout, rng *rand.Rand) int {
 	return x
 }
 
+// validateReadouts rejects malformed observables/marginals up front with
+// an error, instead of letting the state kernels panic inside a trajectory
+// goroutine (the service validates its own requests; this guards direct
+// library callers of the ensemble API).
+func (c RunConfig) validateReadouts(n int) error {
+	for k, ob := range c.Observables {
+		if err := ob.Validate(n); err != nil {
+			return fmt.Errorf("noise: observable %d: %w", k, err)
+		}
+	}
+	for k, qs := range c.Marginals {
+		for _, q := range qs {
+			if q < 0 || q >= n {
+				return fmt.Errorf("noise: marginal %d: qubit %d out of range [0,%d)", k, q, n)
+			}
+		}
+	}
+	return nil
+}
+
 // RunEnsemble executes cfg.Trajectories stochastic trajectories of the plan
 // in parallel and aggregates counts and/or expectation values. Counts are
 // identical for a fixed (plan, Seed, Trajectories, Shots) regardless of
@@ -114,6 +158,9 @@ func applyReadout(x, n int, ro *Readout, rng *rand.Rand) int {
 // bit-stable across worker counts.
 func RunEnsemble(ctx context.Context, p *Plan, cfg RunConfig) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateReadouts(p.n); err != nil {
+		return nil, err
+	}
 	return runTrajectories(ctx, cfg, p)
 }
 
@@ -125,6 +172,9 @@ func RunEnsemble(ctx context.Context, p *Plan, cfg RunConfig) (*Ensemble, error)
 // sampling and per-trajectory seeded RNGs of the noisy path.
 func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg RunConfig) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateReadouts(st.N); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	T := cfg.Trajectories
 	ens := &Ensemble{Trajectories: T, Shots: cfg.Shots, NoiseFree: true}
@@ -155,6 +205,19 @@ func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg Ru
 		ens.Expectation = st.ExpectationPauliZString(cfg.Qubits)
 		ens.StdErr = 0
 	}
+	if len(cfg.Observables) > 0 {
+		// Same exactness argument: one shared pure state, zero spread.
+		ens.Observables = make([]ObservableStat, len(cfg.Observables))
+		for k, ob := range cfg.Observables {
+			ens.Observables[k] = ObservableStat{Mean: st.ExpectationPauliString(ob)}
+		}
+	}
+	if len(cfg.Marginals) > 0 {
+		ens.Marginals = make([][]float64, len(cfg.Marginals))
+		for k, qs := range cfg.Marginals {
+			ens.Marginals[k] = st.Marginal(qs)
+		}
+	}
 	ens.Elapsed = time.Since(start)
 	return ens, nil
 }
@@ -163,6 +226,8 @@ func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg Ru
 type trajResult struct {
 	counts map[int]int
 	exp    float64
+	obs    []float64
+	marg   [][]float64
 	stats  TrajStats
 }
 
@@ -215,6 +280,18 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 				if wantExp {
 					r.exp = st.ExpectationPauliZString(cfg.Qubits)
 				}
+				if len(cfg.Observables) > 0 {
+					r.obs = make([]float64, len(cfg.Observables))
+					for k, ob := range cfg.Observables {
+						r.obs[k] = st.ExpectationPauliString(ob)
+					}
+				}
+				if len(cfg.Marginals) > 0 {
+					r.marg = make([][]float64, len(cfg.Marginals))
+					for k, qs := range cfg.Marginals {
+						r.marg[k] = st.Marginal(qs)
+					}
+				}
 				results[t] = r
 			}
 		}(lo, hi)
@@ -231,6 +308,14 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 		ens.Counts = make(map[int]int)
 	}
 	var sum, sumsq float64
+	obsSum := make([]float64, len(cfg.Observables))
+	obsSumSq := make([]float64, len(cfg.Observables))
+	if len(cfg.Marginals) > 0 {
+		ens.Marginals = make([][]float64, len(cfg.Marginals))
+		for k, qs := range cfg.Marginals {
+			ens.Marginals[k] = make([]float64, 1<<uint(len(qs)))
+		}
+	}
 	for t := range results {
 		r := &results[t]
 		ens.Stats.add(r.stats)
@@ -239,6 +324,15 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 		}
 		sum += r.exp
 		sumsq += r.exp * r.exp
+		for k, v := range r.obs {
+			obsSum[k] += v
+			obsSumSq[k] += v * v
+		}
+		for k, dist := range r.marg {
+			for i, p := range dist {
+				ens.Marginals[k][i] += p
+			}
+		}
 	}
 	if wantExp {
 		ens.HasExpectation = true
@@ -252,6 +346,26 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 				variance = 0 // rounding of identical values
 			}
 			ens.StdErr = math.Sqrt(variance / float64(T))
+		}
+	}
+	if len(cfg.Observables) > 0 {
+		ens.Observables = make([]ObservableStat, len(cfg.Observables))
+		for k := range cfg.Observables {
+			mean := obsSum[k] / float64(T)
+			st := ObservableStat{Mean: mean}
+			if T > 1 {
+				variance := (obsSumSq[k] - float64(T)*mean*mean) / float64(T-1)
+				if variance < 0 {
+					variance = 0
+				}
+				st.StdErr = math.Sqrt(variance / float64(T))
+			}
+			ens.Observables[k] = st
+		}
+	}
+	for k := range ens.Marginals {
+		for i := range ens.Marginals[k] {
+			ens.Marginals[k][i] /= float64(T)
 		}
 	}
 	ens.Elapsed = time.Since(start)

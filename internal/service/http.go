@@ -22,19 +22,26 @@ import (
 //	GET    /v1/jobs/{id}        poll a job snapshot     → 200 job JSON
 //	GET    /v1/jobs/{id}/result long-poll for the result (?wait=30s)
 //	DELETE /v1/jobs/{id}        cancel                  → 200 job JSON
+//	GET    /v1/backends         registered execution backends
 //	GET    /v1/stats            service counters
 //	GET    /healthz             liveness
 //
 // The submit body names the circuit either inline ("qasm") or by generator
 // family ("family" + "qubits"), plus kind/shots/seed/qubits and the
-// simulation options; see wireRequest. Sample counts are keyed by bitstring
-// (most-significant qubit first).
+// simulation options; see wireRequest. Kind "run" instead carries a
+// "readouts" spec — any mix of statevector, shots, marginals and Pauli
+// observables answered by one simulation; "options.backend" picks the
+// execution engine. Sample counts are keyed by bitstring (most-significant
+// qubit first).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(s, w, r) })
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
+	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, core.Backends())
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -51,14 +58,71 @@ type wireRequest struct {
 		Family string `json:"family,omitempty"`
 		Qubits int    `json:"qubits,omitempty"`
 	} `json:"circuit"`
-	Kind         string      `json:"kind"`
-	Shots        int         `json:"shots,omitempty"`
-	Seed         int64       `json:"seed,omitempty"`
-	Qubits       []int       `json:"qubits,omitempty"`
-	Noise        *wireNoise  `json:"noise,omitempty"`
-	Trajectories int         `json:"trajectories,omitempty"`
-	Options      wireOptions `json:"options"`
-	TimeoutMS    int64       `json:"timeout_ms,omitempty"`
+	Kind         string        `json:"kind"`
+	Shots        int           `json:"shots,omitempty"`
+	Seed         int64         `json:"seed,omitempty"`
+	Qubits       []int         `json:"qubits,omitempty"`
+	Readouts     *wireReadouts `json:"readouts,omitempty"`
+	Noise        *wireNoise    `json:"noise,omitempty"`
+	Trajectories int           `json:"trajectories,omitempty"`
+	Options      wireOptions   `json:"options"`
+	TimeoutMS    int64         `json:"timeout_ms,omitempty"`
+}
+
+// wireReadouts is the kind-"run" multi-readout spec:
+//
+//	"readouts": {
+//	  "shots": 1000, "seed": 7,
+//	  "marginals": [[0, 1]],
+//	  "observables": [
+//	    {"name": "zz01", "coeff": -1.0, "paulis": "ZZ", "qubits": [0, 1]},
+//	    {"name": "x2", "paulis": "X", "qubits": [2]}
+//	  ],
+//	  "trajectories": 500
+//	}
+//
+// Every listed read-out is answered by the same single simulation (or, with
+// a "noise" spec, the same trajectory ensemble). An omitted "coeff" means 1.
+type wireReadouts struct {
+	Statevector  bool             `json:"statevector,omitempty"`
+	Shots        int              `json:"shots,omitempty"`
+	Seed         int64            `json:"seed,omitempty"`
+	Marginals    [][]int          `json:"marginals,omitempty"`
+	Observables  []wireObservable `json:"observables,omitempty"`
+	Trajectories int              `json:"trajectories,omitempty"`
+}
+
+// wireObservable is one weighted Pauli string (a Hamiltonian term). An
+// omitted coeff means 1; an explicit 0 is rejected (the Go surface cannot
+// represent "weight exactly zero" — drop the term instead).
+type wireObservable struct {
+	Name   string   `json:"name,omitempty"`
+	Coeff  *float64 `json:"coeff,omitempty"`
+	Paulis string   `json:"paulis"` // e.g. "XZY", one letter per qubit
+	Qubits []int    `json:"qubits"`
+}
+
+func (w *wireReadouts) toSpec() (core.ReadoutSpec, error) {
+	if w == nil {
+		return core.ReadoutSpec{}, nil
+	}
+	spec := core.ReadoutSpec{
+		Statevector: w.Statevector, Shots: w.Shots, Seed: w.Seed,
+		Marginals: w.Marginals, Trajectories: w.Trajectories,
+	}
+	for i, ob := range w.Observables {
+		coeff := 0.0 // core zero value = unweighted (1)
+		if ob.Coeff != nil {
+			if *ob.Coeff == 0 {
+				return spec, fmt.Errorf("readouts: observable %d has coeff 0, which always contributes nothing — drop the term (or omit coeff for weight 1)", i)
+			}
+			coeff = *ob.Coeff
+		}
+		spec.Observables = append(spec.Observables, core.Observable{
+			Name: ob.Name, Coeff: coeff, Paulis: ob.Paulis, Qubits: ob.Qubits,
+		})
+	}
+	return spec, nil
 }
 
 // wireNoise is the JSON noise-model spec for the noisy kinds:
@@ -123,6 +187,7 @@ func (w *wireNoise) toModel() (*noise.Model, error) {
 
 // wireOptions mirrors the semantically relevant core.Options fields.
 type wireOptions struct {
+	Backend       string `json:"backend,omitempty"` // "flat", "hier", "dist", "baseline" ("" = by rank count)
 	Strategy      string `json:"strategy,omitempty"`
 	Lm            int    `json:"lm,omitempty"`
 	Ranks         int    `json:"ranks,omitempty"`
@@ -135,6 +200,7 @@ type wireOptions struct {
 
 func (o wireOptions) toCore() (core.Options, error) {
 	out := core.Options{
+		Backend:  o.Backend,
 		Strategy: o.Strategy, Lm: o.Lm, Ranks: o.Ranks,
 		SecondLevelLm: o.SecondLevelLm, Workers: o.Workers,
 		MaxFuseQubits: o.MaxFuseQubits, Seed: o.Seed,
@@ -180,10 +246,15 @@ func (w wireRequest) toRequest() (Request, error) {
 	if err != nil {
 		return req, err
 	}
+	spec, err := w.Readouts.toSpec()
+	if err != nil {
+		return req, err
+	}
 	req.Kind = Kind(w.Kind)
 	req.Shots = w.Shots
 	req.Seed = w.Seed
 	req.Qubits = w.Qubits
+	req.Readouts = spec
 	req.Noise = model
 	req.Trajectories = w.Trajectories
 	req.Options = opts
@@ -191,11 +262,15 @@ func (w wireRequest) toRequest() (Request, error) {
 	return req, nil
 }
 
-// wireJob is the poll/cancel response body.
+// wireJob is the poll/cancel response body. Backend (the executing engine)
+// is populated for kind-"run" jobs only: deprecated-kind job bodies stay
+// byte-compatible with the v1 surface (the engine for those is still
+// visible in the /v1/stats backends counters and the Go JobInfo).
 type wireJob struct {
 	ID        string      `json:"id"`
 	Kind      string      `json:"kind"`
 	Status    string      `json:"status"`
+	Backend   string      `json:"backend,omitempty"`
 	Error     string      `json:"error,omitempty"`
 	Submitted time.Time   `json:"submitted"`
 	Started   *time.Time  `json:"started,omitempty"`
@@ -204,6 +279,9 @@ type wireJob struct {
 }
 
 // wireResult is the result body; only the kind's fields are populated.
+// The backend/marginals/observables fields are part of the v2 (kind "run")
+// surface and stay absent on deprecated-kind responses, keeping those
+// byte-compatible with the v1 wire format.
 type wireResult struct {
 	Kind          string         `json:"kind"`
 	NumQubits     int            `json:"num_qubits"`
@@ -211,19 +289,32 @@ type wireResult struct {
 	Parts         int            `json:"parts"`
 	ElapsedMS     float64        `json:"elapsed_ms"`
 	WaitedMS      float64        `json:"waited_ms"`
+	Backend       string         `json:"backend,omitempty"`
 	Samples       []int          `json:"samples,omitempty"`
 	Counts        map[string]int `json:"counts,omitempty"`
 	Expectation   *float64       `json:"expectation,omitempty"`
 	StdErr        *float64       `json:"stderr,omitempty"`
 	Trajectories  int            `json:"trajectories,omitempty"`
 	Probabilities []float64      `json:"probabilities,omitempty"`
+	Marginals     [][]float64    `json:"marginals,omitempty"`
+	Observables   []wireObsValue `json:"observables,omitempty"`
 	Amplitudes    [][2]float64   `json:"amplitudes,omitempty"`
+}
+
+// wireObsValue is one evaluated observable.
+type wireObsValue struct {
+	Name   string  `json:"name,omitempty"`
+	Value  float64 `json:"value"`
+	StdErr float64 `json:"stderr,omitempty"`
 }
 
 func toWireJob(info JobInfo) wireJob {
 	out := wireJob{
 		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
 		Error: info.Err, Submitted: info.Submitted,
+	}
+	if info.Kind == KindRun {
+		out.Backend = info.Backend
 	}
 	if !info.Started.IsZero() {
 		t := info.Started
@@ -247,6 +338,26 @@ func toWireResult(r *Result) *wireResult {
 		WaitedMS:  float64(r.Waited) / float64(time.Millisecond),
 	}
 	switch r.Kind {
+	case KindRun:
+		out.Backend = r.Backend
+		out.Trajectories = r.Trajectories
+		out.Samples = r.Samples
+		if r.Counts != nil {
+			out.Counts = make(map[string]int, len(r.Counts))
+			for basis, n := range r.Counts {
+				out.Counts[bitstring(basis, r.NumQubits)] = n
+			}
+		}
+		out.Marginals = r.Marginals
+		for _, ov := range r.Observables {
+			out.Observables = append(out.Observables, wireObsValue{Name: ov.Name, Value: ov.Value, StdErr: ov.StdErr})
+		}
+		if r.Amplitudes != nil {
+			out.Amplitudes = make([][2]float64, len(r.Amplitudes))
+			for i, a := range r.Amplitudes {
+				out.Amplitudes[i] = [2]float64{real(a), imag(a)}
+			}
+		}
 	case KindSample, KindNoisySample:
 		out.Samples = r.Samples
 		out.Counts = make(map[string]int, len(r.Counts))

@@ -17,20 +17,27 @@
 //     copying the state. Concurrent misses on one key are single-flighted
 //     so a burst of identical requests still simulates once.
 //
-//   - A request API covering the common read-outs: full statevector, shot
-//     sampling (seeded, reproducible), Pauli-Z-string expectation values,
-//     and marginal probability distributions — plus noisy trajectory
-//     ensembles (noisy_sample / noisy_expectation), whose compiled
-//     circuit+noise plans live in the same cache and whose trajectories fan
-//     out across the worker-pool width.
+//   - A unified request API (KindRun + core.ReadoutSpec): one job asks for
+//     any mix of amplitudes, seeded shots, marginal distributions and
+//     general Pauli-string observables, and — with or without a noise
+//     model — pays for exactly one simulation (or one trajectory
+//     ensemble). The pre-v2 one-readout-per-job kinds (statevector,
+//     sample, expectation, probabilities, noisy_sample,
+//     noisy_expectation) remain as thin shims over the same spec with
+//     byte-compatible results. Per-request Options.Backend selects the
+//     execution engine from the backend registry.
+//
+// Compiled trajectory plans live in their own small LRU (Config.
+// PlanCacheBytes) beside the plan/state cache, so giant statevector
+// entries can never evict every hot plan.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,12 +55,24 @@ type Kind string
 
 // Request kinds.
 const (
+	// KindRun is the v2 unified kind: Request.Readouts (core.ReadoutSpec)
+	// names any mix of statevector, seeded shots, marginal distributions
+	// and weighted Pauli-string observables, all derived from ONE
+	// simulation (or, when Request.Noise is effective, one trajectory
+	// ensemble). Every other kind is a deprecated single-readout shim over
+	// this path.
+	KindRun Kind = "run"
+
+	// Deprecated single-readout kinds (v1 surface). They execute through
+	// the same unified readout path as KindRun and keep byte-compatible
+	// results; new callers should send KindRun with a ReadoutSpec.
 	KindStatevector   Kind = "statevector"   // full amplitude vector
 	KindSample        Kind = "sample"        // Shots seeded basis-state samples
 	KindExpectation   Kind = "expectation"   // ⟨∏ Z_q⟩ over Qubits
 	KindProbabilities Kind = "probabilities" // marginal distribution over Qubits
 
-	// KindNoisySample and KindNoisyExpectation run a stochastic trajectory
+	// KindNoisySample and KindNoisyExpectation (also deprecated: KindRun
+	// plus Request.Noise subsumes both) run a stochastic trajectory
 	// ensemble under Request.Noise instead of a single ideal simulation:
 	// trajectory batches fan out across the worker-pool width, the compiled
 	// (circuit + noise) plan is cached and reused across requests, and the
@@ -63,9 +82,14 @@ const (
 	KindNoisyExpectation Kind = "noisy_expectation"
 )
 
+// BackendTrajectory is the backend name reported for jobs whose effective
+// noise model routes execution through the flat trajectory-ensemble engine
+// rather than a registered ideal backend.
+const BackendTrajectory = "trajectory"
+
 // Kinds lists the accepted request kinds.
 func Kinds() []Kind {
-	return []Kind{KindStatevector, KindSample, KindExpectation, KindProbabilities,
+	return []Kind{KindRun, KindStatevector, KindSample, KindExpectation, KindProbabilities,
 		KindNoisySample, KindNoisyExpectation}
 }
 
@@ -88,14 +112,22 @@ type Request struct {
 	// Qubits are the Z-string qubits (KindExpectation, KindNoisyExpectation)
 	// or the marginal qubits, little-endian (KindProbabilities).
 	Qubits []int
-	// Noise is the noise model for the noisy kinds (nil = ideal: the
-	// trajectory layer reduces to one cached simulation plus sampling).
-	// Ignored — and rejected when effective — for the ideal kinds.
+	// Readouts is the unified multi-readout spec for KindRun (rejected on
+	// the deprecated kinds, which carry their read-out in the fields
+	// above). Its Seed/Trajectories fields take over the role of the
+	// request-level ones for KindRun.
+	Readouts core.ReadoutSpec
+	// Noise is the noise model (nil = ideal: the trajectory layer reduces
+	// to one cached simulation plus sampling). Accepted by KindRun and the
+	// noisy kinds; rejected when effective on the deprecated ideal kinds.
 	Noise *noise.Model
-	// Trajectories is the ensemble size for the noisy kinds (default 256,
-	// capped by Config.MaxTrajectories).
+	// Trajectories is the ensemble size for the deprecated noisy kinds
+	// (default 256, capped by Config.MaxTrajectories); KindRun uses
+	// Readouts.Trajectories.
 	Trajectories int
-	// Options forwards to core.Simulate (strategy, Lm, ranks, fusion, …).
+	// Options forwards to core.Simulate (backend, strategy, Lm, ranks,
+	// fusion, …). Options.Backend selects the execution engine per request
+	// (validated against the registry at submit).
 	Options core.Options
 	// Timeout, when > 0, bounds the job from submission to completion.
 	Timeout time.Duration
@@ -140,9 +172,17 @@ type Result struct {
 	Trajectories int
 	// Probabilities is the marginal distribution (KindProbabilities).
 	Probabilities []float64
+	// Marginals and Observables are the KindRun multi-readout payloads, in
+	// ReadoutSpec order.
+	Marginals   [][]float64
+	Observables []core.ObservableValue
 
 	// NumQubits is the simulated register width.
 	NumQubits int
+	// Backend is the engine that executed the job: a registry name
+	// ("flat", "hier", "dist", "baseline", …) or BackendTrajectory for
+	// effective-noise ensembles.
+	Backend string
 	// CacheHit reports whether the job reused a cached simulation.
 	CacheHit bool
 	// Parts is the partition plan's part count.
@@ -155,9 +195,12 @@ type Result struct {
 
 // JobInfo is a point-in-time snapshot of a job.
 type JobInfo struct {
-	ID        string
-	Kind      Kind
-	Status    Status
+	ID     string
+	Kind   Kind
+	Status Status
+	// Backend is the engine executing (or that executed) the job: empty
+	// while queued, then a registry name or BackendTrajectory.
+	Backend   string
 	Err       string // non-empty iff StatusFailed/StatusCanceled
 	Result    *Result
 	Submitted time.Time
@@ -176,6 +219,11 @@ type Config struct {
 	// CacheBytes budgets the plan/state cache (default 256 MiB; negative
 	// disables caching).
 	CacheBytes int64
+	// PlanCacheBytes budgets the separate compiled-trajectory-plan cache
+	// (default 16 MiB; negative disables it). Plans are tiny but hot —
+	// keeping them out of the state cache means a burst of giant
+	// statevector entries can never evict every compiled plan.
+	PlanCacheBytes int64
 	// RetainJobs bounds how many terminal jobs stay pollable (default
 	// 4096); older ones are forgotten FIFO.
 	RetainJobs int
@@ -214,6 +262,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 16 << 20
+	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 4096
 	}
@@ -248,8 +299,15 @@ type Stats struct {
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
-	QueueLength  int   `json:"queue_length"`
-	Workers      int   `json:"workers"`
+	// PlanCacheEntries/Bytes snapshot the separate compiled-trajectory-plan
+	// LRU (see Config.PlanCacheBytes).
+	PlanCacheEntries int   `json:"plan_cache_entries"`
+	PlanCacheBytes   int64 `json:"plan_cache_bytes"`
+	QueueLength      int   `json:"queue_length"`
+	Workers          int   `json:"workers"`
+	// Backends counts executed jobs per engine name (registry names plus
+	// BackendTrajectory for effective-noise ensembles).
+	Backends map[string]int64 `json:"backends,omitempty"`
 }
 
 // Service errors.
@@ -283,7 +341,9 @@ type Service struct {
 	retainedBytes int64    // summed result payload of retained jobs
 	nextID        int64
 	cache         *lru.Cache
+	planCache     *lru.Cache // compiled trajectory plans (own small budget)
 	inflight      map[string]*flight
+	backendJobs   map[string]int64 // executed jobs per engine name
 
 	submitted, completed, failed, canceled atomic.Int64
 	simulations, cacheHits, cacheMisses    atomic.Int64
@@ -291,13 +351,21 @@ type Service struct {
 }
 
 // job is the internal mutable job record; all fields past ctx/cancel are
-// guarded by Service.mu.
+// guarded by Service.mu (idealBackend is written once at submit and then
+// read-only).
 type job struct {
 	id     string
 	req    Request
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// idealBackend is the resolved registry name for the job's ideal
+	// simulations (cache key + default execution engine).
+	idealBackend string
+	// backend is the engine actually executing the job (idealBackend or
+	// BackendTrajectory), set when execution starts.
+	backend string
 
 	status    Status
 	result    *Result
@@ -322,6 +390,15 @@ func (e *cacheEntry) getSampler() *sv.Sampler {
 	return e.sampler
 }
 
+// parts returns the plan's part count (0 for unpartitioned backends such
+// as flat and baseline, which simulate without a plan).
+func (e *cacheEntry) parts() int {
+	if e.plan == nil {
+		return 0
+	}
+	return e.plan.NumParts()
+}
+
 func (e *cacheEntry) cost() int64 {
 	// Charge the lazily built sampler CDF (8 bytes/amplitude) up front:
 	// it attaches to the entry after Put, so budgeting only the 16-byte
@@ -342,14 +419,16 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		root:       root,
-		stop:       stop,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       map[string]*job{},
-		cache:      lru.New(cfg.CacheBytes),
-		inflight:   map[string]*flight{},
-		trajTokens: make(chan struct{}, cfg.Workers), // Workers−1 tokens below
+		cfg:         cfg,
+		root:        root,
+		stop:        stop,
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        map[string]*job{},
+		cache:       lru.New(cfg.CacheBytes),
+		planCache:   lru.New(cfg.PlanCacheBytes),
+		inflight:    map[string]*flight{},
+		backendJobs: map[string]int64{},
+		trajTokens:  make(chan struct{}, cfg.Workers), // Workers−1 tokens below
 	}
 	for i := 0; i < cfg.Workers-1; i++ {
 		s.trajTokens <- struct{}{}
@@ -371,8 +450,15 @@ func (s *Service) Submit(req Request) (string, error) {
 	if req.Kind.Noisy() && req.Trajectories == 0 {
 		req.Trajectories = min(256, s.cfg.MaxTrajectories)
 	}
+	if req.Kind == KindRun && !req.Noise.IsZero() && req.Readouts.Trajectories == 0 {
+		req.Readouts.Trajectories = min(256, s.cfg.MaxTrajectories)
+	}
 	if err := s.validate(req); err != nil {
 		return "", err
+	}
+	idealBackend, err := core.ResolveBackend(req.Options.Backend, req.Options.Ranks)
+	if err != nil {
+		return "", fmt.Errorf("service: %w", err)
 	}
 
 	var jctx context.Context
@@ -392,7 +478,8 @@ func (s *Service) Submit(req Request) (string, error) {
 	j := &job{
 		id: fmt.Sprintf("j%06d", s.nextID), req: req,
 		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
-		status: StatusQueued, submitted: time.Now(),
+		idealBackend: idealBackend,
+		status:       StatusQueued, submitted: time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -428,6 +515,9 @@ func (s *Service) validate(req Request) error {
 		// cache-keyed uniformly), never on the forwarded simulation options.
 		return fmt.Errorf("service: set Request.Noise, not Options.Noise")
 	}
+	if req.Kind != KindRun && !req.Readouts.Empty() {
+		return fmt.Errorf("service: kind %q does not accept a readout spec (use %q)", req.Kind, KindRun)
+	}
 	if req.Kind.Noisy() {
 		if req.Trajectories < 0 {
 			return fmt.Errorf("service: negative trajectory count %d", req.Trajectories)
@@ -438,11 +528,35 @@ func (s *Service) validate(req Request) error {
 		if err := req.Noise.Validate(req.Circuit.NumQubits); err != nil {
 			return fmt.Errorf("service: %w", err)
 		}
-	} else if !req.Noise.IsZero() {
+	} else if !req.Noise.IsZero() && req.Kind != KindRun {
 		return fmt.Errorf("service: kind %q does not accept a noise model (use %q or %q)",
-			req.Kind, KindNoisySample, KindNoisyExpectation)
+			req.Kind, KindRun, KindNoisySample)
 	}
 	switch req.Kind {
+	case KindRun:
+		// The legacy top-level read-out fields have no meaning on the v2
+		// kind; silently dropping them would let a half-migrated client
+		// believe its shots/seed were honored.
+		if req.Shots != 0 || req.Seed != 0 || len(req.Qubits) != 0 || req.Trajectories != 0 {
+			return fmt.Errorf("service: kind %q takes its read-outs from Readouts (move shots/seed/qubits/trajectories into the readout spec)", KindRun)
+		}
+		if err := req.Readouts.Validate(req.Circuit.NumQubits); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		if req.Readouts.Shots > s.cfg.MaxShots {
+			return fmt.Errorf("service: %d shots exceeds limit %d", req.Readouts.Shots, s.cfg.MaxShots)
+		}
+		if req.Readouts.Trajectories > s.cfg.MaxTrajectories {
+			return fmt.Errorf("service: %d trajectories exceeds limit %d", req.Readouts.Trajectories, s.cfg.MaxTrajectories)
+		}
+		if req.Noise != nil {
+			if err := req.Noise.Validate(req.Circuit.NumQubits); err != nil {
+				return fmt.Errorf("service: %w", err)
+			}
+			if !req.Noise.IsZero() && req.Readouts.Statevector {
+				return fmt.Errorf("service: statevector readout is undefined under an effective noise model")
+			}
+		}
 	case KindStatevector:
 	case KindSample, KindNoisySample:
 		if req.Shots < 0 {
@@ -483,7 +597,8 @@ func (s *Service) Job(id string) (JobInfo, error) {
 
 func (s *Service) snapshotLocked(j *job) JobInfo {
 	info := JobInfo{
-		ID: j.id, Kind: j.req.Kind, Status: j.status, Result: j.result,
+		ID: j.id, Kind: j.req.Kind, Status: j.status, Backend: j.backend,
+		Result:    j.result,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {
@@ -546,7 +661,15 @@ func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries, bytes := s.cache.Len(), s.cache.Size()
+	planEntries, planBytes := s.planCache.Len(), s.planCache.Size()
 	queued := len(s.queue)
+	var backends map[string]int64
+	if len(s.backendJobs) > 0 {
+		backends = make(map[string]int64, len(s.backendJobs))
+		for k, v := range s.backendJobs {
+			backends[k] = v
+		}
+	}
 	s.mu.Unlock()
 	return Stats{
 		Submitted: s.submitted.Load(), Completed: s.completed.Load(),
@@ -555,7 +678,9 @@ func (s *Service) Stats() Stats {
 		Trajectories: s.trajectories.Load(),
 		CacheHits:    s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
 		CacheEntries: entries, CacheBytes: bytes,
+		PlanCacheEntries: planEntries, PlanCacheBytes: planBytes,
 		QueueLength: queued, Workers: s.cfg.Workers,
+		Backends: backends,
 	}
 }
 
@@ -651,42 +776,106 @@ func resultBytes(r *Result) int64 {
 	if r == nil {
 		return 0
 	}
-	return int64(len(r.Amplitudes))*16 + int64(len(r.Samples))*8 +
+	b := int64(len(r.Amplitudes))*16 + int64(len(r.Samples))*8 +
 		int64(len(r.Counts))*16 + int64(len(r.Probabilities))*8
+	for _, m := range r.Marginals {
+		b += int64(len(m)) * 8
+	}
+	b += int64(len(r.Observables)) * 48
+	return b
 }
 
-// execute resolves the cache entry (simulating on miss) and derives the
-// requested read-out.
-func (s *Service) execute(j *job) (*Result, error) {
-	if j.req.Kind.Noisy() {
-		return s.executeNoisy(j)
+// specForJob lowers a request onto the unified ReadoutSpec. KindRun
+// carries its spec verbatim; every deprecated kind translates to the
+// single read-out it always meant — which is exactly what makes them thin
+// shims: one executor serves all seven kinds.
+func specForJob(req Request) core.ReadoutSpec {
+	switch req.Kind {
+	case KindRun:
+		return req.Readouts
+	case KindStatevector:
+		return core.ReadoutSpec{Statevector: true}
+	case KindSample, KindNoisySample:
+		return core.ReadoutSpec{Shots: req.Shots, Seed: req.Seed, Trajectories: req.Trajectories}
+	case KindProbabilities:
+		return core.ReadoutSpec{Marginals: [][]int{req.Qubits}}
+	case KindExpectation, KindNoisyExpectation:
+		// The legacy Z-string (repeats cancel via Z² = I, handled by the
+		// kernel's Z-only delegation).
+		qs := req.Qubits
+		if qs == nil {
+			qs = []int{}
+		}
+		return core.ReadoutSpec{
+			Observables:  []core.Observable{{Paulis: strings.Repeat("Z", len(qs)), Qubits: qs}},
+			Seed:         req.Seed,
+			Trajectories: req.Trajectories,
+		}
+	default:
+		return core.ReadoutSpec{}
 	}
+}
+
+// legacyProject maps unified read-outs back onto the deprecated kinds'
+// result fields, keeping their payloads byte-compatible with the v1
+// surface. KindRun results carry the unified fields as-is.
+func legacyProject(res *Result, ro *core.Readouts) {
+	switch res.Kind {
+	case KindRun:
+		res.Amplitudes = ro.Amplitudes
+		res.Samples = ro.Samples
+		res.Counts = ro.Counts
+		res.Marginals = ro.Marginals
+		res.Observables = ro.Observables
+	case KindStatevector:
+		res.Amplitudes = ro.Amplitudes
+	case KindSample, KindNoisySample:
+		res.Samples = ro.Samples
+		res.Counts = ro.Counts
+	case KindExpectation, KindNoisyExpectation:
+		res.Expectation = ro.Observables[0].Value
+		res.StdErr = ro.Observables[0].StdErr
+	case KindProbabilities:
+		res.Probabilities = ro.Marginals[0]
+	}
+}
+
+// setBackend records the engine executing the job (visible in JobInfo
+// while running) and bumps its per-backend job counter.
+func (s *Service) setBackend(j *job, name string) {
+	s.mu.Lock()
+	j.backend = name
+	s.backendJobs[name]++
+	s.mu.Unlock()
+}
+
+// execute resolves the cache entry (simulating on miss) and derives every
+// read-out the job's spec names. All kinds — KindRun and the deprecated
+// shims — pass through here.
+func (s *Service) execute(j *job) (*Result, error) {
+	spec := specForJob(j.req)
+	if j.req.Kind.Noisy() || !j.req.Noise.IsZero() {
+		// Legacy noisy kinds keep the ensemble path even for zero-effect
+		// models: their counts come from per-trajectory split RNGs, not the
+		// single sampling stream of the ideal kinds.
+		return s.executeNoisy(j, spec)
+	}
+	s.setBackend(j, j.idealBackend)
 	start := time.Now()
 	entry, hit, err := s.entryFor(j)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Kind: j.req.Kind, NumQubits: entry.state.N,
-		CacheHit: hit, Parts: entry.plan.NumParts(),
+		Kind: j.req.Kind, Backend: j.idealBackend, NumQubits: entry.state.N,
+		CacheHit: hit, Parts: entry.parts(),
 		Waited: j.started.Sub(j.submitted),
 	}
-	st := entry.state
-	switch j.req.Kind {
-	case KindStatevector:
-		res.Amplitudes = append([]complex128(nil), st.Amps...)
-	case KindSample:
-		rng := rand.New(rand.NewSource(j.req.Seed))
-		res.Samples = entry.getSampler().Sample(j.req.Shots, rng)
-		res.Counts = map[int]int{}
-		for _, x := range res.Samples {
-			res.Counts[x]++
-		}
-	case KindExpectation:
-		res.Expectation = st.ExpectationPauliZString(j.req.Qubits)
-	case KindProbabilities:
-		res.Probabilities = st.Marginal(j.req.Qubits)
+	var sampler *sv.Sampler
+	if spec.Shots > 0 {
+		sampler = entry.getSampler() // reuse the cached CDF across jobs
 	}
+	legacyProject(res, core.EvaluateState(entry.state, sampler, spec))
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -695,7 +884,7 @@ func (s *Service) execute(j *job) (*Result, error) {
 // key, running it via single-flight on a miss. The returned hit flag is
 // true when no simulation ran on behalf of this job.
 func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
-	key := cacheKey(j.req.Circuit, j.req.Options)
+	key := cacheKey(j.req.Circuit, j.req.Options, j.idealBackend)
 	for {
 		s.mu.Lock()
 		if v, ok := s.cache.Get(key); ok {
@@ -739,13 +928,15 @@ func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
 	}
 }
 
-// executeNoisy runs a trajectory-ensemble job. The compiled (circuit +
-// noise model) plan is cached and shared across requests — fuse and plan
-// once, then every request replays it for its own seeded trajectories — and
-// the trajectory batch fans out across the service's worker-pool width.
-// Zero-effect models degrade gracefully to the ideal plan/state cache: the
-// ensemble then costs sampling only, exactly like KindSample.
-func (s *Service) executeNoisy(j *job) (*Result, error) {
+// executeNoisy runs a trajectory-ensemble job (any kind carrying a noise
+// model, plus the legacy noisy kinds even when their model is zero-effect).
+// The compiled (circuit + noise model) plan is cached in the dedicated
+// plan LRU and shared across requests — fuse and plan once, then every
+// request replays it for its own seeded trajectories — and the trajectory
+// batch fans out across the service's worker-pool width. Zero-effect
+// models degrade gracefully to the ideal plan/state cache: the ensemble
+// then costs sampling only, exactly like KindSample.
+func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 	start := time.Now()
 	req := j.req
 	// Widen beyond this job's own worker slot only by tokens from the
@@ -766,18 +957,7 @@ func (s *Service) executeNoisy(j *job) (*Result, error) {
 			s.trajTokens <- struct{}{}
 		}
 	}()
-	run := noise.RunConfig{
-		Trajectories: req.Trajectories, Seed: req.Seed,
-		Workers: width,
-	}
-	if req.Kind == KindNoisySample {
-		run.Shots = req.Shots
-	} else {
-		run.Qubits = req.Qubits
-		if run.Qubits == nil {
-			run.Qubits = []int{}
-		}
-	}
+	run := spec.NoisyRunConfig(width)
 	plan, hit, err := s.noisePlanFor(j)
 	if err != nil {
 		return nil, err
@@ -788,17 +968,23 @@ func (s *Service) executeNoisy(j *job) (*Result, error) {
 	}
 	var ens *noise.Ensemble
 	if plan.NoiseFree() {
+		// One ideal simulation serves every trajectory; the executing
+		// engine is the job's resolved ideal backend.
+		s.setBackend(j, j.idealBackend)
+		res.Backend = j.idealBackend
 		entry, stateHit, err := s.entryFor(j)
 		if err != nil {
 			return nil, err
 		}
 		hit = stateHit // the simulation, not the plan, is the cost that matters
-		res.Parts = entry.plan.NumParts()
+		res.Parts = entry.parts()
 		ens, err = noise.RunEnsembleFromState(j.ctx, entry.state, plan.Readout(), run)
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		s.setBackend(j, BackendTrajectory)
+		res.Backend = BackendTrajectory
 		ens, err = noise.RunEnsemble(j.ctx, plan, run)
 		if err != nil {
 			return nil, err
@@ -807,12 +993,7 @@ func (s *Service) executeNoisy(j *job) (*Result, error) {
 	}
 	res.CacheHit = hit
 	res.Trajectories = ens.Trajectories
-	if req.Kind == KindNoisySample {
-		res.Counts = ens.Counts
-	} else {
-		res.Expectation = ens.Expectation
-		res.StdErr = ens.StdErr
-	}
+	legacyProject(res, core.ReadoutsFromEnsemble(ens, spec))
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -823,13 +1004,16 @@ type noisePlanEntry struct {
 }
 
 // noisePlanFor returns the compiled trajectory plan for the job's
-// (circuit, noise, fusion) key, compiling on miss. Unlike entryFor, misses
-// are not single-flighted: compilation is plan construction, not
+// (circuit, noise, fusion) key, compiling on miss. Plans live in their own
+// small LRU (Config.PlanCacheBytes), not the plan/state cache: they are a
+// few KiB but hot, and sharing a budget with 2^n-amplitude states let one
+// burst of statevector jobs evict every compiled plan. Unlike entryFor,
+// misses are not single-flighted: compilation is plan construction, not
 // simulation, so a duplicated compile under a request burst is benign.
 func (s *Service) noisePlanFor(j *job) (*noise.Plan, bool, error) {
 	key := noisePlanKey(j.req.Circuit, j.req.Options, j.req.Noise)
 	s.mu.Lock()
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.planCache.Get(key); ok {
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
 		return v.(*noisePlanEntry).plan, true, nil
@@ -843,7 +1027,7 @@ func (s *Service) noisePlanFor(j *job) (*noise.Plan, bool, error) {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	s.cache.Put(key, &noisePlanEntry{plan: plan}, plan.MemoryBytes())
+	s.planCache.Put(key, &noisePlanEntry{plan: plan}, plan.MemoryBytes())
 	s.mu.Unlock()
 	return plan, false, nil
 }
@@ -873,8 +1057,11 @@ func (s *Service) simulate(j *job) (*cacheEntry, error) {
 // fingerprint plus every option that can change the produced state or plan.
 // Workers, Model and SkipState are excluded — they affect speed and
 // metrics, never the amplitudes — and the fuse policy collapses to its
-// Enabled bit (FuseAuto and FuseOn execute identically).
-func cacheKey(c *circuit.Circuit, o core.Options) string {
-	return fmt.Sprintf("%s|s=%s lm=%d r=%d lm2=%d f=%t mf=%d seed=%d",
-		c.Fingerprint(), o.Strategy, o.Lm, o.Ranks, o.SecondLevelLm, o.Fuse.Enabled(), o.MaxFuseQubits, o.Seed)
+// Enabled bit (FuseAuto and FuseOn execute identically). The backend is
+// keyed by its RESOLVED name, so an explicit "hier" and the single-node
+// default share entries while e.g. "flat" (whose float schedule differs)
+// gets its own.
+func cacheKey(c *circuit.Circuit, o core.Options, backendName string) string {
+	return fmt.Sprintf("%s|b=%s s=%s lm=%d r=%d lm2=%d f=%t mf=%d seed=%d",
+		c.Fingerprint(), backendName, o.Strategy, o.Lm, o.Ranks, o.SecondLevelLm, o.Fuse.Enabled(), o.MaxFuseQubits, o.Seed)
 }

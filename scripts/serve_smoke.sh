@@ -1,15 +1,30 @@
 #!/usr/bin/env sh
-# serve_smoke.sh — boot hisvsimd, exercise submit → poll → sample over HTTP,
+# serve_smoke.sh — boot hisvsimd, exercise submit → poll → sample over HTTP
+# (including a v2 multi-readout "run" job and a deprecated-kind shim),
 # verify the plan/state cache actually amortizes, and shut down gracefully.
-# Used by `make serve-smoke` and the CI workflow. Needs curl + jq.
+# Also smokes the hisvsim CLI backend listing. Used by `make serve-smoke`
+# and the CI workflow. Needs curl + jq.
 set -eu
 
 ADDR="${HISVSIMD_ADDR:-127.0.0.1:8791}"
 BASE="http://$ADDR"
-BIN="$(mktemp -d)/hisvsimd"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/hisvsimd"
+CLI="$BINDIR/hisvsim"
 LOG="$(mktemp)"
 
 go build -o "$BIN" ./cmd/hisvsimd
+go build -o "$CLI" ./cmd/hisvsim
+
+# CLI smoke: the backend registry listing must name all four engines.
+BACKENDS="$("$CLI" -backends)"
+for want in flat hier dist baseline; do
+    if ! printf '%s\n' "$BACKENDS" | grep -q "^$want"; then
+        echo "serve-smoke: hisvsim -backends is missing $want:" >&2
+        printf '%s\n' "$BACKENDS" >&2
+        exit 1
+    fi
+done
 
 "$BIN" -addr "$ADDR" -workers 2 >"$LOG" 2>&1 &
 PID=$!
@@ -71,6 +86,68 @@ if [ "$SIMS" != 1 ]; then
     exit 1
 fi
 
+# The registry is visible over HTTP too.
+NB="$(curl -fsS "$BASE/v1/backends" | jq -r '.[].name' | tr '\n' ' ')"
+case "$NB" in
+*flat*hier*) ;;
+*)
+    echo "serve-smoke: /v1/backends returned '$NB'" >&2
+    exit 1
+    ;;
+esac
+
+# A v2 multi-readout "run" job: shots + two Pauli observables + a marginal,
+# answered by EXACTLY one additional simulation (the cached qft-12 state
+# belongs to a different circuit, so this adds one).
+SIMS_BEFORE="$(curl -fsS "$BASE/v1/stats" | jq .simulations)"
+RID="$(curl -fsS "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 10},
+    "kind": "run",
+    "readouts": {
+        "shots": 250, "seed": 7,
+        "marginals": [[0, 1]],
+        "observables": [{"name": "zz01", "coeff": -1, "paulis": "ZZ", "qubits": [0, 1]},
+                        {"name": "x2", "paulis": "X", "qubits": [2]}]
+    },
+    "options": {"strategy": "dagp"}
+}' | jq -r .id)"
+RRES="$(curl -fsS "$BASE/v1/jobs/$RID/result?wait=30s")"
+RTOTAL="$(printf '%s' "$RRES" | jq '[.result.counts[]] | add')"
+ROBS="$(printf '%s' "$RRES" | jq '.result.observables | length')"
+RMARG="$(printf '%s' "$RRES" | jq '.result.marginals[0] | length')"
+RBACKEND="$(printf '%s' "$RRES" | jq -r .result.backend)"
+if [ "$RTOTAL" != 250 ] || [ "$ROBS" != 2 ] || [ "$RMARG" != 4 ]; then
+    echo "serve-smoke: run job readouts wrong (shots=$RTOTAL obs=$ROBS marg=$RMARG)" >&2
+    exit 1
+fi
+if [ "$RBACKEND" != hier ]; then
+    echo "serve-smoke: run job backend '$RBACKEND', want hier" >&2
+    exit 1
+fi
+SIMS_AFTER="$(curl -fsS "$BASE/v1/stats" | jq .simulations)"
+if [ "$((SIMS_AFTER - SIMS_BEFORE))" != 1 ]; then
+    echo "serve-smoke: multi-readout run cost $((SIMS_AFTER - SIMS_BEFORE)) simulations, want 1" >&2
+    exit 1
+fi
+
+# A deprecated-kind request over the same circuit: the shim must keep the
+# old JSON shape — expectation present, none of the v2-only fields leaking
+# in — and reuse the run job's cached simulation.
+ERES="$(curl -fsS "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 10},
+    "kind": "expectation", "qubits": [0, 1],
+    "options": {"strategy": "dagp"}
+}' | jq -r .id)"
+EJOB="$(curl -fsS "$BASE/v1/jobs/$ERES/result?wait=30s")"
+EVAL="$(printf '%s' "$EJOB" | jq .result.expectation)"
+ELEAK="$(printf '%s' "$EJOB" | jq '[.result.backend, .result.observables, .result.marginals] | map(select(. != null)) | length')"
+EHIT="$(printf '%s' "$EJOB" | jq .result.cache_hit)"
+if [ "$EVAL" = null ] || [ "$ELEAK" != 0 ] || [ "$EHIT" != true ]; then
+    echo "serve-smoke: deprecated expectation shim broke (value=$EVAL leaks=$ELEAK hit=$EHIT)" >&2
+    printf '%s\n' "$EJOB" >&2
+    exit 1
+fi
+
 # A noisy trajectory-ensemble job: counts add up and the shot total holds.
 NID="$(curl -fsS "$BASE/v1/jobs" -d '{
     "circuit": {"family": "ising", "qubits": 8},
@@ -103,4 +180,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (submit, poll, sample, cache hit, noisy ensemble, graceful shutdown)"
+echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, graceful shutdown)"

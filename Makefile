@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench noise-bench serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench serve-smoke clean
 
 all: lint build test
 
@@ -34,6 +34,14 @@ service-bench:
 # fast path vs. general Kraus selection, one fused plan reused throughout).
 noise-bench:
 	$(GO) run ./cmd/benchtables -only noise -noise-out BENCH_noise.json
+
+# Regenerates BENCH_dm.json (exact density matrix vs trajectory ensemble:
+# per-width timings and the trajectory count where ensembles start winning).
+# CI smokes it narrow: make dm-bench DM_QUBITS=6,8 DM_TRAJ=20.
+DM_QUBITS ?= 6,8,10,12
+DM_TRAJ ?= 50
+dm-bench:
+	$(GO) run ./cmd/benchtables -only dm -dm-qubits $(DM_QUBITS) -dm-traj $(DM_TRAJ) -dm-out BENCH_dm.json
 
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:

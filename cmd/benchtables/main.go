@@ -28,7 +28,7 @@ func main() {
 		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
 		seed       = flag.Int64("seed", 1, "partitioner seed")
 		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm")
 		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
 		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
 		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
@@ -38,6 +38,10 @@ func main() {
 		noiseN     = flag.Int("noise-qubits", 12, "register size for the noise benchmark circuit")
 		noiseTraj  = flag.Int("noise-traj", 200, "trajectories per noise benchmark point")
 		noiseP     = flag.Float64("noise-p", 0.01, "depolarizing probability for the noise benchmark")
+		dmOut      = flag.String("dm-out", "", "also write the density-matrix crossover benchmark as JSON to this path (e.g. BENCH_dm.json)")
+		dmN        = flag.String("dm-qubits", "6,8,10,12", "register sizes for the density-matrix benchmark")
+		dmTraj     = flag.Int("dm-traj", 50, "trajectories per density-matrix timing point")
+		dmP        = flag.Float64("dm-p", 0.01, "depolarizing probability for the density-matrix benchmark")
 	)
 	flag.Parse()
 
@@ -161,6 +165,19 @@ func main() {
 			check(err)
 			check(os.WriteFile(*noiseOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *noiseOut)
+		}
+	}
+	if sel("dm") || *dmOut != "" {
+		rep, err := experiments.DMBench(experiments.DMConfig{
+			Qubits: parseInts(*dmN), Trajectories: *dmTraj, P: *dmP, Seed: *seed,
+		})
+		check(err)
+		fmt.Println(rep.Table())
+		if *dmOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*dmOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *dmOut)
 		}
 	}
 }

@@ -8,6 +8,7 @@
 //	hisvsim -circuit grover -n 15 -plan-only
 //	hisvsim -circuit ising -n 12 -depolarizing 0.01 -trajectories 500 -shots 4096
 //	hisvsim -circuit ising -n 8 -observables '-1*ZZ@0,1; 0.5*X@2'
+//	hisvsim -circuit ising -n 8 -backend dm -depolarizing2 0.01 -shots 4096
 //	hisvsim -backends
 //
 // It prints the plan summary (parts and working sets), execution metrics,
@@ -15,10 +16,12 @@
 // picks the execution engine from the registry (-backends lists them);
 // -observables evaluates weighted Pauli strings (X/Y/Z Hamiltonian terms)
 // on the final state — or as trajectory means under noise. Any of the
-// noise flags (-depolarizing, -bit-flip, -phase-flip, -amp-damp,
-// -phase-damp, -readout01/-readout10) switches to trajectory-ensemble
-// simulation: counts and a Z-string expectation aggregated over
-// -trajectories stochastic runs.
+// noise flags (-depolarizing, -depolarizing2, -bit-flip, -phase-flip,
+// -amp-damp, -phase-damp, -readout01/-readout10) switches to
+// trajectory-ensemble simulation: counts and a Z-string expectation
+// aggregated over -trajectories stochastic runs — except with -backend dm,
+// which instead evolves the exact density matrix once (small registers
+// only; see -backends for the cap) and reports deterministic values.
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 		showParts = flag.Bool("parts", false, "print every part's gates and working set")
 
 		depol      = flag.Float64("depolarizing", 0, "depolarizing probability per gate application (enables noisy mode)")
+		depol2     = flag.Float64("depolarizing2", 0, "correlated two-qubit depolarizing probability per entangler application (restricted to the circuit's two-qubit gate classes unless -noise-gates narrows them)")
 		bitFlip    = flag.Float64("bit-flip", 0, "bit-flip probability per gate application")
 		phaseFlip  = flag.Float64("phase-flip", 0, "phase-flip probability per gate application")
 		ampDamp    = flag.Float64("amp-damp", 0, "amplitude-damping rate per gate application")
@@ -80,7 +84,16 @@ func main() {
 			if caps.Partitioned {
 				ranksDoc += ", partitioned"
 			}
-			fmt.Printf("%-10s %-24s %s\n", b.Name, "("+ranksDoc+")", caps.Description)
+			noiseDoc := "noise: none"
+			if caps.Noise != hisvsim.NoiseCapabilityNone {
+				noiseDoc = "noise: " + caps.Noise
+			}
+			if caps.MaxQubits > 0 {
+				// ASCII only: %-*s pads by bytes, so a multi-byte rune
+				// would shift every column after it.
+				noiseDoc += fmt.Sprintf(", <=%d qubits", caps.MaxQubits)
+			}
+			fmt.Printf("%-10s %-27s %-28s %s\n", b.Name, "("+ranksDoc+")", "("+noiseDoc+")", caps.Description)
 		}
 		return
 	}
@@ -115,7 +128,7 @@ func main() {
 		fatal(err)
 	}
 
-	model, err := buildNoiseModel(*depol, *bitFlip, *phaseFlip, *ampDamp, *phaseDamp,
+	model, err := buildNoiseModel(c, *depol, *depol2, *bitFlip, *phaseFlip, *ampDamp, *phaseDamp,
 		*noiseGates, *readout01, *readout10)
 	if err != nil {
 		fatal(err)
@@ -127,12 +140,17 @@ func main() {
 		if *showParts {
 			fatal(fmt.Errorf("-parts is a partition-plan report; noisy trajectories execute unpartitioned (drop -parts or the noise flags)"))
 		}
-		runNoisy(c, hisvsim.Options{
+		opts := hisvsim.Options{
 			Backend:  *backendN,
 			Strategy: *strategy, Lm: *lm, Ranks: *ranks,
 			SecondLevelLm: *lm2, Seed: *seed,
 			Fuse: fp, MaxFuseQubits: *fuseMax, Noise: model,
-		}, *traj, *shots, *zString, *noiseSeed, obs)
+		}
+		if isExactBackend(*backendN) {
+			runExact(c, opts, *shots, *zString, *noiseSeed, obs)
+		} else {
+			runNoisy(c, opts, *traj, *shots, *zString, *noiseSeed, obs)
+		}
 		return
 	}
 
@@ -173,13 +191,33 @@ func main() {
 		for _, ob := range obs {
 			fmt.Printf("observable %s = %.9f\n", ob, res.State.ExpectationPauliString(ob))
 		}
+	} else if res.DM != nil {
+		probs := res.DM.Probabilities()
+		top := 0
+		for i, p := range probs {
+			if p > probs[top] {
+				top = i
+			}
+		}
+		fmt.Printf("most likely outcome: |%0*b⟩ with probability %.4f\n", c.NumQubits, top, probs[top])
+		for _, ob := range obs {
+			fmt.Printf("observable %s = %.9f\n", ob, res.DM.ExpectationPauliString(ob))
+		}
 	}
 	if *verify {
 		want, err := hisvsim.Run(c)
 		if err != nil {
 			fatal(err)
 		}
-		f := res.State.Fidelity(want)
+		var f float64
+		switch {
+		case res.State != nil:
+			f = res.State.Fidelity(want)
+		case res.DM != nil:
+			f = res.DM.FidelityWithState(want) // ⟨ψ|ρ|ψ⟩: 1 iff ρ = |ψ⟩⟨ψ|
+		default:
+			fatal(fmt.Errorf("backend %s returned no verifiable state", res.Backend))
+		}
 		fmt.Printf("verification fidelity vs flat simulation: %.12f\n", f)
 		if math.Abs(f-1) > 1e-8 {
 			fatal(fmt.Errorf("verification FAILED"))
@@ -192,10 +230,10 @@ func main() {
 // flag is zero (ideal mode). Negative probabilities are rejected here so a
 // sign typo cannot silently degrade to an ideal run (values > 1 fail later
 // in Model.Validate).
-func buildNoiseModel(depol, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
+func buildNoiseModel(c *hisvsim.Circuit, depol, depol2, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
 	gates string, r01, r10 float64) (*hisvsim.NoiseModel, error) {
 
-	for _, p := range []float64{depol, bitFlip, phaseFlip, ampDamp, phaseDamp, r01, r10} {
+	for _, p := range []float64{depol, depol2, bitFlip, phaseFlip, ampDamp, phaseDamp, r01, r10} {
 		if p < 0 {
 			return nil, fmt.Errorf("noise probabilities must be ≥ 0 (got %g)", p)
 		}
@@ -217,6 +255,18 @@ func buildNoiseModel(depol, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
 	add(phaseFlip, hisvsim.PhaseFlip(phaseFlip))
 	add(ampDamp, hisvsim.AmplitudeDamping(ampDamp))
 	add(phaseDamp, hisvsim.PhaseDamping(phaseDamp))
+	if depol2 > 0 {
+		// The correlated channel must match two-qubit sites only: default
+		// its rule to the circuit's two-qubit gate classes so a bare
+		// -depolarizing2 never hits a single-qubit gate (a compile error).
+		twoQ := names
+		if len(twoQ) == 0 {
+			if twoQ = twoQubitGateNames(c); len(twoQ) == 0 {
+				return nil, fmt.Errorf("-depolarizing2 set but the circuit has no two-qubit gates")
+			}
+		}
+		model.AddRule(hisvsim.NoiseRule{Channel: hisvsim.CorrelatedDepolarizing2(depol2), Gates: twoQ})
+	}
 	if r01 > 0 || r10 > 0 {
 		model.WithReadout(r01, r10)
 	}
@@ -224,6 +274,35 @@ func buildNoiseModel(depol, bitFlip, phaseFlip, ampDamp, phaseDamp float64,
 		return nil, nil
 	}
 	return model, nil
+}
+
+// twoQubitGateNames lists the distinct two-qubit gate names the circuit
+// uses, sorted (the default scope of -depolarizing2).
+func twoQubitGateNames(c *hisvsim.Circuit) []string {
+	seen := map[string]bool{}
+	for _, g := range c.Gates {
+		if len(g.Qubits) == 2 && !seen[g.Name] {
+			seen[g.Name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isExactBackend reports whether the named backend serves noisy requests
+// exactly (one density-matrix evolution) instead of as trajectory
+// ensembles. The empty default never resolves to an exact engine.
+func isExactBackend(name string) bool {
+	for _, b := range hisvsim.Backends() {
+		if b.Name == name {
+			return b.Capabilities.Noise == hisvsim.NoiseCapabilityExact
+		}
+	}
+	return false
 }
 
 // parseObservables parses the -observables flag: semicolon-separated
@@ -265,6 +344,41 @@ func parseObservables(s string) ([]hisvsim.PauliString, error) {
 	return out, nil
 }
 
+// runExact executes a noisy run on an exact-noise backend ("dm"): one
+// deterministic density-matrix evolution answers counts and observables —
+// no trajectory count, no standard errors, observable values independent
+// of the sampling seed.
+func runExact(c *hisvsim.Circuit, opts hisvsim.Options, shots int, zString string, seed int64, obs []hisvsim.PauliString) {
+	spec := hisvsim.ReadoutSpec{Shots: shots, Seed: seed}
+	if zString != "" {
+		p := hisvsim.PauliString{}
+		for _, f := range strings.Split(zString, ",") {
+			var q int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &q); err != nil {
+				fatal(fmt.Errorf("bad -expect-z qubit %q", f))
+			}
+			p.Ops += "Z"
+			p.Qubits = append(p.Qubits, q)
+		}
+		obs = append([]hisvsim.PauliString{p}, obs...)
+	}
+	for _, p := range obs {
+		spec.Observables = append(spec.Observables, hisvsim.Observable{
+			Coeff: p.Coeff, Paulis: p.Ops, Qubits: p.Qubits,
+		})
+	}
+	rep, err := hisvsim.Evaluate(c, opts, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exact density-matrix evolution (backend %s): purity %.6f\n",
+		opts.Backend, rep.Density.Purity())
+	for k, ov := range rep.Observables {
+		fmt.Printf("  observable %s = %.9f (exact)\n", obs[k], ov.Value)
+	}
+	printTopCounts(c, rep.Counts, shots)
+}
+
 // runNoisy executes and reports a trajectory ensemble.
 func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString string, seed int64, obs []hisvsim.PauliString) {
 	run := hisvsim.NoisyRun{Trajectories: traj, Seed: seed, Shots: shots, Observables: obs}
@@ -290,29 +404,35 @@ func runNoisy(c *hisvsim.Circuit, opts hisvsim.Options, traj, shots int, zString
 	for k, st := range ens.Observables {
 		fmt.Printf("  observable %s = %.6f ± %.6f\n", obs[k], st.Mean, st.StdErr)
 	}
-	if len(ens.Counts) > 0 {
-		type kv struct {
-			basis int
-			n     int
+	printTopCounts(c, ens.Counts, ens.Shots)
+}
+
+// printTopCounts prints the 8 most frequent sampled outcomes.
+func printTopCounts(c *hisvsim.Circuit, counts map[int]int, shots int) {
+	if len(counts) == 0 {
+		return
+	}
+	type kv struct {
+		basis int
+		n     int
+	}
+	top := make([]kv, 0, len(counts))
+	for b, n := range counts {
+		top = append(top, kv{b, n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
 		}
-		top := make([]kv, 0, len(ens.Counts))
-		for b, n := range ens.Counts {
-			top = append(top, kv{b, n})
-		}
-		sort.Slice(top, func(i, j int) bool {
-			if top[i].n != top[j].n {
-				return top[i].n > top[j].n
-			}
-			return top[i].basis < top[j].basis
-		})
-		if len(top) > 8 {
-			top = top[:8]
-		}
-		fmt.Println("  top outcomes:")
-		for _, e := range top {
-			fmt.Printf("    |%0*b⟩ %6d  (%.4f)\n", c.NumQubits, e.basis, e.n,
-				float64(e.n)/float64(ens.Shots))
-		}
+		return top[i].basis < top[j].basis
+	})
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	fmt.Println("  top outcomes:")
+	for _, e := range top {
+		fmt.Printf("    |%0*b⟩ %6d  (%.4f)\n", c.NumQubits, e.basis, e.n,
+			float64(e.n)/float64(shots))
 	}
 }
 

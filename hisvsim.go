@@ -30,6 +30,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
 	"hisvsim/internal/dag"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/noise"
@@ -111,10 +112,24 @@ type BackendInfo = backend.Info
 // BackendCapabilities describes which execution specs a backend accepts.
 type BackendCapabilities = backend.Capabilities
 
+// Noise capability values for BackendCapabilities.Noise: how an engine
+// serves requests that carry an effective noise model.
+const (
+	// NoiseCapabilityNone marks engines with no noisy path: noisy requests
+	// naming them are rejected at submit.
+	NoiseCapabilityNone = backend.NoiseNone
+	// NoiseCapabilityTrajectory marks engines whose noisy requests run as
+	// stochastic trajectory ensembles.
+	NoiseCapabilityTrajectory = backend.NoiseTrajectory
+	// NoiseCapabilityExact marks engines that evolve the exact density
+	// matrix: one deterministic superoperator evolution, no ensemble.
+	NoiseCapabilityExact = backend.NoiseExact
+)
+
 // Backends lists every registered execution backend ("flat", "hier",
-// "dist", "baseline") with its capabilities. Options.Backend selects one
-// by name; an empty name picks by rank count ("hier" single-node, "dist"
-// beyond), exactly the pre-registry behavior.
+// "dist", "baseline", "dm") with its capabilities. Options.Backend selects
+// one by name; an empty name picks by rank count ("hier" single-node,
+// "dist" beyond), exactly the pre-registry behavior.
 func Backends() []BackendInfo { return core.Backends() }
 
 // BackendNames lists just the registered backend names, sorted.
@@ -191,8 +206,10 @@ type NoiseModel = noise.Model
 // NoiseRule attaches one channel to a class of gate applications.
 type NoiseRule = noise.Rule
 
-// NoiseChannel is a single-qubit quantum channel in Kraus form (with a
-// Pauli-mixture fast path where one exists).
+// NoiseChannel is a k-qubit quantum channel in Kraus form (with a
+// Pauli-mixture fast path where one exists). The classic constructors are
+// single-qubit; CorrelatedDepolarizing2 is the two-qubit correlated form
+// for entangler-gate noise.
 type NoiseChannel = noise.Channel
 
 // Readout is the classical measurement-error model (per-bit flip
@@ -243,6 +260,14 @@ func AmplitudeDamping(gamma float64) NoiseChannel { return noise.AmplitudeDampin
 // PhaseDamping returns the pure-dephasing (T2) channel with rate gamma.
 func PhaseDamping(gamma float64) NoiseChannel { return noise.PhaseDamping(gamma) }
 
+// CorrelatedDepolarizing2 returns the two-qubit correlated depolarizing
+// channel with total error probability p: each of the 15 non-identity
+// two-qubit Pauli products with probability p/15, applied to the pair as a
+// whole — the standard NISQ model for entangler-gate noise. Attach it to
+// two-qubit gate classes (NoiseOnGates(…, "cx")); the compiler rejects
+// rules that match gates of any other arity.
+func CorrelatedDepolarizing2(p float64) NoiseChannel { return noise.CorrelatedDepolarizing2(p) }
+
 // SimulateNoisy runs a stochastic trajectory ensemble of the circuit under
 // opts.Noise: the circuit plus noise model compiles once into a fused
 // trajectory plan, run.Trajectories seeded trajectories replay it in
@@ -284,6 +309,11 @@ type ObservableValue = core.ObservableValue
 // Readouts bundles every read-out a ReadoutSpec produced.
 type Readouts = core.Readouts
 
+// DensityMatrix is an exact n-qubit density matrix ρ — the "dm" backend's
+// execution artifact (RunReport.Density). Probabilities, marginals,
+// Tr(ρP) observables, purity and seeded sampling read directly from it.
+type DensityMatrix = dm.Density
+
 // RunReport is Evaluate's result: the read-outs plus the execution
 // artifact that produced them (ideal Result or noisy Ensemble).
 type RunReport = core.RunReport
@@ -302,7 +332,10 @@ type RunReport = core.RunReport
 //
 // With an effective Options.Noise model the read-outs aggregate over a
 // trajectory ensemble of spec.Trajectories runs instead (statevector is
-// then rejected).
+// then rejected) — except on Options.Backend "dm", where the exact density
+// matrix evolves once and every read-out is deterministic (StdErr 0,
+// seed-independent observables; see the Backends listing for the engine's
+// qubit cap).
 func Evaluate(c *Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
 	return core.Evaluate(c, opts, spec)
 }

@@ -4,12 +4,13 @@
 // executor never again means threading a new fork through core, the
 // service, the HTTP layer and the CLI.
 //
-// Four engines register at init:
+// Five engines register at init:
 //
 //	flat      per-gate reference sweep on one dense state (sv.Run)
 //	hier      single-node hierarchical executor over a partition plan
 //	dist      simulated multi-rank distributed executor (one relayout/part)
 //	baseline  IQS/qHiPSTER-style fixed-layout comparison system
+//	dm        exact density-matrix engine for small noisy registers
 //
 // Callers normally go through core.Simulate, which resolves
 // Options.Backend against this registry (defaulting by rank count); the
@@ -26,6 +27,7 @@ import (
 	"hisvsim/internal/baseline"
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dist"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/hier"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/partition"
@@ -64,15 +66,31 @@ type Spec struct {
 // Execution is what a backend produces: the final state plus whatever
 // plan/metrics the engine computes. Plan is nil for unpartitioned engines
 // (flat, baseline); exactly one of Hier/Dist/Baseline is set when the
-// engine reports metrics.
+// engine reports metrics. The density-matrix engine sets DM instead of
+// State (ρ has no single amplitude vector).
 type Execution struct {
 	Plan     *partition.Plan
-	State    *sv.State // nil only when SkipState on a distributed engine
+	State    *sv.State   // nil when SkipState on a distributed engine, or for the dm engine
+	DM       *dm.Density // exact density matrix (dm engine only)
 	Hier     *hier.Metrics
 	Dist     *dist.Result
 	Baseline *baseline.Result
 	Elapsed  time.Duration // execution phase (partitioning excluded)
 }
+
+// Noise capability values: how an engine serves requests that carry an
+// effective noise model.
+const (
+	// NoiseNone marks engines with no noisy path at all; the service and
+	// core reject noisy requests naming them at submit time.
+	NoiseNone = ""
+	// NoiseTrajectory marks engines whose noisy requests run as stochastic
+	// Kraus/Pauli trajectory ensembles (on the flat fused engine).
+	NoiseTrajectory = "trajectory"
+	// NoiseExact marks engines that evolve the exact density matrix: one
+	// deterministic superoperator evolution instead of an ensemble.
+	NoiseExact = "exact"
+)
 
 // Capabilities describes what execution specs a backend accepts, so
 // callers can validate and pick defaults without knowing the engine.
@@ -84,6 +102,15 @@ type Capabilities struct {
 	// Partitioned reports whether the engine builds a partition plan
 	// (and therefore consults Strategy/Lm/Seed).
 	Partitioned bool `json:"partitioned"`
+	// Noise reports how the engine serves noisy requests: NoiseNone
+	// (rejected at submit), NoiseTrajectory (stochastic ensembles) or
+	// NoiseExact (deterministic density-matrix evolution).
+	Noise string `json:"noise,omitempty"`
+	// MaxQubits caps the register width the engine accepts (0 = no
+	// engine-specific cap beyond the shared sv limits). The density-matrix
+	// engine holds ρ = 4^n amplitudes, so its cap is far below the
+	// state-vector engines'.
+	MaxQubits int `json:"max_qubits,omitempty"`
 	// Description is a one-line human summary.
 	Description string `json:"description"`
 }

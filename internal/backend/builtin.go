@@ -9,6 +9,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dag"
 	"hisvsim/internal/dist"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/hier"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/sv"
@@ -20,6 +21,7 @@ const (
 	NameHier     = "hier"
 	NameDist     = "dist"
 	NameBaseline = "baseline"
+	NameDM       = "dm"
 )
 
 func init() {
@@ -27,6 +29,7 @@ func init() {
 	Register(hierBackend{})
 	Register(distBackend{})
 	Register(baselineBackend{})
+	Register(dmBackend{})
 }
 
 // log2 returns ⌈log₂ x⌉ for x ≥ 1.
@@ -66,7 +69,10 @@ func (flatBackend) Name() string { return NameFlat }
 
 func (flatBackend) Capabilities() Capabilities {
 	return Capabilities{
-		SingleRank:  true,
+		SingleRank: true,
+		// The trajectory engine IS the flat fused sweep, so noisy requests
+		// naming this backend run as ensembles.
+		Noise:       NoiseTrajectory,
 		Description: "per-gate reference sweep on one dense state (no partitioning or fusion)",
 	}
 }
@@ -99,6 +105,9 @@ func (hierBackend) Name() string { return NameHier }
 func (hierBackend) Capabilities() Capabilities {
 	return Capabilities{
 		SingleRank: true, Partitioned: true,
+		// The single-node default: effective-noise requests degrade to the
+		// flat trajectory engine (the zero-noise fast path stays hier).
+		Noise:       NoiseTrajectory,
 		Description: "single-node hierarchical executor over an acyclic partition plan",
 	}
 }
@@ -190,4 +199,40 @@ func (baselineBackend) Run(ctx context.Context, c *circuit.Circuit, spec Spec) (
 		return nil, err
 	}
 	return &Execution{State: br.State, Baseline: br, Elapsed: time.Since(start)}, nil
+}
+
+// dmBackend is the exact density-matrix engine: ρ over ≤ dm.MaxQubits
+// qubits evolves as UρU† per fused gate block, and — under a noise model —
+// channels apply exactly as superoperators (core routes noisy "dm" requests
+// through dm.Run directly; this registry Run covers the ideal case, e.g.
+// the zero-noise elision path).
+type dmBackend struct{}
+
+func (dmBackend) Name() string { return NameDM }
+
+func (dmBackend) Capabilities() Capabilities {
+	return Capabilities{
+		SingleRank: true,
+		Noise:      NoiseExact,
+		MaxQubits:  dm.MaxQubits,
+		Description: fmt.Sprintf("exact density-matrix engine (≤ %d qubits; noisy runs are one deterministic superoperator evolution)",
+			dm.MaxQubits),
+	}
+}
+
+func (dmBackend) Run(ctx context.Context, c *circuit.Circuit, spec Spec) (*Execution, error) {
+	if spec.Ranks > 1 {
+		return nil, fmt.Errorf("backend: dm runs single-node only (got %d ranks)", spec.Ranks)
+	}
+	if c.NumQubits > dm.MaxQubits {
+		return nil, fmt.Errorf("backend: dm holds at most %d qubits (ρ is 4^n amplitudes); circuit has %d", dm.MaxQubits, c.NumQubits)
+	}
+	start := time.Now()
+	d, _, err := dm.Run(ctx, c, nil, dm.Options{
+		Fuse: spec.Fuse, MaxFuseQubits: spec.MaxFuseQubits, Workers: spec.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{DM: d, Elapsed: time.Since(start)}, nil
 }

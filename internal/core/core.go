@@ -14,6 +14,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/dag"
 	"hisvsim/internal/dist"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/hier"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/noise"
@@ -97,7 +98,8 @@ type Result struct {
 	// (never empty; defaults are resolved before execution).
 	Backend  string
 	Plan     *partition.Plan  // nil for unpartitioned backends (flat, baseline)
-	State    *sv.State        // final state (nil when SkipState on a distributed backend)
+	State    *sv.State        // final state (nil when SkipState on a distributed backend, or for "dm")
+	DM       *dm.Density      // exact density matrix ("dm" backend only)
 	Hier     *hier.Metrics    // single-node metrics (hier backend only)
 	Dist     *dist.Result     // distributed metrics (dist backend only)
 	Baseline *baseline.Result // IQS-baseline metrics (baseline backend only)
@@ -138,7 +140,7 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Re
 	}
 	return &Result{
 		Backend: name,
-		Plan:    exec.Plan, State: exec.State,
+		Plan:    exec.Plan, State: exec.State, DM: exec.DM,
 		Hier: exec.Hier, Dist: exec.Dist, Baseline: exec.Baseline,
 		Elapsed: exec.Elapsed,
 	}, nil
@@ -155,23 +157,57 @@ func specFor(opts Options) backend.Spec {
 }
 
 // ResolveBackend validates a backend name against the registry — including
-// its rank capabilities — returning the resolved (defaulted) name. The
-// service layer uses it to reject unknown or capability-mismatched
-// backends at submit time (a 400, not a failed job) and to key its
-// cache/stats on the engine that will actually execute.
+// its rank capabilities — returning the resolved (defaulted) name. See
+// ResolveBackendFor for the full request-shaped validation.
 func ResolveBackend(name string, ranks int) (string, error) {
+	resolved, _, err := ResolveBackendFor(name, ranks, 0, false)
+	return resolved, err
+}
+
+// ResolveBackendFor validates a backend name against the registry and the
+// full request shape — rank count, register width and whether the request
+// carries an effective noise model — returning the resolved (defaulted)
+// name and the engine's capabilities. The service layer uses it to reject
+// unknown or capability-mismatched backends at submit time (a 400, not a
+// worker-time failure) and to key its cache/stats on the engine that will
+// actually execute. numQubits 0 skips the width check.
+func ResolveBackendFor(name string, ranks, numQubits int, noisy bool) (string, backend.Capabilities, error) {
 	b, resolved, err := backend.Resolve(name, ranks)
 	if err != nil {
-		return "", err
+		return "", backend.Capabilities{}, err
 	}
 	caps := b.Capabilities()
 	if ranks > 1 && !caps.MultiRank {
-		return "", fmt.Errorf("core: backend %q runs single-node only (got %d ranks)", resolved, ranks)
+		return "", caps, fmt.Errorf("core: backend %q runs single-node only (got %d ranks)", resolved, ranks)
 	}
 	if ranks <= 1 && !caps.SingleRank {
-		return "", fmt.Errorf("core: backend %q requires a multi-rank run (got ranks ≤ 1)", resolved)
+		return "", caps, fmt.Errorf("core: backend %q requires a multi-rank run (got ranks ≤ 1)", resolved)
 	}
-	return resolved, nil
+	if caps.MaxQubits > 0 && numQubits > caps.MaxQubits {
+		return "", caps, fmt.Errorf("core: backend %q holds at most %d qubits (circuit has %d)", resolved, caps.MaxQubits, numQubits)
+	}
+	if noisy && caps.Noise == backend.NoiseNone && name != "" {
+		// Only an EXPLICITLY named engine without a noisy path is a
+		// contradiction worth rejecting (the results could never come from
+		// the engine the caller asked for). An empty name is a rank-count
+		// default that only steers the zero-noise fast path; effective-noise
+		// ensembles execute on the flat trajectory engine as they always
+		// have, so a multi-rank noisy request with no backend stays valid.
+		return "", caps, fmt.Errorf("core: backend %q has no noisy path (engines with noise support: %v)", resolved, NoisyBackendNames())
+	}
+	return resolved, caps, nil
+}
+
+// NoisyBackendNames lists the registered backends that accept requests
+// carrying an effective noise model.
+func NoisyBackendNames() []string {
+	var out []string
+	for _, info := range backend.List() {
+		if info.Capabilities.Noise != backend.NoiseNone {
+			out = append(out, info.Name)
+		}
+	}
+	return out
 }
 
 func log2(x int) int {

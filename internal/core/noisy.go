@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 
+	"hisvsim/internal/backend"
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/noise"
 )
@@ -35,11 +37,17 @@ func SimulateNoisy(c *circuit.Circuit, opts Options, run noise.RunConfig) (*nois
 // the zero-noise fast path.
 func SimulateNoisyContext(ctx context.Context, c *circuit.Circuit, opts Options, run noise.RunConfig) (*noise.Ensemble, error) {
 	// Effective-noise ensembles execute on the flat trajectory engine, so
-	// Options.Backend only steers the zero-noise fast path — but an unknown
-	// name is still rejected here, not silently ignored, so a typo'd
-	// backend cannot return results from a different engine than requested.
-	if _, err := ResolveBackend(opts.Backend, opts.Ranks); err != nil {
+	// Options.Backend only steers the zero-noise fast path — but the name
+	// is still validated here, not silently ignored: a typo'd backend
+	// cannot return results from a different engine than requested, and a
+	// backend without a noisy path (dist, baseline) is rejected up front
+	// instead of silently misreporting a flat trajectory run as its own.
+	_, caps, err := ResolveBackendFor(opts.Backend, opts.Ranks, c.NumQubits, !opts.Noise.IsZero())
+	if err != nil {
 		return nil, err
+	}
+	if caps.Noise == backend.NoiseExact && !opts.Noise.IsZero() {
+		return nil, fmt.Errorf("core: backend %q computes exact noisy read-outs, not trajectory ensembles; use Evaluate", opts.Backend)
 	}
 	model := opts.Noise
 	plan, err := noise.Compile(c, model, noise.CompileOptions{

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hisvsim/internal/backend"
 	"hisvsim/internal/circuit"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/noise"
 	"hisvsim/internal/sv"
 )
@@ -114,7 +116,9 @@ type Readouts struct {
 	// Amplitudes is the final state (Statevector; a private copy).
 	Amplitudes []complex128
 	// Samples are the drawn basis indices and Counts their histogram
-	// (Shots > 0). Noisy ensembles aggregate Counts only (Samples nil).
+	// (Shots > 0). Noisy trajectory ensembles aggregate Counts only
+	// (Samples nil); exact density-matrix runs — ideal or noisy — have a
+	// definite seeded shot stream and return both.
 	Samples []int
 	Counts  map[int]int
 	// Marginals and Observables are in spec order.
@@ -201,12 +205,16 @@ func ReadoutsFromEnsemble(ens *noise.Ensemble, spec ReadoutSpec) *Readouts {
 type RunReport struct {
 	Readouts
 	// Sim is the ideal simulation behind the read-outs (nil when an
-	// effective noise model forced a trajectory ensemble).
+	// effective noise model forced a trajectory ensemble or an exact
+	// density-matrix evolution).
 	Sim *Result
 	// Ensemble is the trajectory ensemble (nil for ideal runs; a fully
 	// zero-effect model counts as ideal, but a readout-only model still
 	// rides the ensemble path so its bit flips reach the counts).
 	Ensemble *noise.Ensemble
+	// Density is the exact density matrix behind the read-outs (backend
+	// "dm" only; set for both ideal and noisy runs on that engine).
+	Density *dm.Density
 }
 
 // Evaluate runs one simulation and derives every read-out the spec asks
@@ -221,10 +229,14 @@ func Evaluate(c *circuit.Circuit, opts Options, spec ReadoutSpec) (*RunReport, e
 //
 // Ideal (opts.Noise nil or zero-effect): the circuit executes once through
 // the selected backend and every read-out derives from that state.
-// Noisy: the circuit+model compile to a trajectory plan; counts,
-// marginals and observables aggregate over spec.Trajectories seeded
-// trajectories (Statevector is rejected — an ensemble has no single
-// state).
+// Noisy: on trajectory-capable backends the circuit+model compile to a
+// trajectory plan and counts, marginals and observables aggregate over
+// spec.Trajectories seeded trajectories; on the exact backend ("dm") the
+// density matrix evolves ONCE deterministically and every read-out is
+// exact — spec.Trajectories is meaningless there and ignored, and the
+// returned observable values are seed-independent. Statevector is rejected
+// under effective noise (neither an ensemble nor ρ has a single amplitude
+// vector) and on the dm backend generally.
 func EvaluateContext(ctx context.Context, c *circuit.Circuit, opts Options, spec ReadoutSpec) (*RunReport, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -232,13 +244,34 @@ func EvaluateContext(ctx context.Context, c *circuit.Circuit, opts Options, spec
 	if err := spec.Validate(c.NumQubits); err != nil {
 		return nil, err
 	}
-	if opts.Noise.IsZero() {
+	noisy := !opts.Noise.IsZero()
+	_, caps, err := ResolveBackendFor(opts.Backend, opts.Ranks, c.NumQubits, noisy)
+	if err != nil {
+		return nil, err
+	}
+	exact := caps.Noise == backend.NoiseExact
+	if spec.Statevector && exact {
+		return nil, fmt.Errorf("core: statevector readout is not available on the exact density-matrix backend (ρ has no single amplitude vector)")
+	}
+	if noisy && exact {
+		d, plan, err := dm.Run(ctx, c, opts.Noise, dm.Options{
+			Fuse: opts.Fuse.Enabled(), MaxFuseQubits: opts.MaxFuseQubits, Workers: opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &RunReport{Readouts: *EvaluateDensity(d, plan.Readout(), spec), Density: d}, nil
+	}
+	if !noisy {
 		ideal := opts
 		ideal.Noise = nil
 		ideal.SkipState = false
 		res, err := SimulateContext(ctx, c, ideal)
 		if err != nil {
 			return nil, err
+		}
+		if res.DM != nil {
+			return &RunReport{Readouts: *EvaluateDensity(res.DM, nil, spec), Sim: res, Density: res.DM}, nil
 		}
 		return &RunReport{Readouts: *EvaluateState(res.State, nil, spec), Sim: res}, nil
 	}
@@ -250,4 +283,34 @@ func EvaluateContext(ctx context.Context, c *circuit.Circuit, opts Options, spec
 		return nil, err
 	}
 	return &RunReport{Readouts: *ReadoutsFromEnsemble(ens, spec), Ensemble: ens}, nil
+}
+
+// EvaluateDensity derives every requested read-out from an exact density
+// matrix: marginals and observables come straight from ρ (deterministic,
+// StdErr 0 — the values a trajectory ensemble converges to), shots from
+// the readout-error-adjusted diagonal distribution under spec.Seed. The
+// density matrix is never mutated. Statevector must have been rejected by
+// the caller; Trajectories stays 0 — there is no ensemble.
+func EvaluateDensity(d *dm.Density, ro *noise.Readout, spec ReadoutSpec) *Readouts {
+	out := &Readouts{}
+	if spec.Shots > 0 {
+		out.Samples = d.Sample(spec.Shots, spec.Seed, ro)
+		out.Counts = make(map[int]int, len(out.Samples))
+		for _, x := range out.Samples {
+			out.Counts[x]++
+		}
+	}
+	if len(spec.Marginals) > 0 {
+		out.Marginals = make([][]float64, len(spec.Marginals))
+		for k, qs := range spec.Marginals {
+			out.Marginals[k] = d.Marginal(qs)
+		}
+	}
+	if len(spec.Observables) > 0 {
+		out.Observables = make([]ObservableValue, len(spec.Observables))
+		for k, ob := range spec.Observables {
+			out.Observables[k] = ObservableValue{Name: ob.Name, Value: d.ExpectationPauliString(ob.pauli())}
+		}
+	}
+	return out
 }

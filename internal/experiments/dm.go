@@ -1,0 +1,181 @@
+// Density-matrix-subsystem benchmark: exact superoperator evolution against
+// the stochastic trajectory engine on the same noisy circuit, swept over
+// register widths. The headline number per width is the CROSSOVER — how many
+// trajectories an ensemble can run before one exact DM evolution is cheaper.
+// Below it, ask the "dm" backend; above it, trajectories win (ρ costs 4^n
+// amplitudes, a trajectory 2^n, so the crossover climbs ≥2× per added qubit
+// — exact evolution pays off at small widths and high accuracy demands).
+// This is the evaluation artifact behind BENCH_dm.json
+// (cmd/benchtables -only dm).
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hisvsim/internal/bench"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/dm"
+	"hisvsim/internal/noise"
+	"hisvsim/internal/sv"
+)
+
+// DMConfig scales the density-matrix benchmark.
+type DMConfig struct {
+	// Family picks the benchmark circuit (default ising).
+	Family string
+	// Qubits are the register widths swept (default 6,8,10,12 — the band
+	// where the exact engine is practical and the crossover is interesting).
+	Qubits []int
+	// P is the per-gate depolarizing probability (default 0.01).
+	P float64
+	// Trajectories per timing measurement (default 50; the per-trajectory
+	// cost is what the crossover divides by, so modest counts suffice).
+	Trajectories int
+	// Seed drives the trajectory RNGs.
+	Seed int64
+}
+
+// WithDefaults fills the zero values.
+func (c DMConfig) WithDefaults() DMConfig {
+	if c.Family == "" {
+		c.Family = "ising"
+	}
+	if len(c.Qubits) == 0 {
+		c.Qubits = []int{6, 8, 10, 12}
+	}
+	if c.P == 0 {
+		c.P = 0.01
+	}
+	if c.Trajectories == 0 {
+		c.Trajectories = 50
+	}
+	return c
+}
+
+// DMRow is one register-width measurement.
+type DMRow struct {
+	Qubits int `json:"qubits"`
+	Gates  int `json:"gates"`
+	// DMms is one exact density-matrix evolution (ρ from |0…0⟩⟨0…0| through
+	// every gate and channel site).
+	DMms float64 `json:"dm_ms"`
+	// TrajMS is the mean wall time of ONE trajectory (ensemble time /
+	// trajectory count, single worker — the fair per-sample unit cost).
+	TrajMS float64 `json:"traj_ms"`
+	// CrossoverTraj is ⌈DMms / TrajMS⌉: ensembles smaller than this are
+	// still more expensive than computing the exact answer once.
+	CrossoverTraj int `json:"crossover_traj"`
+	// DMBytes is the resident ρ size (16·4^n).
+	DMBytes int64 `json:"dm_bytes"`
+}
+
+// DMReport is the full benchmark output (the BENCH_dm.json schema).
+type DMReport struct {
+	Circuit      string  `json:"circuit"`
+	P            float64 `json:"p"`
+	Trajectories int     `json:"trajectories"`
+	Rows         []DMRow `json:"rows"`
+
+	// NumCPU records how many CPUs the benchmark host exposed, like the
+	// other BENCH_*.json artifacts: both engines here run single-worker, so
+	// the crossover ratio is meaningful even on one core, but absolute
+	// milliseconds are host-dependent.
+	NumCPU int `json:"num_cpu"`
+}
+
+// DMBench measures, per register width: one exact DM evolution, the mean
+// per-trajectory cost on the same compiled plan, and their ratio (the
+// trajectory count where the ensemble starts beating exact).
+func DMBench(cfg DMConfig) (*DMReport, error) {
+	cfg = cfg.WithDefaults()
+	ctx := context.Background()
+	rep := &DMReport{
+		Circuit: cfg.Family, P: cfg.P, Trajectories: cfg.Trajectories,
+		NumCPU: runtime.NumCPU(),
+	}
+	model := noise.Global(noise.Depolarizing(cfg.P))
+	for _, n := range cfg.Qubits {
+		if n > dm.MaxQubits {
+			return nil, fmt.Errorf("dm bench: %d qubits over the engine cap %d", n, dm.MaxQubits)
+		}
+		c, err := circuit.Named(cfg.Family, n)
+		if err != nil {
+			return nil, fmt.Errorf("dm bench: %w", err)
+		}
+		plan, err := noise.Compile(c, model, noise.CompileOptions{Fuse: true})
+		if err != nil {
+			return nil, err
+		}
+
+		runDM := func() (*dm.Density, float64, error) {
+			start := time.Now()
+			d, err := dm.Evolve(ctx, plan, 1)
+			return d, time.Since(start).Seconds() * 1e3, err
+		}
+		runTraj := func() (float64, error) {
+			start := time.Now()
+			obs := []sv.PauliString{{Ops: "Z", Qubits: []int{0}}}
+			_, err := noise.RunEnsemble(ctx, plan, noise.RunConfig{
+				Trajectories: cfg.Trajectories, Seed: cfg.Seed, Workers: 1,
+				Observables: obs,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return time.Since(start).Seconds() * 1e3 / float64(cfg.Trajectories), nil
+		}
+
+		// Warm-up both paths once, then measure.
+		d, _, err := runDM()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := runTraj(); err != nil {
+			return nil, err
+		}
+		_, dmMS, err := runDM()
+		if err != nil {
+			return nil, err
+		}
+		trajMS, err := runTraj()
+		if err != nil {
+			return nil, err
+		}
+		crossover := 1
+		if trajMS > 0 {
+			crossover = int(dmMS/trajMS) + 1
+		}
+		rep.Rows = append(rep.Rows, DMRow{
+			Qubits: n, Gates: c.NumGates(),
+			DMms: dmMS, TrajMS: trajMS, CrossoverTraj: crossover,
+			DMBytes: d.MemoryBytes(),
+		})
+	}
+	return rep, nil
+}
+
+// Table renders the report as the benchtables ASCII tables.
+func (r *DMReport) Table() *bench.Table {
+	t := bench.NewTable(fmt.Sprintf("Density matrix vs trajectories: %s, depolarizing p=%g (%d-trajectory timing)",
+		r.Circuit, r.P, r.Trajectories),
+		"qubits", "gates", "dm ms", "traj ms", "crossover traj", "rho MiB")
+	for _, row := range r.Rows {
+		t.AddRow(row.Qubits, row.Gates, row.DMms, row.TrajMS, row.CrossoverTraj,
+			float64(row.DMBytes)/(1<<20))
+	}
+	return t
+}
+
+// JSON renders the report as indented JSON (the BENCH_dm.json payload).
+func (r *DMReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

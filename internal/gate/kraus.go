@@ -5,13 +5,31 @@ import (
 	"math/cmplx"
 )
 
-// Kraus is a set of Kraus operators {K_i} over a shared qubit count,
+// Kraus is a set of Kraus operators {K_i} over a shared qubit count k,
 // representing the completely positive trace-preserving map
 // ρ → Σ_i K_i ρ K_i†. Unlike a Gate's matrix, the individual operators are
 // generally not unitary; only the completeness relation Σ_i K_i† K_i = I
 // holds. The noise layer unravels such channels into stochastic trajectory
-// insertions over the state-vector kernels.
+// insertions over the state-vector kernels, and the density-matrix engine
+// applies them exactly as superoperators. k = 1 is the common case; k > 1
+// expresses correlated multi-qubit channels (KrausK builds them safely).
 type Kraus []Matrix
+
+// KrausK validates and returns a k-qubit Kraus set: every operator must act
+// on exactly k qubits. It exists so multi-qubit channel constructors fail
+// loudly on a mixed-arity operator list instead of producing a set whose
+// Validate error surfaces much later at compile time.
+func KrausK(k int, ops ...Matrix) (Kraus, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("gate: empty Kraus set")
+	}
+	for i, m := range ops {
+		if m.K != k {
+			return nil, fmt.Errorf("gate: Kraus operator %d acts on %d qubits, want %d", i, m.K, k)
+		}
+	}
+	return Kraus(ops), nil
+}
 
 // NumQubits returns the qubit count the operators act on (0 for an empty set).
 func (k Kraus) NumQubits() int {
@@ -81,6 +99,22 @@ func PauliMatrix(p int) Matrix {
 	}
 }
 
+// PauliMatrixK returns the k-fold Pauli product selected by idx: factor j
+// (acting on bit j of the matrix index, little-endian) is the single-qubit
+// Pauli with index (idx >> 2j) & 3. idx therefore ranges over [0, 4^k), and
+// PauliMatrixK(1, p) == PauliMatrix(p). Multi-qubit Pauli-mixture channels
+// (correlated depolarizing) build their Kraus operators from it.
+func PauliMatrixK(k, idx int) Matrix {
+	if k < 1 || idx < 0 || idx >= 1<<uint(2*k) {
+		panic(fmt.Sprintf("gate: PauliMatrixK index %d out of [0,4^%d)", idx, k))
+	}
+	out := PauliMatrix(idx & 3)
+	for j := 1; j < k; j++ {
+		out = PauliMatrix((idx >> uint(2*j)) & 3).Kron(out)
+	}
+	return out
+}
+
 // PauliGate returns the named Gate applying Pauli p to qubit q; PauliI
 // returns the explicit identity gate.
 func PauliGate(p, q int) Gate {
@@ -96,6 +130,17 @@ func PauliGate(p, q int) Gate {
 	default:
 		panic(fmt.Sprintf("gate: unknown Pauli index %d", p))
 	}
+}
+
+// Conj returns the element-wise complex conjugate of m (NOT the dagger: no
+// transpose). The density-matrix engine applies conj(U) on the bra index
+// bits of vec(ρ) while U acts on the ket bits, realizing ρ → UρU†.
+func (m Matrix) Conj() Matrix {
+	out := NewMatrix(m.K)
+	for i, v := range m.Data {
+		out.Data[i] = cmplx.Conj(v)
+	}
+	return out
 }
 
 // Scale returns the matrix m multiplied by the scalar c.

@@ -31,34 +31,42 @@ import (
 	"hisvsim/internal/gate"
 )
 
-// Channel is one single-qubit quantum channel in Kraus form, optionally
-// carrying a Pauli-mixture unraveling for the trajectory fast path.
-// Construct with the named constructors; the zero value is invalid.
+// Channel is one k-qubit quantum channel in Kraus form, optionally carrying
+// a Pauli-mixture unraveling for the trajectory fast path. k = 1 for the
+// classic single-qubit channels; k > 1 expresses correlated multi-qubit
+// noise (CorrelatedDepolarizing2). Construct with the named constructors;
+// the zero value is invalid.
 type Channel struct {
 	// Name identifies the channel kind ("depolarizing", "bit_flip",
-	// "phase_flip", "amplitude_damping", "phase_damping").
+	// "phase_flip", "amplitude_damping", "phase_damping", "depolarizing2").
 	Name string
 	// Params are the constructor parameters (probability or damping rate).
 	Params []float64
-	// Kraus is the canonical operator-sum representation (ΣK†K = I).
+	// Kraus is the canonical operator-sum representation (ΣK†K = I) over
+	// NumQubits() qubits.
 	Kraus gate.Kraus
-	// Pauli, when non-nil, is an equivalent mixture-of-Paulis unraveling
-	// {p_I, p_X, p_Y, p_Z} enabling the cheap injection path. Unravelings
-	// are not unique: per-trajectory branches differ from the Kraus path,
-	// but the trajectory-averaged channel is identical.
-	Pauli *[4]float64
+	// Pauli, when non-nil, is an equivalent mixture-of-Paulis unraveling of
+	// length 4^k — index i selects the Pauli product gate.PauliMatrixK(k, i)
+	// with probability Pauli[i] — enabling the cheap injection path.
+	// Unravelings are not unique: per-trajectory branches differ from the
+	// Kraus path, but the trajectory-averaged channel is identical.
+	Pauli []float64
 
 	zero bool // the identity channel (p = 0): elided at compile time
 }
 
+// NumQubits returns the qubit count the channel acts on (the arity its
+// insertion sites must match).
+func (c Channel) NumQubits() int { return c.Kraus.NumQubits() }
+
 // ChannelNames lists the channel constructors the wire formats accept.
 func ChannelNames() []string {
-	return []string{"depolarizing", "bit_flip", "phase_flip", "amplitude_damping", "phase_damping"}
+	return []string{"depolarizing", "bit_flip", "phase_flip", "amplitude_damping", "phase_damping", "depolarizing2"}
 }
 
 // NewChannel builds a channel by wire name. p is the error probability
-// (depolarizing, bit_flip, phase_flip) or damping rate γ (amplitude_damping,
-// phase_damping).
+// (depolarizing, bit_flip, phase_flip, depolarizing2) or damping rate γ
+// (amplitude_damping, phase_damping).
 func NewChannel(name string, p float64) (Channel, error) {
 	switch name {
 	case "depolarizing":
@@ -71,30 +79,37 @@ func NewChannel(name string, p float64) (Channel, error) {
 		return AmplitudeDamping(p), nil
 	case "phase_damping":
 		return PhaseDamping(p), nil
+	case "depolarizing2":
+		return CorrelatedDepolarizing2(p), nil
 	default:
 		return Channel{}, fmt.Errorf("noise: unknown channel %q (want one of %v)", name, ChannelNames())
 	}
 }
 
-// pauliChannel assembles a mixture-of-Paulis channel: Kraus operators
-// √p_i P_i plus the fast-path probability vector.
-func pauliChannel(name string, params []float64, probs [4]float64) Channel {
+// pauliChannel assembles a k-qubit mixture-of-Paulis channel: Kraus
+// operators √p_i · PauliMatrixK(k, i) plus the fast-path probability vector
+// (length 4^k, index 0 the identity).
+func pauliChannel(name string, params []float64, k int, probs []float64) Channel {
 	var ks gate.Kraus
+	zero := true
 	for i, p := range probs {
+		if i > 0 && p != 0 {
+			zero = false
+		}
 		if p <= 0 {
 			continue
 		}
-		ks = append(ks, gate.PauliMatrix(i).Scale(complex(math.Sqrt(p), 0)))
+		ks = append(ks, gate.PauliMatrixK(k, i).Scale(complex(math.Sqrt(p), 0)))
 	}
 	if len(ks) == 0 {
 		// All-zero probabilities (invalid input): keep an identity operator
 		// so Validate can report the parameter error instead of panicking.
-		ks = gate.Kraus{gate.Identity(1)}
+		ks = gate.Kraus{gate.Identity(k)}
 	}
-	pr := probs
 	return Channel{
-		Name: name, Params: params, Kraus: ks, Pauli: &pr,
-		zero: probs[1] == 0 && probs[2] == 0 && probs[3] == 0,
+		Name: name, Params: params, Kraus: ks,
+		Pauli: append([]float64(nil), probs...),
+		zero:  zero,
 	}
 }
 
@@ -102,17 +117,33 @@ func pauliChannel(name string, params []float64, probs [4]float64) Channel {
 // p: with probability p/3 each of X, Y, Z is applied. A single application
 // scales ⟨X⟩, ⟨Y⟩, ⟨Z⟩ by (1 − 4p/3).
 func Depolarizing(p float64) Channel {
-	return pauliChannel("depolarizing", []float64{p}, [4]float64{1 - p, p / 3, p / 3, p / 3})
+	return pauliChannel("depolarizing", []float64{p}, 1, []float64{1 - p, p / 3, p / 3, p / 3})
 }
 
 // BitFlip returns the bit-flip channel: X with probability p.
 func BitFlip(p float64) Channel {
-	return pauliChannel("bit_flip", []float64{p}, [4]float64{1 - p, p, 0, 0})
+	return pauliChannel("bit_flip", []float64{p}, 1, []float64{1 - p, p, 0, 0})
 }
 
 // PhaseFlip returns the phase-flip (dephasing) channel: Z with probability p.
 func PhaseFlip(p float64) Channel {
-	return pauliChannel("phase_flip", []float64{p}, [4]float64{1 - p, 0, 0, p})
+	return pauliChannel("phase_flip", []float64{p}, 1, []float64{1 - p, 0, 0, p})
+}
+
+// CorrelatedDepolarizing2 returns the two-qubit correlated depolarizing
+// channel with total error probability p: with probability p/15 each of the
+// 15 non-identity two-qubit Pauli products (X⊗I, …, Z⊗Z) is applied to the
+// pair as a whole — the standard NISQ model for entangler-gate noise, and
+// genuinely correlated: it is not a product of single-qubit channels.
+// Attach it after two-qubit gate classes (OnGates / Rule.Gates); the
+// compiler rejects sites whose gate arity does not match.
+func CorrelatedDepolarizing2(p float64) Channel {
+	probs := make([]float64, 16)
+	probs[0] = 1 - p
+	for i := 1; i < 16; i++ {
+		probs[i] = p / 15
+	}
+	return pauliChannel("depolarizing2", []float64{p}, 2, probs)
 }
 
 // AmplitudeDamping returns the amplitude-damping channel with rate γ
@@ -154,7 +185,7 @@ func PhaseDamping(gamma float64) Channel {
 	}
 	if !math.IsNaN(gamma) && gamma >= 0 && gamma <= 1 {
 		p := (1 - math.Sqrt(1-gamma)) / 2
-		ch.Pauli = &[4]float64{1 - p, 0, 0, p}
+		ch.Pauli = []float64{1 - p, 0, 0, p}
 	}
 	return ch
 }
@@ -179,6 +210,10 @@ func (c Channel) Validate() error {
 		return fmt.Errorf("noise: %s: %w", c.Name, err)
 	}
 	if c.Pauli != nil {
+		if want := 1 << uint(2*c.NumQubits()); len(c.Pauli) != want {
+			return fmt.Errorf("noise: %s Pauli vector has %d entries, want 4^%d = %d",
+				c.Name, len(c.Pauli), c.NumQubits(), want)
+		}
 		sum := 0.0
 		for i, p := range c.Pauli {
 			if math.IsNaN(p) || p < 0 || p > 1 {

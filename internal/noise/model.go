@@ -8,11 +8,15 @@ import (
 	"hisvsim/internal/gate"
 )
 
-// Rule attaches one channel to a class of gate applications: after every
-// gate the rule matches, the channel is applied independently to each qubit
-// the gate touches (restricted to the rule's qubit set when given).
+// Rule attaches one channel to a class of gate applications. A single-qubit
+// channel is applied independently to each qubit the matched gate touches
+// (restricted to the rule's qubit set when given). A k-qubit channel (k > 1,
+// e.g. CorrelatedDepolarizing2) is applied once to the matched gate's k
+// touched qubits as a whole; the trajectory/DM compiler rejects a matched
+// gate whose arity differs from k, so a mis-scoped rule fails loudly instead
+// of silently skipping sites.
 type Rule struct {
-	// Channel is the single-qubit channel to insert.
+	// Channel is the channel to insert (NumQubits() fixes its arity).
 	Channel Channel
 	// Gates restricts the rule to the named gates (e.g. ["cx", "h"]);
 	// empty matches every gate.
@@ -174,13 +178,11 @@ func (m *Model) Hash() []byte {
 		for _, k := range r.Channel.Kraus {
 			writeMatrix(k)
 		}
-		if r.Channel.Pauli != nil {
-			writeInt(1)
-			for _, p := range r.Channel.Pauli {
-				writeFloat(p)
-			}
-		} else {
-			writeInt(0)
+		// Length-prefixed so 1- and k-qubit Pauli vectors can never alias
+		// (0 keeps "no fast path" distinct from any real vector).
+		writeInt(int64(len(r.Channel.Pauli)))
+		for _, p := range r.Channel.Pauli {
+			writeFloat(p)
 		}
 		writeInt(int64(len(r.Gates)))
 		for _, g := range r.Gates {

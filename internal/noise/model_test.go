@@ -13,23 +13,39 @@ func TestRuleMatching(t *testing.T) {
 		Rule{Channel: BitFlip(0.2), Qubits: []int{1}},
 	)
 	// cx on {0, 1}: rule 0 hits both qubits, rule 1 hits qubit 1.
-	ins := insertionsFor(m, gate.CX(0, 1))
+	ins, err := insertionsFor(m, gate.CX(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ins) != 3 {
 		t.Fatalf("cx insertions = %d, want 3", len(ins))
 	}
-	if ins[0].qubit != 0 || ins[1].qubit != 1 || ins[0].ch.Name != "depolarizing" {
+	if len(ins[0].qubits) != 1 || ins[0].qubits[0] != 0 || ins[1].qubits[0] != 1 || ins[0].ch.Name != "depolarizing" {
 		t.Fatalf("unexpected insertion order: %+v", ins)
 	}
-	if ins[2].ch.Name != "bit_flip" || ins[2].qubit != 1 {
-		t.Fatalf("rule 2 insertion: %s on q%d", ins[2].ch.Name, ins[2].qubit)
+	if ins[2].ch.Name != "bit_flip" || ins[2].qubits[0] != 1 {
+		t.Fatalf("rule 2 insertion: %s on q%v", ins[2].ch.Name, ins[2].qubits)
 	}
 	// h on {2}: neither rule matches.
-	if got := insertionsFor(m, gate.H(2)); len(got) != 0 {
-		t.Fatalf("h insertions = %d, want 0", len(got))
+	if got, err := insertionsFor(m, gate.H(2)); err != nil || len(got) != 0 {
+		t.Fatalf("h insertions = %d (err %v), want 0", len(got), err)
 	}
 	// Zero-probability channels are elided.
-	if got := insertionsFor(Global(Depolarizing(0)), gate.H(0)); len(got) != 0 {
-		t.Fatalf("zero-p insertions = %d, want 0", len(got))
+	if got, err := insertionsFor(Global(Depolarizing(0)), gate.H(0)); err != nil || len(got) != 0 {
+		t.Fatalf("zero-p insertions = %d (err %v), want 0", len(got), err)
+	}
+	// A 2-qubit channel inserts once over the pair — and a matched gate of
+	// the wrong arity is a compile error, not a silent skip.
+	corr := OnGates(CorrelatedDepolarizing2(0.05), "cx")
+	ins, err = insertionsFor(corr, gate.CX(3, 1))
+	if err != nil || len(ins) != 1 {
+		t.Fatalf("correlated insertions = %d (err %v), want 1", len(ins), err)
+	}
+	if got := ins[0].qubits; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("correlated insertion qubits = %v, want [1 3]", got)
+	}
+	if _, err := insertionsFor(Global(CorrelatedDepolarizing2(0.05)), gate.H(0)); err == nil {
+		t.Fatal("2-qubit channel on a 1-qubit gate compiled silently")
 	}
 }
 

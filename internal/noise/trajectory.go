@@ -34,8 +34,8 @@ type step struct {
 	plans  []*sv.FusedPlan
 	gates  []gate.Gate // unfused fallback when CompileOptions.Fuse is off
 
-	ch    *Channel
-	qubit int
+	ch     *Channel
+	qubits []int // the channel's target qubits (len = ch.NumQubits())
 }
 
 // Plan is a compiled noisy circuit: the gate sequence pre-fused between
@@ -86,7 +86,9 @@ func (p *Plan) MemoryBytes() int64 {
 		}
 		b += int64(len(st.gates)) * 64
 		if st.ch != nil {
-			b += int64(len(st.ch.Kraus)) * 64
+			for _, k := range st.ch.Kraus {
+				b += int64(len(k.Data)) * 16
+			}
 		}
 	}
 	return b
@@ -132,9 +134,12 @@ func Compile(c *circuit.Circuit, m *Model, opts CompileOptions) (*Plan, error) {
 		return nil
 	}
 
-	for _, g := range c.Gates {
+	for gi, g := range c.Gates {
 		run = append(run, g)
-		insertions := insertionsFor(m, g)
+		insertions, err := insertionsFor(m, g)
+		if err != nil {
+			return nil, fmt.Errorf("noise: gate %d (%s): %w", gi, g.Name, err)
+		}
 		if len(insertions) == 0 {
 			continue
 		}
@@ -151,10 +156,15 @@ func Compile(c *circuit.Circuit, m *Model, opts CompileOptions) (*Plan, error) {
 }
 
 // insertionsFor returns the channel-insertion steps gate g triggers under
-// the model, in rule order then ascending qubit order.
-func insertionsFor(m *Model, g gate.Gate) []step {
+// the model, in rule order then ascending qubit order. Single-qubit
+// channels insert once per matched touched qubit; a k-qubit channel inserts
+// once over the gate's k touched qubits (every one matching the rule's
+// qubit set) and errors on an arity mismatch — a correlated channel scoped
+// to the wrong gate class must fail at compile time, not silently thin out
+// the noise model.
+func insertionsFor(m *Model, g gate.Gate) ([]step, error) {
 	if m == nil {
-		return nil
+		return nil, nil
 	}
 	var out []step
 	for ri := range m.Rules {
@@ -162,13 +172,60 @@ func insertionsFor(m *Model, g gate.Gate) []step {
 		if r.Channel.IsZero() || !r.matchesGate(g.Name) {
 			continue
 		}
-		for _, q := range g.SortedQubits() {
+		qs := g.SortedQubits()
+		if k := r.Channel.NumQubits(); k > 1 {
+			if len(qs) != k {
+				return nil, fmt.Errorf("%d-qubit channel %s matched a %d-qubit gate (restrict the rule's Gates to %d-qubit classes)",
+					k, r.Channel.Name, len(qs), k)
+			}
+			all := true
+			for _, q := range qs {
+				if !r.matchesQubit(q) {
+					all = false
+					break
+				}
+			}
+			if all {
+				out = append(out, step{ch: &r.Channel, qubits: qs})
+			}
+			continue
+		}
+		for _, q := range qs {
 			if r.matchesQubit(q) {
-				out = append(out, step{ch: &r.Channel, qubit: q})
+				out = append(out, step{ch: &r.Channel, qubits: []int{q}})
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// Step is the exported read-only view of one compiled plan unit, for
+// alternative evolution engines that replay a plan without unraveling it
+// stochastically (the density-matrix backend walks these and applies
+// Channel.Kraus exactly as a superoperator). Exactly one of the gate-run
+// fields (Gates or Blocks) or the channel pair (Channel + Qubits) is set.
+type Step struct {
+	// Gates is an unfused gate run (plans compiled with Fuse off).
+	Gates []gate.Gate
+	// Blocks is a fused gate run (plans compiled with Fuse on).
+	Blocks []fuse.Block
+	// Channel is a channel insertion over Qubits (len = channel arity,
+	// ascending).
+	Channel *Channel
+	Qubits  []int
+}
+
+// VisitSteps walks the plan's steps in execution order, stopping at the
+// first error. The callback must treat the step's slices as read-only: they
+// alias the immutable plan shared across trajectories.
+func (p *Plan) VisitSteps(f func(Step) error) error {
+	for i := range p.steps {
+		s := &p.steps[i]
+		if err := f(Step{Gates: s.gates, Blocks: s.blocks, Channel: s.ch, Qubits: s.qubits}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TrajStats counts the stochastic work of one (or many, summed) trajectories.
@@ -201,7 +258,7 @@ func (p *Plan) RunTrajectory(rng *rand.Rand) (*sv.State, TrajStats, error) {
 		switch {
 		case s.ch != nil:
 			stats.Locations++
-			if err := p.applyChannel(st, s.ch, s.qubit, rng, &stats); err != nil {
+			if err := p.applyChannel(st, s.ch, s.qubits, rng, &stats); err != nil {
 				return nil, stats, err
 			}
 		case s.blocks != nil:
@@ -217,8 +274,20 @@ func (p *Plan) RunTrajectory(rng *rand.Rand) (*sv.State, TrajStats, error) {
 	return st, stats, nil
 }
 
-// applyChannel draws one branch of the channel and applies it to qubit q.
-func (p *Plan) applyChannel(st *sv.State, ch *Channel, q int, rng *rand.Rand, stats *TrajStats) error {
+// applyPauliK applies the k-factor Pauli product idx (gate.PauliMatrixK
+// numbering: factor j on qubits[j]) through the single-qubit kernel — a
+// product of Paulis never needs the dense 2^k kernel.
+func applyPauliK(st *sv.State, qubits []int, idx int) {
+	for j, q := range qubits {
+		if p := (idx >> uint(2*j)) & 3; p != gate.PauliI {
+			st.ApplyMatrix1(q, gate.PauliMatrix(p))
+		}
+	}
+}
+
+// applyChannel draws one branch of the channel and applies it to the listed
+// qubits (len = channel arity).
+func (p *Plan) applyChannel(st *sv.State, ch *Channel, qubits []int, rng *rand.Rand, stats *TrajStats) error {
 	u := rng.Float64()
 	if ch.Pauli != nil && !p.forceKraus {
 		// Pauli fast path: fixed probabilities, unitary insertions, no
@@ -227,9 +296,9 @@ func (p *Plan) applyChannel(st *sv.State, ch *Channel, q int, rng *rand.Rand, st
 		for i, prob := range ch.Pauli {
 			acc += prob
 			if u < acc || i == len(ch.Pauli)-1 {
-				if i != gate.PauliI {
+				if i != 0 {
 					stats.PauliApplied++
-					st.ApplyMatrix1(q, gate.PauliMatrix(i))
+					applyPauliK(st, qubits, i)
 				}
 				return nil
 			}
@@ -244,7 +313,7 @@ func (p *Plan) applyChannel(st *sv.State, ch *Channel, q int, rng *rand.Rand, st
 	var pc float64
 	acc := 0.0
 	for i := 0; i < last; i++ {
-		pi := st.Kraus1Norm2(q, ch.Kraus[i])
+		pi := st.KrausKNorm2(qubits, ch.Kraus[i])
 		if u < acc+pi {
 			chosen, pc = i, pi
 			break
@@ -252,23 +321,23 @@ func (p *Plan) applyChannel(st *sv.State, ch *Channel, q int, rng *rand.Rand, st
 		acc += pi
 	}
 	if chosen == last {
-		pc = st.Kraus1Norm2(q, ch.Kraus[last])
+		pc = st.KrausKNorm2(qubits, ch.Kraus[last])
 	}
 	if pc <= 0 {
 		// A zero-probability branch can only be reached through floating-
 		// point rounding of the accumulated probabilities; applying it would
 		// annihilate the state. Fall back to the likeliest branch.
 		for i, k := range ch.Kraus {
-			if pi := st.Kraus1Norm2(q, k); pi > pc {
+			if pi := st.KrausKNorm2(qubits, k); pi > pc {
 				chosen, pc = i, pi
 			}
 		}
 		if pc <= 0 {
-			return fmt.Errorf("noise: channel %s on qubit %d has no positive-probability branch", ch.Name, q)
+			return fmt.Errorf("noise: channel %s on qubits %v has no positive-probability branch", ch.Name, qubits)
 		}
 	}
 	stats.KrausApplied++
-	st.ApplyMatrix1(q, ch.Kraus[chosen])
+	st.ApplyMatrixK(qubits, ch.Kraus[chosen])
 	st.Scale(complex(1/math.Sqrt(pc), 0))
 	return nil
 }

@@ -146,7 +146,7 @@ type wireNoise struct {
 
 // wireNoiseRule is one channel attachment.
 type wireNoiseRule struct {
-	Channel string   `json:"channel"`          // depolarizing, bit_flip, phase_flip, amplitude_damping, phase_damping
+	Channel string   `json:"channel"`          // depolarizing, bit_flip, phase_flip, amplitude_damping, phase_damping, depolarizing2
 	P       float64  `json:"p"`                // error probability / damping rate in [0,1]
 	Gates   []string `json:"gates,omitempty"`  // restrict to these gate names
 	Qubits  []int    `json:"qubits,omitempty"` // restrict to these qubits
@@ -187,7 +187,7 @@ func (w *wireNoise) toModel() (*noise.Model, error) {
 
 // wireOptions mirrors the semantically relevant core.Options fields.
 type wireOptions struct {
-	Backend       string `json:"backend,omitempty"` // "flat", "hier", "dist", "baseline" ("" = by rank count)
+	Backend       string `json:"backend,omitempty"` // "flat", "hier", "dist", "baseline", "dm" ("" = by rank count)
 	Strategy      string `json:"strategy,omitempty"`
 	Lm            int    `json:"lm,omitempty"`
 	Ranks         int    `json:"ranks,omitempty"`

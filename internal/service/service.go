@@ -42,8 +42,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hisvsim/internal/backend"
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
+	"hisvsim/internal/dm"
 	"hisvsim/internal/lru"
 	"hisvsim/internal/noise"
 	"hisvsim/internal/partition"
@@ -363,6 +365,9 @@ type job struct {
 	// idealBackend is the resolved registry name for the job's ideal
 	// simulations (cache key + default execution engine).
 	idealBackend string
+	// exact marks an exact-noise engine (backend capability NoiseExact):
+	// the job — ideal or noisy — runs one density-matrix evolution.
+	exact bool
 	// backend is the engine actually executing the job (idealBackend or
 	// BackendTrajectory), set when execution starts.
 	backend string
@@ -406,13 +411,25 @@ func (e *cacheEntry) cost() int64 {
 	return int64(len(e.state.Amps))*(16+8) + 1024 // + 1 KiB plan slack
 }
 
+// costed is a cacheable single-flight payload (cacheEntry's simulated
+// state or dmEntry's evolved ρ).
+type costed interface{ cost() int64 }
+
 // flight tracks one in-progress simulation so concurrent misses on the same
 // key wait for it instead of duplicating the work.
 type flight struct {
-	done  chan struct{}
-	entry *cacheEntry
-	err   error
+	done chan struct{}
+	val  costed
+	err  error
 }
+
+// dmEntry is one evolved density matrix: the exact ρ for a (circuit, noise,
+// fusion) key, shared read-only by every hit like cacheEntry's state.
+type dmEntry struct {
+	d *dm.Density
+}
+
+func (e *dmEntry) cost() int64 { return e.d.MemoryBytes() + 1024 }
 
 // New starts a service with cfg's worker pool running.
 func New(cfg Config) *Service {
@@ -456,9 +473,18 @@ func (s *Service) Submit(req Request) (string, error) {
 	if err := s.validate(req); err != nil {
 		return "", err
 	}
-	idealBackend, err := core.ResolveBackend(req.Options.Backend, req.Options.Ranks)
+	// Capability enforcement happens here, at submit: an unknown backend, a
+	// rank/width mismatch, a noisy request on an engine with no noisy path,
+	// or a register over the engine's qubit cap is a submit error (an HTTP
+	// 400), never a worker-time failure.
+	noisy := req.Kind.Noisy() || !req.Noise.IsZero()
+	idealBackend, caps, err := core.ResolveBackendFor(req.Options.Backend, req.Options.Ranks, req.Circuit.NumQubits, noisy)
 	if err != nil {
 		return "", fmt.Errorf("service: %w", err)
+	}
+	exact := caps.Noise == backend.NoiseExact
+	if exact && (req.Kind == KindStatevector || req.Readouts.Statevector) {
+		return "", fmt.Errorf("service: statevector readout is not available on backend %q (ρ has no single amplitude vector)", idealBackend)
 	}
 
 	var jctx context.Context
@@ -478,8 +504,8 @@ func (s *Service) Submit(req Request) (string, error) {
 	j := &job{
 		id: fmt.Sprintf("j%06d", s.nextID), req: req,
 		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
-		idealBackend: idealBackend,
-		status:       StatusQueued, submitted: time.Now(),
+		idealBackend: idealBackend, exact: exact,
+		status: StatusQueued, submitted: time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -854,6 +880,11 @@ func (s *Service) setBackend(j *job, name string) {
 // shims — pass through here.
 func (s *Service) execute(j *job) (*Result, error) {
 	spec := specForJob(j.req)
+	if j.exact {
+		// Exact-noise engines serve every request shape — ideal, noisy,
+		// legacy kinds — from one cached density-matrix evolution.
+		return s.executeDM(j, spec)
+	}
 	if j.req.Kind.Noisy() || !j.req.Noise.IsZero() {
 		// Legacy noisy kinds keep the ensemble path even for zero-effect
 		// models: their counts come from per-trajectory split RNGs, not the
@@ -885,12 +916,31 @@ func (s *Service) execute(j *job) (*Result, error) {
 // true when no simulation ran on behalf of this job.
 func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
 	key := cacheKey(j.req.Circuit, j.req.Options, j.idealBackend)
+	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
+		e, err := s.simulate(j)
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*cacheEntry), hit, nil
+}
+
+// cachedCompute returns the cached payload for key, running compute at
+// most once across concurrent misses: the first claimant publishes a
+// flight, everyone else waits on it (or loops to claim the key themselves
+// when the owner was canceled — that says nothing about their own job;
+// a real compute failure would fail them identically).
+func (s *Service) cachedCompute(j *job, key string, compute func() (costed, error)) (costed, bool, error) {
 	for {
 		s.mu.Lock()
 		if v, ok := s.cache.Get(key); ok {
 			s.mu.Unlock()
 			s.cacheHits.Add(1)
-			return v.(*cacheEntry), true, nil
+			return v.(costed), true, nil
 		}
 		if fl, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
@@ -901,30 +951,27 @@ func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
 			}
 			if fl.err != nil {
 				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
-					// The flight owner was canceled — that says nothing
-					// about this job; loop and claim the key ourselves.
 					continue
 				}
-				// A real simulation failure would fail us identically.
 				return nil, false, fl.err
 			}
 			s.cacheHits.Add(1)
-			return fl.entry, true, nil
+			return fl.val, true, nil
 		}
 		fl := &flight{done: make(chan struct{})}
 		s.inflight[key] = fl
 		s.mu.Unlock()
 
 		s.cacheMisses.Add(1)
-		fl.entry, fl.err = s.simulate(j)
+		fl.val, fl.err = compute()
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if fl.err == nil {
-			s.cache.Put(key, fl.entry, fl.entry.cost())
+			s.cache.Put(key, fl.val, fl.val.cost())
 		}
 		s.mu.Unlock()
 		close(fl.done)
-		return fl.entry, false, fl.err
+		return fl.val, false, fl.err
 	}
 }
 
@@ -996,6 +1043,61 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 	legacyProject(res, core.ReadoutsFromEnsemble(ens, spec))
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// executeDM runs a job on the exact density-matrix engine: one deterministic
+// superoperator evolution (never an ensemble — the trajectories stat stays
+// untouched and Result.Trajectories stays 0) answers every read-out the
+// spec names. The compiled plan comes from the same digest-keyed plan cache
+// the trajectory path uses, and the evolved ρ is cached like an ideal
+// state: repeat DM jobs — any seed, any readout mix — cost sampling only.
+func (s *Service) executeDM(j *job, spec core.ReadoutSpec) (*Result, error) {
+	start := time.Now()
+	s.setBackend(j, j.idealBackend)
+	plan, _, err := s.noisePlanFor(j)
+	if err != nil {
+		return nil, err
+	}
+	entry, hit, err := s.dmEntryFor(j, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind: j.req.Kind, Backend: j.idealBackend, NumQubits: j.req.Circuit.NumQubits,
+		CacheHit: hit,
+		Waited:   j.started.Sub(j.submitted),
+	}
+	legacyProject(res, core.EvaluateDensity(entry.d, plan.Readout(), spec))
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// dmEntryFor returns the evolved density matrix for the job's (circuit,
+// noise, fusion) key, evolving on miss — single-flighted like entryFor, and
+// counted as a simulation (one DM evolution is the engine's whole run).
+func (s *Service) dmEntryFor(j *job, plan *noise.Plan) (*dmEntry, bool, error) {
+	key := dmKey(j.req.Circuit, j.req.Options, j.req.Noise)
+	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
+		s.simulations.Add(1)
+		d, err := dm.Evolve(j.ctx, plan, j.req.Options.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &dmEntry{d: d}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*dmEntry), hit, nil
+}
+
+// dmKey is the content address of one density-matrix evolution: the circuit
+// fingerprint with the noise digest folded in (exactly the trajectory-plan
+// digest) plus the fusion options that shape the compiled blocks. Seeds are
+// excluded — ρ is seed-free; only sampling consumes the request seed — and
+// so are Strategy/Lm/Ranks, which the unpartitioned engine never reads.
+func dmKey(c *circuit.Circuit, o core.Options, m *noise.Model) string {
+	return fmt.Sprintf("dm|%s|f=%t mf=%d", c.FingerprintWith(m.Hash()), o.Fuse.Enabled(), o.MaxFuseQubits)
 }
 
 // noisePlanEntry wraps a compiled trajectory plan for the LRU cache.

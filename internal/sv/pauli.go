@@ -95,12 +95,13 @@ func upperPauli(c byte) byte {
 	return c
 }
 
-// masks folds the string into the kernel masks, panicking on malformed
-// input (unknown letters, or a qubit repeated under anything but Z — the
-// kernel's XOR folding would silently compute a different operator). Z
-// letters XOR into the sign mask (repeats cancel, matching
-// ExpectationPauliZString).
-func (p PauliString) masks() (flip, sign, numY int) {
+// Masks folds the string into the bit-mask kernel form — flip (X and Y
+// qubits), sign (Y and Z qubits, Z repeats XOR-canceling) and the Y count
+// fixing the i^{numY} phase — panicking on malformed input (unknown
+// letters, or a qubit repeated under anything but Z — the XOR folding would
+// silently compute a different operator). Both the state-vector expectation
+// kernel and the density-matrix Tr(ρP) sweep consume this form.
+func (p PauliString) Masks() (flip, sign, numY int) {
 	var touched, zOnly int
 	for k, q := range p.Qubits {
 		bit := 1 << uint(q)
@@ -171,7 +172,7 @@ func (s *State) ExpectationPauliString(p PauliString) float64 {
 			panic(fmt.Sprintf("sv: pauli qubit %d out of range [0,%d)", q, s.N))
 		}
 	}
-	flip, sign, numY := p.masks()
+	flip, sign, numY := p.Masks()
 	if flip == 0 {
 		// Z/I only: the established XOR-mask kernel (bit-identical with the
 		// legacy read-out path).

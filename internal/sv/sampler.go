@@ -29,6 +29,23 @@ func NewSampler(s *State) *Sampler {
 	return &Sampler{n: s.N, cdf: cdf, total: acc}
 }
 
+// NewSamplerFromProbs builds a sampler over an explicit probability vector
+// of length 2^n (not necessarily normalized — draws scale by the total,
+// exactly like NewSampler's Born weights). The density-matrix engine feeds
+// it diag(ρ), so both engines share one inverse-CDF draw and a given seed
+// produces the same shot stream for the same distribution.
+func NewSamplerFromProbs(n int, probs []float64) *Sampler {
+	cdf := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		if p > 0 {
+			acc += p
+		}
+		cdf[i] = acc
+	}
+	return &Sampler{n: n, cdf: cdf, total: acc}
+}
+
 // NumQubits returns the register width the sampler was built over.
 func (sp *Sampler) NumQubits() int { return sp.n }
 

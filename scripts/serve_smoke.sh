@@ -16,9 +16,9 @@ LOG="$(mktemp)"
 go build -o "$BIN" ./cmd/hisvsimd
 go build -o "$CLI" ./cmd/hisvsim
 
-# CLI smoke: the backend registry listing must name all four engines.
+# CLI smoke: the backend registry listing must name all five engines.
 BACKENDS="$("$CLI" -backends)"
-for want in flat hier dist baseline; do
+for want in flat hier dist baseline dm; do
     if ! printf '%s\n' "$BACKENDS" | grep -q "^$want"; then
         echo "serve-smoke: hisvsim -backends is missing $want:" >&2
         printf '%s\n' "$BACKENDS" >&2
@@ -161,6 +161,61 @@ if [ "$NTOTAL" != 200 ]; then
     exit 1
 fi
 
+# The dm backend advertises exact noise support over HTTP.
+DMNOISE="$(curl -fsS "$BASE/v1/backends" | jq -r '.[] | select(.name == "dm") | .capabilities.noise')"
+if [ "$DMNOISE" != exact ]; then
+    echo "serve-smoke: /v1/backends dm noise capability '$DMNOISE', want exact" >&2
+    exit 1
+fi
+
+# A noisy "run" job on the exact density-matrix backend: ONE simulation,
+# ZERO trajectories, exact observables (no stderr on the values).
+SIMS_BEFORE="$(curl -fsS "$BASE/v1/stats" | jq .simulations)"
+TRAJ_BEFORE="$(curl -fsS "$BASE/v1/stats" | jq .trajectories)"
+DID="$(curl -fsS "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 6},
+    "kind": "run",
+    "readouts": {"shots": 200, "seed": 7,
+                 "observables": [{"name": "zz01", "paulis": "ZZ", "qubits": [0, 1]}]},
+    "noise": {"rules": [{"channel": "amplitude_damping", "p": 0.02},
+                        {"channel": "depolarizing2", "p": 0.01, "gates": ["rzz"]}]},
+    "options": {"backend": "dm"}
+}' | jq -r .id)"
+DRES="$(curl -fsS "$BASE/v1/jobs/$DID/result?wait=30s")"
+DSTATUS="$(printf '%s' "$DRES" | jq -r .status)"
+DBACKEND="$(printf '%s' "$DRES" | jq -r .result.backend)"
+DTRAJ="$(printf '%s' "$DRES" | jq '.result.trajectories // 0')"
+DTOTAL="$(printf '%s' "$DRES" | jq '[.result.counts[]] | add')"
+if [ "$DSTATUS" != done ] || [ "$DBACKEND" != dm ] || [ "$DTRAJ" != 0 ] || [ "$DTOTAL" != 200 ]; then
+    echo "serve-smoke: dm run job wrong (status=$DSTATUS backend=$DBACKEND traj=$DTRAJ shots=$DTOTAL)" >&2
+    printf '%s\n' "$DRES" >&2
+    exit 1
+fi
+SIMS_AFTER="$(curl -fsS "$BASE/v1/stats" | jq .simulations)"
+TRAJ_AFTER="$(curl -fsS "$BASE/v1/stats" | jq .trajectories)"
+if [ "$((SIMS_AFTER - SIMS_BEFORE))" != 1 ] || [ "$((TRAJ_AFTER - TRAJ_BEFORE))" != 0 ]; then
+    echo "serve-smoke: dm noisy job cost $((SIMS_AFTER - SIMS_BEFORE)) simulations and $((TRAJ_AFTER - TRAJ_BEFORE)) trajectories, want 1 and 0" >&2
+    exit 1
+fi
+
+# Capability mismatches are 400s at submit: a noisy job on a backend with
+# no noisy path, and a dm register over the qubit cap.
+CCODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "ising", "qubits": 8},
+    "kind": "noisy_sample", "shots": 10,
+    "noise": {"rules": [{"channel": "depolarizing", "p": 0.01}]},
+    "options": {"backend": "baseline"}
+}')"
+WCODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" -d '{
+    "circuit": {"family": "cat_state", "qubits": 14},
+    "kind": "run", "readouts": {"shots": 10},
+    "options": {"backend": "dm"}
+}')"
+if [ "$CCODE" != 400 ] || [ "$WCODE" != 400 ]; then
+    echo "serve-smoke: capability mismatches returned $CCODE/$WCODE, want 400/400" >&2
+    exit 1
+fi
+
 # Out-of-bounds noise probabilities are 400s.
 NCODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" -d '{
     "circuit": {"family": "ising", "qubits": 8},
@@ -180,4 +235,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, graceful shutdown)"
+echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, graceful shutdown)"

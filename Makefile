@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench serve-smoke clean
 
 all: lint build test
 
@@ -42,6 +42,14 @@ DM_QUBITS ?= 6,8,10,12
 DM_TRAJ ?= 50
 dm-bench:
 	$(GO) run ./cmd/benchtables -only dm -dm-qubits $(DM_QUBITS) -dm-traj $(DM_TRAJ) -dm-out BENCH_dm.json
+
+# Regenerates BENCH_sweep.json (one compiled template specialized across a
+# binding grid vs. per-point bind + fusion + run; speedup and block sharing).
+# CI smokes it narrow: make sweep-bench SWEEP_QUBITS=10 SWEEP_POINTS=20.
+SWEEP_QUBITS ?= 12
+SWEEP_POINTS ?= 50
+sweep-bench:
+	$(GO) run ./cmd/benchtables -only sweep -sweep-qubits $(SWEEP_QUBITS) -sweep-points $(SWEEP_POINTS) -sweep-out BENCH_sweep.json
 
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:

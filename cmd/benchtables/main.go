@@ -28,7 +28,7 @@ func main() {
 		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
 		seed       = flag.Int64("seed", 1, "partitioner seed")
 		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm,sweep")
 		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
 		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
 		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
@@ -42,6 +42,9 @@ func main() {
 		dmN        = flag.String("dm-qubits", "6,8,10,12", "register sizes for the density-matrix benchmark")
 		dmTraj     = flag.Int("dm-traj", 50, "trajectories per density-matrix timing point")
 		dmP        = flag.Float64("dm-p", 0.01, "depolarizing probability for the density-matrix benchmark")
+		sweepOut   = flag.String("sweep-out", "", "also write the parameter-sweep benchmark as JSON to this path (e.g. BENCH_sweep.json)")
+		sweepN     = flag.Int("sweep-qubits", 12, "register size for the sweep benchmark ansatz")
+		sweepPts   = flag.Int("sweep-points", 50, "binding-grid size for the sweep benchmark")
 	)
 	flag.Parse()
 
@@ -165,6 +168,19 @@ func main() {
 			check(err)
 			check(os.WriteFile(*noiseOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *noiseOut)
+		}
+	}
+	if sel("sweep") || *sweepOut != "" {
+		rep, err := experiments.SweepBench(experiments.SweepConfig{
+			Qubits: *sweepN, Points: *sweepPts,
+		})
+		check(err)
+		fmt.Println(rep.Table())
+		if *sweepOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*sweepOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *sweepOut)
 		}
 	}
 	if sel("dm") || *dmOut != "" {

@@ -9,6 +9,8 @@
 //	hisvsim -circuit ising -n 12 -depolarizing 0.01 -trajectories 500 -shots 4096
 //	hisvsim -circuit ising -n 8 -observables '-1*ZZ@0,1; 0.5*X@2'
 //	hisvsim -circuit ising -n 8 -backend dm -depolarizing2 0.01 -shots 4096
+//	hisvsim -circuit qaoa_ansatz -n 8 -layers 2 -params 'gamma0=0.4,beta0=0.2,gamma1=0.3,beta1=0.1'
+//	hisvsim -circuit qaoa_ansatz -n 8 -observables 'ZZ@0,1; ZZ@1,2' -sweep 'gamma0=0:1.2:7; beta0=0.1,0.3,0.5'
 //	hisvsim -backends
 //
 // It prints the plan summary (parts and working sets), execution metrics,
@@ -22,6 +24,12 @@
 // aggregated over -trajectories stochastic runs — except with -backend dm,
 // which instead evolves the exact density matrix once (small registers
 // only; see -backends for the cap) and reports deterministic values.
+//
+// Parameterized circuits (gate angles like rz(2*gamma) in QASM, or the
+// built-in "qaoa_ansatz" template): -params binds the symbols for a single
+// run under any mode above, while -sweep evaluates -observables on a whole
+// binding grid from ONE template compilation, printing the energy per grid
+// point and the minimum found.
 package main
 
 import (
@@ -38,8 +46,11 @@ import (
 
 func main() {
 	var (
-		family    = flag.String("circuit", "", "benchmark family to generate: "+strings.Join(hisvsim.Families(), ", "))
+		family    = flag.String("circuit", "", "benchmark family to generate: "+strings.Join(hisvsim.Families(), ", ")+", qaoa_ansatz (parameterized)")
 		n         = flag.Int("n", 16, "qubit count for -circuit")
+		layers    = flag.Int("layers", 1, "ansatz depth for -circuit qaoa_ansatz")
+		paramsF   = flag.String("params", "", "bind a parameterized circuit's symbols for one run: \"gamma0=0.4,beta0=0.2\"")
+		sweepF    = flag.String("sweep", "", "evaluate -observables over a binding grid (one template compile): per-symbol comma list or lo:hi:count linspace, semicolons between symbols, cartesian product — \"gamma0=0:1.2:7; beta0=0.1,0.3,0.5\"")
 		qasmFile  = flag.String("qasm", "", "OpenQASM 2.0 file to simulate instead of -circuit")
 		backendN  = flag.String("backend", "", "execution backend: "+strings.Join(hisvsim.BackendNames(), ", ")+" (default: by rank count)")
 		backends  = flag.Bool("backends", false, "list the registered execution backends and exit")
@@ -103,7 +114,7 @@ func main() {
 		fatal(err)
 	}
 
-	c, err := loadCircuit(*family, *qasmFile, *n)
+	c, err := loadCircuit(*family, *qasmFile, *n, *layers)
 	if err != nil {
 		fatal(err)
 	}
@@ -113,6 +124,24 @@ func main() {
 		}
 	}
 	fmt.Printf("circuit: %s\n", c.String())
+
+	env, err := parseParams(*paramsF)
+	if err != nil {
+		fatal(err)
+	}
+	if env != nil {
+		if *sweepF != "" {
+			fatal(fmt.Errorf("-params binds one point and -sweep a whole grid; use one"))
+		}
+		bound, err := c.Bind(env)
+		if err != nil {
+			fatal(err)
+		}
+		c = bound
+	}
+	if c.Parametric() && *sweepF == "" && !*planOnly {
+		fatal(fmt.Errorf("circuit has unbound symbols %v (bind them with -params or sweep them with -sweep)", c.Symbols()))
+	}
 
 	if *planOnly {
 		pl, err := hisvsim.Partition(c, lmOrDefault(*lm, c.NumQubits, *ranks), *strategy)
@@ -133,6 +162,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *sweepF != "" {
+		if *verify || *showParts {
+			fatal(fmt.Errorf("-sweep reports per-point observables; drop -verify/-parts"))
+		}
+		if len(obs) == 0 {
+			fatal(fmt.Errorf("-sweep needs -observables to evaluate per grid point"))
+		}
+		bindings, err := parseSweepGrid(*sweepF)
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(c, hisvsim.Options{
+			Noise: model, Fuse: fp, MaxFuseQubits: *fuseMax,
+		}, obs, bindings, *traj, *noiseSeed)
+		return
+	}
+
 	if model != nil {
 		if *verify {
 			fatal(fmt.Errorf("-verify compares against flat ideal simulation and cannot check a stochastic ensemble; drop the noise flags or -verify"))
@@ -436,7 +482,7 @@ func printTopCounts(c *hisvsim.Circuit, counts map[int]int, shots int) {
 	}
 }
 
-func loadCircuit(family, qasmFile string, n int) (*hisvsim.Circuit, error) {
+func loadCircuit(family, qasmFile string, n, layers int) (*hisvsim.Circuit, error) {
 	switch {
 	case qasmFile != "":
 		src, err := os.ReadFile(qasmFile)
@@ -444,11 +490,160 @@ func loadCircuit(family, qasmFile string, n int) (*hisvsim.Circuit, error) {
 			return nil, err
 		}
 		return hisvsim.ParseQASM(string(src))
+	case family == "qaoa_ansatz":
+		return hisvsim.QAOAAnsatz(n, layers), nil
 	case family != "":
 		return hisvsim.BuildCircuit(family, n)
 	default:
 		return nil, fmt.Errorf("specify -circuit <family> or -qasm <file>")
 	}
+}
+
+// parseParams parses -params: comma-separated name=value bindings.
+func parseParams(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	env := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -params entry %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -params value for %q: %w", strings.TrimSpace(name), err)
+		}
+		env[strings.TrimSpace(name)] = v
+	}
+	return env, nil
+}
+
+// parseSweepGrid parses -sweep into the cartesian binding list. Each
+// semicolon-separated entry is name=spec where spec is either a comma list
+// of values or a lo:hi:count linspace (count points, endpoints included).
+func parseSweepGrid(s string) ([]map[string]float64, error) {
+	grid := map[string][]float64{}
+	for _, raw := range strings.Split(s, ";") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -sweep entry %q (want name=values)", entry)
+		}
+		name = strings.TrimSpace(name)
+		if _, dup := grid[name]; dup {
+			return nil, fmt.Errorf("-sweep lists symbol %q twice", name)
+		}
+		var vals []float64
+		spec = strings.TrimSpace(spec)
+		if strings.Contains(spec, ":") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad -sweep linspace %q (want lo:hi:count)", spec)
+			}
+			lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+			hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			count, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
+			if err1 != nil || err2 != nil || err3 != nil || count < 1 {
+				return nil, fmt.Errorf("bad -sweep linspace %q (want lo:hi:count, count >= 1)", spec)
+			}
+			for i := 0; i < count; i++ {
+				v := lo
+				if count > 1 {
+					v = lo + (hi-lo)*float64(i)/float64(count-1)
+				}
+				vals = append(vals, v)
+			}
+		} else {
+			for _, f := range strings.Split(spec, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad -sweep value %q for %q: %w", f, name, err)
+				}
+				vals = append(vals, v)
+			}
+		}
+		grid[name] = vals
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("-sweep is empty")
+	}
+	// Cartesian product in sorted symbol order, last symbol fastest —
+	// matching the service's grid expansion.
+	syms := make([]string, 0, len(grid))
+	for name := range grid {
+		syms = append(syms, name)
+	}
+	sort.Strings(syms)
+	total := 1
+	for _, name := range syms {
+		total *= len(grid[name])
+	}
+	bindings := make([]map[string]float64, 0, total)
+	idx := make([]int, len(syms))
+	for {
+		env := make(map[string]float64, len(syms))
+		for i, name := range syms {
+			env[name] = grid[name][idx[i]]
+		}
+		bindings = append(bindings, env)
+		i := len(syms) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(grid[syms[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return bindings, nil
+		}
+	}
+}
+
+// runSweep evaluates the observables on every grid point from one template
+// compilation and prints the energy (Σ weighted terms) per point plus the
+// minimum found.
+func runSweep(c *hisvsim.Circuit, opts hisvsim.Options, obs []hisvsim.PauliString, bindings []map[string]float64, traj int, seed int64) {
+	spec := hisvsim.ReadoutSpec{Seed: seed}
+	if opts.Noise != nil {
+		spec.Trajectories = traj
+	}
+	for _, p := range obs {
+		spec.Observables = append(spec.Observables, hisvsim.Observable{
+			Coeff: p.Coeff, Paulis: p.Ops, Qubits: p.Qubits,
+		})
+	}
+	rep, err := hisvsim.Sweep(c, opts, spec, bindings)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep: %d points over symbols %v in %s\n", len(rep.Points), c.Symbols(), rep.Elapsed)
+	fmt.Printf("template: %d compile(s), %d symbol-touched / %d shared fused blocks\n",
+		rep.Compiles, rep.TouchedBlocks, rep.SharedBlocks)
+	if rep.Trajectories > 0 {
+		fmt.Printf("noise: %d trajectories per point\n", rep.Trajectories)
+	}
+	syms := c.Symbols()
+	best, bestE := -1, math.Inf(1)
+	for i, pt := range rep.Points {
+		var e float64
+		for _, ov := range pt.Readouts.Observables {
+			e += ov.Value
+		}
+		if e < bestE {
+			best, bestE = i, e
+		}
+		var b strings.Builder
+		for _, name := range syms {
+			fmt.Fprintf(&b, " %s=%.6g", name, pt.Binding[name])
+		}
+		fmt.Printf("  point %3d:%s  energy = %.9f\n", i, b.String(), e)
+	}
+	fmt.Printf("minimum: point %d with energy %.9f\n", best, bestE)
 }
 
 func fusePolicy(s string) (hisvsim.FusePolicy, error) {

@@ -431,3 +431,107 @@ func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 // NewServiceHandler exposes a Service over HTTP/JSON (the cmd/hisvsimd
 // surface: submit, poll, long-poll result, cancel, stats, health).
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// Param is one gate angle: either a literal value or an affine form
+// Scale·θ+Offset over a named symbol θ. Circuits whose gates carry symbolic
+// Params are templates — compile once, bind many times. Build with Lit /
+// Sym / Affine and attach via Gate.WithArgs; OpenQASM 2.0 round-trips them
+// (rz(2*gamma0 + 0.5) q[0];).
+type Param = gate.Param
+
+// Lit returns a concrete (non-symbolic) parameter value.
+func Lit(v float64) Param { return gate.Lit(v) }
+
+// Sym returns the parameter that evaluates to the named symbol's binding.
+func Sym(name string) Param { return gate.Sym(name) }
+
+// Affine returns the parameter scale·θ+offset over the named symbol.
+func Affine(scale float64, name string, offset float64) Param {
+	return gate.Affine(scale, name, offset)
+}
+
+// QAOAAnsatz builds the parameterized QAOA ring ansatz on n qubits: an H
+// wall, then per layer l the cost unitary (CX·RZ(2·gamma_l)·CX per ring
+// bond) and the mixer RX(2·beta_l) on every qubit. Its symbols are
+// "gamma0", "beta0", "gamma1", … — bind them with Circuit.Bind, sweep them
+// with Sweep / KindSweep, or optimize them with OptimizeParams /
+// KindOptimize.
+func QAOAAnsatz(n, layers int) *Circuit { return circuit.QAOAAnsatz(n, layers) }
+
+// SweepPoint is one grid point of a parameter sweep: the binding plus its
+// read-outs.
+type SweepPoint = core.SweepPoint
+
+// SweepReport aggregates a sweep: per-point read-outs plus the evidence
+// that the template amortized (Compiles == 1 regardless of point count,
+// symbol-touched vs shared fused blocks).
+type SweepReport = core.SweepReport
+
+// OptimizeSpec configures a server-side variational optimization: the
+// weighted Pauli objective, the method (MethodSPSA or MethodNelderMead),
+// the starting point, and iteration/tolerance/trajectory knobs. The zero
+// value of every knob selects a sensible default.
+type OptimizeSpec = core.OptimizeSpec
+
+// OptimizeReport is the outcome of OptimizeParams / KindOptimize: best
+// binding and objective value, per-iteration trace, and work counters.
+type OptimizeReport = core.OptimizeReport
+
+// OptimizeIteration is one entry of OptimizeReport.Trace.
+type OptimizeIteration = core.OptimizeIteration
+
+// Optimization methods for OptimizeSpec.Method.
+const (
+	MethodSPSA       = core.MethodSPSA       // simultaneous-perturbation gradient descent (default)
+	MethodNelderMead = core.MethodNelderMead // derivative-free simplex
+)
+
+// Sweep evaluates a parameterized circuit at every binding: the template
+// compiles ONCE (fused blocks untouched by any symbol are shared
+// read-only; symbol-touched blocks re-specialize per point) and each point
+// reports the full ReadoutSpec. Under Options.Noise each point runs a
+// trajectory ensemble from the same re-bound plan.
+//
+//	c := hisvsim.QAOAAnsatz(6, 1)
+//	rep, err := hisvsim.Sweep(c, hisvsim.Options{}, spec, []map[string]float64{
+//		{"gamma0": 0.1, "beta0": 0.4},
+//		{"gamma0": 0.2, "beta0": 0.3},
+//	})
+func Sweep(c *Circuit, opts Options, spec ReadoutSpec, bindings []map[string]float64) (*SweepReport, error) {
+	return core.Sweep(c, opts, spec, bindings)
+}
+
+// SweepContext is Sweep under a context: cancellation aborts at the next
+// grid point.
+func SweepContext(ctx context.Context, c *Circuit, opts Options, spec ReadoutSpec, bindings []map[string]float64) (*SweepReport, error) {
+	return core.SweepContext(ctx, c, opts, spec, bindings)
+}
+
+// OptimizeParams minimizes Σ c_k⟨P_k⟩ over a parameterized circuit's
+// symbols server-side (SPSA or Nelder-Mead), evaluating every candidate
+// binding against the once-compiled template. (Optimize, by contrast, is
+// the gate-level circuit rewriter.)
+func OptimizeParams(c *Circuit, opts Options, spec OptimizeSpec) (*OptimizeReport, error) {
+	return core.Optimize(c, opts, spec)
+}
+
+// OptimizeParamsContext is OptimizeParams under a context: cancellation
+// aborts at the next objective evaluation.
+func OptimizeParamsContext(ctx context.Context, c *Circuit, opts Options, spec OptimizeSpec) (*OptimizeReport, error) {
+	return core.OptimizeContext(ctx, c, opts, spec)
+}
+
+// SweepSpec is the binding set of a KindSweep service request: either an
+// explicit Bindings list or a Grid of per-symbol value lists (cartesian by
+// default, position-wise with Zip).
+type SweepSpec = service.SweepSpec
+
+// Parameterized v3 request kinds for ServiceRequest.Kind.
+const (
+	// KindSweep evaluates ServiceRequest.Sweep's binding set against the
+	// once-compiled template; Readouts applies per point.
+	KindSweep = service.KindSweep
+	// KindOptimize runs ServiceRequest.Optimize server-side and reports
+	// the best binding with its iteration trace.
+	KindOptimize = service.KindOptimize
+)

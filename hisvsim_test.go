@@ -262,6 +262,119 @@ func TestFacadeSimulateNoisy(t *testing.T) {
 	}
 }
 
+func TestFacadeParameterizedSweepOptimize(t *testing.T) {
+	// Params through the construction surface: Lit/Sym/Affine on a gate.
+	tmpl := NewCircuit("tiny", 2)
+	tmpl.Append(gate.H(0), gate.RZ(0, 1).WithArgs(Affine(2, "theta", 0)))
+	if got := tmpl.Symbols(); len(got) != 1 || got[0] != "theta" {
+		t.Fatalf("symbols = %v", got)
+	}
+	if Lit(0.5).Symbolic() || !Sym("x").Symbolic() {
+		t.Fatal("Param constructors broken")
+	}
+	// Symbolic circuits survive the QASM round trip.
+	back, err := ParseQASM(WriteQASM(tmpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(back) != Fingerprint(tmpl) {
+		t.Fatal("symbolic QASM round-trip changed the template fingerprint")
+	}
+
+	c := QAOAAnsatz(5, 1)
+	if got := c.Symbols(); len(got) != 2 {
+		t.Fatalf("QAOAAnsatz symbols = %v", got)
+	}
+	spec := ReadoutSpec{Observables: []Observable{
+		{Name: "zz", Coeff: 1, Paulis: "ZZ", Qubits: []int{0, 1}},
+	}}
+	bindings := []map[string]float64{
+		{"gamma0": 0.2, "beta0": 0.5},
+		{"gamma0": 0.4, "beta0": 0.3},
+		{"gamma0": 0.6, "beta0": 0.1},
+	}
+	rep, err := Sweep(c, Options{}, spec, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compiles != 1 || len(rep.Points) != 3 {
+		t.Fatalf("sweep: %d compiles, %d points", rep.Compiles, len(rep.Points))
+	}
+	// Each point matches an independent concrete evaluation.
+	for i, p := range rep.Points {
+		bound, err := c.Bind(bindings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Evaluate(bound, Options{Backend: "flat"}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := p.Readouts.Observables[0].Value - want.Observables[0].Value; math.Abs(d) > 1e-9 {
+			t.Fatalf("point %d: sweep %v vs concrete %v", i, p.Readouts.Observables[0].Value, want.Observables[0].Value)
+		}
+	}
+
+	opt, err := OptimizeParams(c, Options{}, OptimizeSpec{
+		Observables: spec.Observables, Method: MethodSPSA,
+		MaxIters: 15, Seed: 7, A: 0.4, C: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Trace) == 0 || opt.Compiles != 1 {
+		t.Fatalf("optimize: %d trace entries, %d compiles", len(opt.Trace), opt.Compiles)
+	}
+	if err := c.CheckBinding(opt.Best); err != nil {
+		t.Fatal(err)
+	}
+
+	// The service speaks the v3 kinds: sweep grid + optimize + run params.
+	svc := NewService(ServiceConfig{Workers: 2})
+	defer svc.Close()
+	res, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindSweep, Readouts: spec,
+		Sweep: &SweepSpec{Grid: map[string][]float64{
+			"gamma0": {0.1, 0.2, 0.3}, "beta0": {0.4, 0.5},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweep == nil || len(res.Sweep.Points) != 6 || res.Sweep.Compiles != 1 {
+		t.Fatalf("service sweep: %+v", res.Sweep)
+	}
+	run, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindRun, Readouts: spec, Params: bindings[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := run.Observables[0].Value - rep.Points[0].Readouts.Observables[0].Value; math.Abs(d) > 1e-9 {
+		t.Fatalf("KindRun+Params %v vs sweep point %v", run.Observables[0].Value, rep.Points[0].Readouts.Observables[0].Value)
+	}
+	if st := svc.Stats(); st.TemplateCompiles != 1 {
+		t.Fatalf("template compiles = %d, want 1 across sweep+run", st.TemplateCompiles)
+	}
+	ores, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindOptimize,
+		Optimize: &OptimizeSpec{Observables: spec.Observables, MaxIters: 8, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Optimize == nil || len(ores.Optimize.Trace) == 0 {
+		t.Fatalf("service optimize: %+v", ores.Optimize)
+	}
+	// Binding mistakes fail at submit, naming the symbol.
+	if _, err := svc.Do(context.Background(), ServiceRequest{
+		Circuit: c, Kind: KindRun, Readouts: spec,
+		Params: map[string]float64{"gamma0": 0.1},
+	}); err == nil || !strings.Contains(err.Error(), "beta0") {
+		t.Fatalf("unbound symbol not named: %v", err)
+	}
+}
+
 func TestFacadeBackendsAndEvaluate(t *testing.T) {
 	names := BackendNames()
 	if len(names) < 4 {

@@ -48,10 +48,36 @@ func (c *Circuit) FingerprintWith(extra []byte) string {
 		for _, q := range g.Qubits {
 			writeInt(int64(q))
 		}
-		writeInt(int64(len(g.Params)))
-		for _, p := range g.Params {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
-			h.Write(buf[:])
+		if g.Args == nil {
+			writeInt(int64(len(g.Params)))
+			for _, p := range g.Params {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+				h.Write(buf[:])
+			}
+		} else {
+			// Symbolic overlay: a negative length marker (impossible for a
+			// concrete param list) keeps every pre-existing concrete hash
+			// byte-identical while making templates hash on structure +
+			// symbol names + affine coefficients instead of placeholder
+			// angles. This IS the template fingerprint: all bindings of one
+			// template share it, and the binding digest (BindingDigest)
+			// carries the per-point identity separately.
+			writeInt(int64(-len(g.Args) - 1))
+			for _, a := range g.Args {
+				if !a.Symbolic() {
+					writeInt(0)
+					binary.LittleEndian.PutUint64(buf[:], math.Float64bits(a.Value))
+					h.Write(buf[:])
+					continue
+				}
+				writeInt(1)
+				writeInt(int64(len(a.Symbol)))
+				h.Write([]byte(a.Symbol))
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(a.Scale))
+				h.Write(buf[:])
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(a.Offset))
+				h.Write(buf[:])
+			}
 		}
 	}
 	if len(extra) > 0 {

@@ -83,6 +83,32 @@ func QAOA(n, p int, seed int64) *Circuit {
 	return c
 }
 
+// QAOAAnsatz builds the parameterized QAOA template on a ring of n qubits:
+// per layer l, ZZ cost rotations rz(2·gamma<l>) across every ring edge and
+// an rx(2·beta<l>) mixer on every qubit, with gamma<l>/beta<l> left as
+// bindable symbols. It is the template counterpart of QAOA (which draws
+// concrete angles): one compile serves a whole angle grid. Deliberately not
+// registered in Families() — Named callers expect concrete circuits.
+func QAOAAnsatz(n, layers int) *Circuit {
+	c := New("qaoa_ansatz", n)
+	for i := 0; i < n; i++ {
+		c.Append(gate.H(i))
+	}
+	for layer := 0; layer < layers; layer++ {
+		gamma := fmt.Sprintf("gamma%d", layer)
+		beta := fmt.Sprintf("beta%d", layer)
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			rz := gate.RZ(0, j).WithArgs(gate.Affine(2, gamma, 0))
+			c.Append(gate.CX(i, j), rz, gate.CX(i, j))
+		}
+		for i := 0; i < n; i++ {
+			c.Append(gate.RX(0, i).WithArgs(gate.Affine(2, beta, 0)))
+		}
+	}
+	return c
+}
+
 // CC builds the counterfeit-coin-finding circuit: n−1 coin qubits and one
 // balance ancilla; a superposed weighing is encoded by CX fans into the
 // ancilla with Hadamard pre/post rotations.

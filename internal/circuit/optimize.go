@@ -116,10 +116,12 @@ func inverses(a, b gate.Gate) bool {
 	if pairs[[2]string{a.Name, b.Name}] {
 		return true
 	}
-	// Opposite-angle rotations cancel.
+	// Opposite-angle rotations cancel. Symbolic gates never do: their
+	// Params are placeholders, and cancellation must hold for every binding.
 	rot := map[string]bool{"rx": true, "ry": true, "rz": true, "p": true, "u1": true,
 		"cp": true, "crx": true, "cry": true, "crz": true, "rzz": true, "mcp": true}
 	if a.Name == b.Name && rot[a.Name] && len(a.Params) == 1 && len(b.Params) == 1 &&
+		!a.Parametric() && !b.Parametric() &&
 		math.Abs(a.Params[0]+b.Params[0]) < 1e-15 {
 		return true
 	}
@@ -142,7 +144,9 @@ func FuseRotations(c *Circuit) *Circuit {
 		last[q] = -1
 	}
 	for _, g := range c.Gates {
-		if fusable[g.Name] && len(g.Params) == 1 {
+		// Symbolic rotations carry placeholder Params; merging them would
+		// bake the placeholder into the sum, so they are left untouched.
+		if fusable[g.Name] && len(g.Params) == 1 && !g.Parametric() {
 			prev := -2
 			uniform := true
 			for _, q := range g.Qubits {
@@ -152,7 +156,7 @@ func FuseRotations(c *Circuit) *Circuit {
 					uniform = false
 				}
 			}
-			if uniform && prev >= 0 && out[prev].Name == g.Name && sameQubitOrder(out[prev], g) {
+			if uniform && prev >= 0 && out[prev].Name == g.Name && !out[prev].Parametric() && sameQubitOrder(out[prev], g) {
 				out[prev].Params = []float64{out[prev].Params[0] + g.Params[0]}
 				if math.Abs(math.Mod(out[prev].Params[0], 4*math.Pi)) < 1e-15 {
 					// Identity rotation: drop it and rebuild last[].

@@ -1,0 +1,117 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"hisvsim/internal/gate"
+)
+
+// This file is the circuit-level half of parameterized templates: a circuit
+// whose gates carry symbolic Args is a template, Bind turns it into a
+// concrete circuit for one symbol environment, and BindingDigest gives each
+// environment a stable content address so (template fingerprint, binding
+// digest) pairs key caches the way plain fingerprints key concrete runs.
+
+// Parametric reports whether any gate carries a symbolic parameter.
+func (c *Circuit) Parametric() bool {
+	for _, g := range c.Gates {
+		if g.Parametric() {
+			return true
+		}
+	}
+	return false
+}
+
+// Symbols returns the sorted set of symbol names the circuit references.
+// It is empty (not nil) for a concrete circuit.
+func (c *Circuit) Symbols() []string {
+	set := map[string]struct{}{}
+	for _, g := range c.Gates {
+		g.CollectSymbols(set)
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckBinding validates env against the template without building anything:
+// every circuit symbol must be bound, every env key must name a circuit
+// symbol, and every value must be finite. Errors name the offending symbol
+// so the service layer can surface them as submit-time 400s.
+func (c *Circuit) CheckBinding(env map[string]float64) error {
+	syms := c.Symbols()
+	known := make(map[string]struct{}, len(syms))
+	for _, s := range syms {
+		known[s] = struct{}{}
+		if _, ok := env[s]; !ok {
+			return fmt.Errorf("circuit %s: unbound symbol %q", c.Name, s)
+		}
+	}
+	// Deterministic error choice: report the lexicographically first
+	// offending key, not map-iteration order.
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, ok := known[k]; !ok {
+			return fmt.Errorf("circuit %s: unknown symbol %q", c.Name, k)
+		}
+		if v := env[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("circuit %s: non-finite value %v for symbol %q", c.Name, v, k)
+		}
+	}
+	return nil
+}
+
+// Bind resolves every symbolic parameter against env and returns a fully
+// concrete circuit (no gate keeps an Args overlay). Unbound symbols and
+// non-finite values fail with the symbol named. Extra env keys are
+// tolerated here — CheckBinding is the strict gate for request validation.
+func (c *Circuit) Bind(env map[string]float64) (*Circuit, error) {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]gate.Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		bg, err := g.Bind(env)
+		if err != nil {
+			return nil, fmt.Errorf("circuit %s gate %d: %w", c.Name, i, err)
+		}
+		out.Gates[i] = bg
+	}
+	return out, nil
+}
+
+// BindingDigest returns a stable content hash of a symbol environment:
+// SHA-256 over the sorted (name, exact float bits) pairs, length-prefixed
+// like the circuit fingerprint encoding. Two environments agree iff they
+// bind the same symbols to bit-identical values. Combined with the template
+// fingerprint it addresses one grid point of a sweep.
+func BindingDigest(env map[string]float64) string {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeInt(int64(len(keys)))
+	for _, k := range keys {
+		writeInt(int64(len(k)))
+		h.Write([]byte(k))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(env[k]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

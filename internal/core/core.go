@@ -127,6 +127,9 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if c.Parametric() {
+		return nil, fmt.Errorf("core: circuit %s has unbound symbols %v; bind a parameter environment (or submit a sweep/optimize job)", c.Name, c.Symbols())
+	}
 	if !opts.Noise.IsZero() {
 		return nil, fmt.Errorf("core: options carry a noise model; use SimulateNoisy for noisy runs")
 	}

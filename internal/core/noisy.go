@@ -36,6 +36,9 @@ func SimulateNoisy(c *circuit.Circuit, opts Options, run noise.RunConfig) (*nois
 // not partitions, are the parallelism axis); Strategy/Lm/Ranks only shape
 // the zero-noise fast path.
 func SimulateNoisyContext(ctx context.Context, c *circuit.Circuit, opts Options, run noise.RunConfig) (*noise.Ensemble, error) {
+	if c.Parametric() {
+		return nil, fmt.Errorf("core: circuit %s has unbound symbols %v; bind a parameter environment (or submit a sweep/optimize job)", c.Name, c.Symbols())
+	}
 	// Effective-noise ensembles execute on the flat trajectory engine, so
 	// Options.Backend only steers the zero-noise fast path — but the name
 	// is still validated here, not silently ignored: a typo'd backend

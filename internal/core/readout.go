@@ -244,6 +244,9 @@ func EvaluateContext(ctx context.Context, c *circuit.Circuit, opts Options, spec
 	if err := spec.Validate(c.NumQubits); err != nil {
 		return nil, err
 	}
+	if c.Parametric() {
+		return nil, fmt.Errorf("core: circuit %s has unbound symbols %v; bind a parameter environment (or submit a sweep/optimize job)", c.Name, c.Symbols())
+	}
 	noisy := !opts.Noise.IsZero()
 	_, caps, err := ResolveBackendFor(opts.Backend, opts.Ranks, c.NumQubits, noisy)
 	if err != nil {

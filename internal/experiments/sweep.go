@@ -1,0 +1,188 @@
+// Parameter-sweep amortization benchmark: one compiled template specialized
+// across M bindings versus M per-point pipelines (bind + full fusion compile
+// + kernel planning + run) on the same engine. This is the evaluation
+// artifact behind BENCH_sweep.json (cmd/benchtables -only sweep): it
+// isolates what the v3 template surface amortizes — fusion structure
+// analysis, untouched-block materialization, and kernel index tables — from
+// the per-point apply cost, which both paths pay identically. The compile
+// share shrinks as the register grows (apply is Θ(2^n), compile is not), so
+// the defaults sit where the split is visible.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hisvsim/internal/bench"
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/fuse"
+)
+
+// SweepConfig scales the sweep benchmark.
+type SweepConfig struct {
+	// Qubits sizes the QAOA ansatz register (default 16).
+	Qubits int
+	// Layers is the ansatz depth — 2 symbols per layer (default 2).
+	Layers int
+	// Points is the binding-grid size M (default 50, the acceptance floor).
+	Points int
+	// Reps repeats both timings, keeping the fastest (default 3).
+	Reps int
+}
+
+// WithDefaults fills the zero values.
+func (c SweepConfig) WithDefaults() SweepConfig {
+	if c.Qubits == 0 {
+		c.Qubits = 12
+	}
+	if c.Layers == 0 {
+		c.Layers = 4
+	}
+	if c.Points == 0 {
+		c.Points = 50
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// SweepReport is the full benchmark output (the BENCH_sweep.json schema).
+type SweepReport struct {
+	Circuit string `json:"circuit"`
+	Qubits  int    `json:"qubits"`
+	Layers  int    `json:"layers"`
+	Symbols int    `json:"symbols"`
+	Points  int    `json:"points"`
+
+	// Template path: one compile, per-point block specialization.
+	TemplateMS      float64 `json:"template_ms"`
+	TemplateCompile int     `json:"template_compiles"`
+	CompileMS       float64 `json:"compile_ms"` // the one template compile
+	TouchedBlocks   int     `json:"touched_blocks"`
+	SharedBlocks    int     `json:"shared_blocks"`
+
+	// Concrete path: bind + full fusion compile + plan + run, per point,
+	// on the same engine.
+	ConcreteMS      float64 `json:"concrete_ms"`
+	ConcreteCompile int     `json:"concrete_compiles"`
+
+	// Speedup is ConcreteMS / TemplateMS for the whole grid.
+	Speedup float64 `json:"speedup"`
+	// PerPointTemplateMS / PerPointConcreteMS are the amortized costs.
+	PerPointTemplateMS float64 `json:"per_point_template_ms"`
+	PerPointConcreteMS float64 `json:"per_point_concrete_ms"`
+}
+
+// SweepBench times a Points-binding sweep of a parameterized QAOA ansatz
+// both ways: through the template engine (Sweep — one compile, shared
+// untouched blocks) and as Points independent per-point pipelines, each
+// paying bind + fusion compile + kernel planning before the identical
+// fused run. Both paths compute the same ring-ZZ observables, and the
+// fastest of Reps repetitions is kept per path.
+func SweepBench(cfg SweepConfig) (*SweepReport, error) {
+	cfg = cfg.WithDefaults()
+	c := circuit.QAOAAnsatz(cfg.Qubits, cfg.Layers)
+	syms := c.Symbols()
+
+	var obs []core.Observable
+	for i := 0; i < cfg.Qubits; i++ {
+		obs = append(obs, core.Observable{
+			Coeff: 1, Paulis: "ZZ", Qubits: []int{i, (i + 1) % cfg.Qubits},
+		})
+	}
+	spec := core.ReadoutSpec{Observables: obs}
+
+	bindings := make([]map[string]float64, cfg.Points)
+	for i := range bindings {
+		env := make(map[string]float64, len(syms))
+		for j, s := range syms {
+			env[s] = 0.05*float64(i+1) + 0.13*float64(j)
+		}
+		bindings[i] = env
+	}
+
+	rep := &SweepReport{
+		Circuit: c.Name, Qubits: cfg.Qubits, Layers: cfg.Layers,
+		Symbols: len(syms), Points: cfg.Points,
+		TemplateCompile: 1, ConcreteCompile: cfg.Points,
+	}
+
+	for r := 0; r < cfg.Reps; r++ {
+		start := time.Now()
+		sw, err := core.Sweep(c, core.Options{}, spec, bindings)
+		if err != nil {
+			return nil, fmt.Errorf("sweep bench: %w", err)
+		}
+		if ms := time.Since(start).Seconds() * 1e3; r == 0 || ms < rep.TemplateMS {
+			rep.TemplateMS = ms
+		}
+		if sw.Compiles != 1 {
+			return nil, fmt.Errorf("sweep bench: template path compiled %d times", sw.Compiles)
+		}
+		rep.TouchedBlocks, rep.SharedBlocks = sw.TouchedBlocks, sw.SharedBlocks
+
+		start = time.Now()
+		if _, err := fuse.CompileTemplate(c, fuse.Options{}); err != nil {
+			return nil, fmt.Errorf("sweep bench: %w", err)
+		}
+		if ms := time.Since(start).Seconds() * 1e3; r == 0 || ms < rep.CompileMS {
+			rep.CompileMS = ms
+		}
+	}
+
+	for r := 0; r < cfg.Reps; r++ {
+		start := time.Now()
+		for _, env := range bindings {
+			bound, err := c.Bind(env)
+			if err != nil {
+				return nil, fmt.Errorf("sweep bench: %w", err)
+			}
+			tb, err := fuse.CompileTemplate(bound, fuse.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("sweep bench: %w", err)
+			}
+			st, err := tb.Run(nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("sweep bench: %w", err)
+			}
+			core.EvaluateState(st, nil, spec)
+		}
+		if ms := time.Since(start).Seconds() * 1e3; r == 0 || ms < rep.ConcreteMS {
+			rep.ConcreteMS = ms
+		}
+	}
+
+	rep.Speedup = safeDiv(rep.ConcreteMS, rep.TemplateMS)
+	rep.PerPointTemplateMS = rep.TemplateMS / float64(cfg.Points)
+	rep.PerPointConcreteMS = rep.ConcreteMS / float64(cfg.Points)
+	return rep, nil
+}
+
+// Table renders the report as the benchtables ASCII table.
+func (r *SweepReport) Table() *bench.Table {
+	t := bench.NewTable(fmt.Sprintf("Sweep: %s (%d qubits, %d symbols), %d bindings",
+		r.Circuit, r.Qubits, r.Symbols, r.Points),
+		"metric", "value")
+	t.AddRow("template sweep ms (1 compile)", r.TemplateMS)
+	t.AddRow("per-point recompile ms", r.ConcreteMS)
+	t.AddRow("speedup", r.Speedup)
+	t.AddRow("one compile ms", r.CompileMS)
+	t.AddRow("per-point template ms", r.PerPointTemplateMS)
+	t.AddRow("per-point concrete ms", r.PerPointConcreteMS)
+	t.AddRow("symbol-touched blocks", r.TouchedBlocks)
+	t.AddRow("shared blocks", r.SharedBlocks)
+	return t
+}
+
+// JSON renders the report as indented JSON (the BENCH_sweep.json payload).
+func (r *SweepReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

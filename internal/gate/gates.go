@@ -11,11 +11,21 @@ import (
 // list of qubits. The first Ctrl entries of Qubits are control qubits; the
 // rest are targets of the base unitary. Params holds rotation angles in
 // radians (meaning depends on Name).
+//
+// Args, when non-nil, is a symbolic overlay over Params with exactly one
+// Param per Params slot: literal entries mirror the concrete angle, and
+// symbolic entries (named symbols in affine form) mark the gate as part of
+// a parameterized template. For such gates Params holds placeholder angles
+// (see Param.Placeholder) so matrix construction and fusion keep working;
+// Bind produces the concrete gate for a given symbol environment. A nil
+// Args means the gate is fully concrete — the overwhelmingly common case —
+// and every pre-existing code path behaves exactly as before.
 type Gate struct {
 	Name   string
 	Qubits []int
 	Params []float64
-	Ctrl   int // number of leading control qubits
+	Ctrl   int     // number of leading control qubits
+	Args   []Param // optional symbolic overlay; nil = concrete
 }
 
 // Arity returns the total number of qubits the gate touches.
@@ -34,7 +44,7 @@ func (g Gate) SortedQubits() []int {
 	return qs
 }
 
-// String renders e.g. "cx q1,q3" or "rz(0.7854) q2".
+// String renders e.g. "cx q1,q3", "rz(0.7854) q2", or "rz(2*gamma) q2".
 func (g Gate) String() string {
 	s := g.Name
 	if len(g.Params) > 0 {
@@ -43,7 +53,11 @@ func (g Gate) String() string {
 			if i > 0 {
 				s += ","
 			}
-			s += fmt.Sprintf("%.6g", p)
+			if i < len(g.Args) {
+				s += g.Args[i].String()
+			} else {
+				s += fmt.Sprintf("%.6g", p)
+			}
 		}
 		s += ")"
 	}
@@ -68,6 +82,9 @@ func (g Gate) Validate() error {
 			return fmt.Errorf("gate %s: duplicate qubit %d", g.Name, q)
 		}
 		seen[q] = true
+	}
+	if g.Args != nil && len(g.Args) != len(g.Params) {
+		return fmt.Errorf("gate %s: %d symbolic args for %d params", g.Name, len(g.Args), len(g.Params))
 	}
 	if _, err := baseMatrixFor(g); err != nil {
 		return err
@@ -99,6 +116,7 @@ func (g Gate) Remap(f func(int) int) Gate {
 	out := g
 	out.Qubits = qs
 	out.Params = append([]float64(nil), g.Params...)
+	out.Args = append([]Param(nil), g.Args...)
 	return out
 }
 

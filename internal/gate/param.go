@@ -1,0 +1,158 @@
+package gate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Param is one gate argument: either a literal angle or a named symbol in
+// affine form Scale·θ+Offset. A zero Symbol means the literal Value; a
+// non-empty Symbol makes the argument symbolic and Value is ignored. The
+// affine form is the whole expression language on purpose: it covers the
+// angle arithmetic real ansätze use (θ/2, -θ, 2·γ+π) while keeping binding
+// a single multiply-add, so specializing a compiled template stays cheap.
+type Param struct {
+	Value  float64 // literal angle (radians) when Symbol == ""
+	Symbol string  // symbol name; non-empty makes the param symbolic
+	Scale  float64 // multiplier on the symbol (symbolic form only)
+	Offset float64 // additive constant (symbolic form only)
+}
+
+// Lit returns a literal parameter.
+func Lit(v float64) Param { return Param{Value: v} }
+
+// Sym returns the bare symbolic parameter θ (scale 1, offset 0).
+func Sym(name string) Param { return Param{Symbol: name, Scale: 1} }
+
+// Affine returns the symbolic parameter scale·θ+offset.
+func Affine(scale float64, name string, offset float64) Param {
+	return Param{Symbol: name, Scale: scale, Offset: offset}
+}
+
+// Symbolic reports whether the parameter references a symbol.
+func (p Param) Symbolic() bool { return p.Symbol != "" }
+
+// Eval resolves the parameter against a binding environment. Literal
+// params ignore env entirely; symbolic params require their symbol to be
+// bound to a finite value.
+func (p Param) Eval(env map[string]float64) (float64, error) {
+	if p.Symbol == "" {
+		return p.Value, nil
+	}
+	v, ok := env[p.Symbol]
+	if !ok {
+		return 0, fmt.Errorf("gate: unbound symbol %q", p.Symbol)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("gate: non-finite value %v for symbol %q", v, p.Symbol)
+	}
+	return p.Scale*v + p.Offset, nil
+}
+
+// Placeholder returns the angle used when compiling a template before any
+// binding exists (θ = 0, i.e. just the offset). Fusion structure is
+// angle-independent — diagonality and block shapes depend only on gate
+// names and qubits — so any finite placeholder yields the right plan.
+func (p Param) Placeholder() float64 {
+	if p.Symbol == "" {
+		return p.Value
+	}
+	return p.Offset
+}
+
+// String renders "0.785", "theta", "2*theta", or "0.5*theta+1.57".
+func (p Param) String() string {
+	if p.Symbol == "" {
+		return fmt.Sprintf("%.6g", p.Value)
+	}
+	s := p.Symbol
+	if p.Scale != 1 {
+		s = fmt.Sprintf("%.6g*%s", p.Scale, s)
+	}
+	if p.Offset != 0 {
+		s = fmt.Sprintf("%s%+.6g", s, p.Offset)
+	}
+	return s
+}
+
+// WithArgs returns a copy of g whose parameters are given symbolically.
+// The argument list must match the gate's parameter arity; each Params slot
+// is set to the corresponding placeholder so the gate always has a valid
+// concrete shadow (matrix construction, cost models and fusion all keep
+// working on the placeholder angles).
+func (g Gate) WithArgs(args ...Param) Gate {
+	if len(args) != len(g.Params) {
+		panic(fmt.Sprintf("gate %s: WithArgs got %d args for %d params", g.Name, len(args), len(g.Params)))
+	}
+	out := g
+	out.Qubits = append([]int(nil), g.Qubits...)
+	out.Params = make([]float64, len(args))
+	out.Args = append([]Param(nil), args...)
+	for i, a := range args {
+		out.Params[i] = a.Placeholder()
+	}
+	return out
+}
+
+// Parametric reports whether any argument of g is symbolic.
+func (g Gate) Parametric() bool {
+	for _, a := range g.Args {
+		if a.Symbolic() {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectSymbols adds every symbol g references to set.
+func (g Gate) CollectSymbols(set map[string]struct{}) {
+	for _, a := range g.Args {
+		if a.Symbolic() {
+			set[a.Symbol] = struct{}{}
+		}
+	}
+}
+
+// Symbols returns the sorted symbol names g references (nil if concrete).
+func (g Gate) Symbols() []string {
+	if !g.Parametric() {
+		return nil
+	}
+	set := map[string]struct{}{}
+	g.CollectSymbols(set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind resolves every symbolic argument against env and returns a fully
+// concrete gate (Args dropped, Params holding the evaluated angles). Gates
+// with no symbolic arguments are returned unchanged. Binding fails on an
+// unbound symbol or a non-finite bound value.
+func (g Gate) Bind(env map[string]float64) (Gate, error) {
+	if !g.Parametric() {
+		if g.Args != nil {
+			out := g
+			out.Args = nil
+			out.Params = append([]float64(nil), g.Params...)
+			return out, nil
+		}
+		return g, nil
+	}
+	out := g
+	out.Args = nil
+	out.Params = make([]float64, len(g.Params))
+	copy(out.Params, g.Params)
+	for i, a := range g.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return Gate{}, fmt.Errorf("gate %s: %w", g.Name, err)
+		}
+		out.Params[i] = v
+	}
+	return out, nil
+}

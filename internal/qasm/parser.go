@@ -359,7 +359,13 @@ func (p *parser) parseBodyStmt(def *gateDef) (bodyStmt, error) {
 				p.advance()
 				break
 			}
-			e, err := p.parseExpr(def.params)
+			// Normalize nil→empty so zero-param gate bodies still reject
+			// free identifiers (nil kp means top level; see parseAtom).
+			kp := def.params
+			if kp == nil {
+				kp = []string{}
+			}
+			e, err := p.parseExpr(kp)
 			if err != nil {
 				return bodyStmt{}, err
 			}
@@ -400,10 +406,12 @@ type qubitArg struct {
 	idx int
 }
 
-// parseApplication handles a top-level gate application statement.
+// parseApplication handles a top-level gate application statement. Angle
+// expressions may reference free symbols in affine form (e.g. `rz(2*gamma)`),
+// which turn the parsed circuit into a bindable template; see affineOf.
 func (p *parser) parseApplication() error {
 	name := p.advance()
-	var params []float64
+	var params []gate.Param
 	if p.peek().kind == tokSymbol && p.peek().text == "(" {
 		p.advance()
 		for {
@@ -415,11 +423,11 @@ func (p *parser) parseApplication() error {
 			if err != nil {
 				return err
 			}
-			v, err := e.eval(nil)
+			prm, err := paramOf(e)
 			if err != nil {
 				return p.errorf(name, "%v", err)
 			}
-			params = append(params, v)
+			params = append(params, prm)
 			if p.peek().kind == tokSymbol && p.peek().text == "," {
 				p.advance()
 			}
@@ -483,7 +491,10 @@ func (p *parser) parseApplication() error {
 }
 
 // emit appends gate `name` on absolute qubits, expanding user gates.
-func (p *parser) emit(tok token, name string, params []float64, qubits []int) error {
+// Symbolic params survive on builtin parametric gates (they attach as a
+// gate.Args overlay); user-defined gates evaluate their bodies numerically
+// and therefore only accept concrete angles.
+func (p *parser) emit(tok token, name string, params []gate.Param, qubits []int) error {
 	if def, ok := p.userGates[name]; ok {
 		if len(params) != len(def.params) {
 			return p.errorf(tok, "gate %q wants %d params, got %d", name, len(def.params), len(params))
@@ -493,20 +504,24 @@ func (p *parser) emit(tok token, name string, params []float64, qubits []int) er
 		}
 		env := map[string]float64{}
 		for i, pn := range def.params {
-			env[pn] = params[i]
+			if params[i].Symbolic() {
+				return p.errorf(tok, "symbolic parameter %q on user-defined gate %q (only builtin gates take symbols)",
+					params[i].Symbol, name)
+			}
+			env[pn] = params[i].Value
 		}
 		qmap := map[string]int{}
 		for i, qn := range def.qargs {
 			qmap[qn] = qubits[i]
 		}
 		for _, stmt := range def.body {
-			sub := make([]float64, len(stmt.params))
+			sub := make([]gate.Param, len(stmt.params))
 			for i, e := range stmt.params {
 				v, err := e.eval(env)
 				if err != nil {
 					return p.errorf(tok, "in gate %q: %v", name, err)
 				}
-				sub[i] = v
+				sub[i] = gate.Lit(v)
 			}
 			qs := make([]int, len(stmt.qargs))
 			for i, qn := range stmt.qargs {
@@ -518,9 +533,23 @@ func (p *parser) emit(tok token, name string, params []float64, qubits []int) er
 		}
 		return nil
 	}
-	g, err := builtinGate(name, params, qubits)
+	vals := make([]float64, len(params))
+	symbolic := false
+	for i, prm := range params {
+		vals[i] = prm.Placeholder()
+		if prm.Symbolic() {
+			symbolic = true
+		}
+	}
+	g, err := builtinGate(name, vals, qubits)
 	if err != nil {
 		return p.errorf(tok, "%v", err)
+	}
+	if symbolic {
+		if len(g.Params) != len(params) {
+			return p.errorf(tok, "gate %q does not accept symbolic parameters", name)
+		}
+		g = g.WithArgs(params...)
 	}
 	p.prog.Circuit.Append(g)
 	return nil
@@ -853,6 +882,13 @@ func (p *parser) parseAtom(kp []string) (expr, error) {
 		}
 		if t.text == "pi" {
 			return identExpr("pi"), nil
+		}
+		// Inside a gate body (kp non-nil) identifiers must be formal
+		// parameters; at the top level (kp nil) any other identifier is a
+		// free symbol and the statement becomes a template gate (affineOf
+		// checks linearity once the whole expression is parsed).
+		if kp == nil {
+			return identExpr(t.text), nil
 		}
 		for _, k := range kp {
 			if k == t.text {

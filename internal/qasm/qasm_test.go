@@ -170,12 +170,56 @@ func TestParseErrors(t *testing.T) {
 		`x q[0];`, // no qreg
 		`qreg q[2]; qreg q[3];`,
 		`qreg q[2]; rz(1/0) q[0];`,
-		`qreg q[2]; rz(foo) q[0];`,
+		`qreg q[2]; rz(foo*bar) q[0];`,                 // nonlinear in symbols
+		`qreg q[2]; rz(sin(foo)) q[0];`,                // symbol under a function
+		`qreg q[2]; rz(1/foo) q[0];`,                   // symbol in a divisor
+		`qreg q[2]; h(foo) q[0];`,                      // symbol on a non-parametric gate
+		`qreg q[2]; gate g0 a { rz(foo) a; } g0 q[0];`, // free symbol in a gate body
 		`qreg q[2]; gate bad a { cx a,b; } bad q[0];`,
 	}
 	for _, src := range cases {
 		if _, err := Parse("OPENQASM 2.0;\n" + src); err == nil {
 			t.Errorf("accepted invalid source %q", src)
+		}
+	}
+}
+
+// TestSymbolicRoundTrip: free identifiers in top-level angle expressions
+// parse into affine gate.Params, survive Write/Parse, and bind to the same
+// concrete circuit as evaluating the expression by hand.
+func TestSymbolicRoundTrip(t *testing.T) {
+	p := mustParse(t, `OPENQASM 2.0;
+qreg q[2];
+h q[0];
+rz(2*gamma + pi/2) q[0];
+rx(-beta) q[1];
+crz(theta/4) q[0],q[1];
+`)
+	c := p.Circuit
+	if !c.Parametric() {
+		t.Fatal("parsed circuit is not parametric")
+	}
+	syms := c.Symbols()
+	if len(syms) != 3 || syms[0] != "beta" || syms[1] != "gamma" || syms[2] != "theta" {
+		t.Fatalf("symbols = %v", syms)
+	}
+	back, err := ParseToCircuit(Write(c))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, Write(c))
+	}
+	if back.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("fingerprint changed over round trip:\n%s", Write(c))
+	}
+	env := map[string]float64{"gamma": 0.3, "beta": 0.7, "theta": -1.1}
+	bound, err := c.Bind(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2*0.3 + math.Pi/2, -0.7, -1.1 / 4}
+	got := []float64{bound.Gates[1].Params[0], bound.Gates[2].Params[0], bound.Gates[3].Params[0]}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bound param %d = %v, want %v", i, got[i], want[i])
 		}
 	}
 }

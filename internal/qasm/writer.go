@@ -28,6 +28,14 @@ func Write(c *circuit.Circuit) string {
 	var emit func(g gate.Gate)
 	emit = func(g gate.Gate) {
 		if !writableNames[g.Name] {
+			if g.Parametric() {
+				// Decompose drops the symbolic overlay (it rebuilds gates
+				// from the placeholder Params), which would silently bake
+				// placeholder angles into the output. Refuse via comment,
+				// matching the no-decomposition case.
+				fmt.Fprintf(&b, "// unsupported symbolic gate: %s\n", g)
+				return
+			}
 			dec := gate.Decompose(g)
 			if len(dec) == 1 && dec[0].Name == g.Name {
 				// No decomposition available; emit a comment so the
@@ -51,7 +59,11 @@ func Write(c *circuit.Circuit) string {
 				if i > 0 {
 					b.WriteString(",")
 				}
-				fmt.Fprintf(&b, "%.17g", p)
+				if i < len(g.Args) && g.Args[i].Symbolic() {
+					writeAffine(&b, g.Args[i])
+				} else {
+					fmt.Fprintf(&b, "%.17g", p)
+				}
 			}
 			b.WriteString(")")
 		}
@@ -68,4 +80,18 @@ func Write(c *circuit.Circuit) string {
 		emit(g)
 	}
 	return b.String()
+}
+
+// writeAffine renders a symbolic parameter as the affine expression the
+// parser accepts back (scale*sym+offset), so templates round-trip through
+// QASM with their symbols intact.
+func writeAffine(b *strings.Builder, p gate.Param) {
+	if p.Scale == 1 {
+		b.WriteString(p.Symbol)
+	} else {
+		fmt.Fprintf(b, "%.17g*%s", p.Scale, p.Symbol)
+	}
+	if p.Offset != 0 {
+		fmt.Fprintf(b, "%+.17g", p.Offset)
+	}
 }

@@ -33,6 +33,14 @@ import (
 // observables answered by one simulation; "options.backend" picks the
 // execution engine. Sample counts are keyed by bitstring (most-significant
 // qubit first).
+//
+// The v3 parameterized surface rides the same endpoint: QASM may leave
+// gate angles symbolic (rz(gamma) q[0];), kind "run" binds them via
+// "params", kind "sweep" evaluates a binding grid ("sweep": bindings or
+// grid+zip) against one compiled template, and kind "optimize" runs a
+// server-side SPSA/Nelder-Mead loop ("optimize": observables, method,
+// init, max_iters, …). Binding mistakes — unbound, unknown or non-finite
+// symbols, grid-size mismatches — are 400s naming the symbol.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
@@ -58,15 +66,43 @@ type wireRequest struct {
 		Family string `json:"family,omitempty"`
 		Qubits int    `json:"qubits,omitempty"`
 	} `json:"circuit"`
-	Kind         string        `json:"kind"`
-	Shots        int           `json:"shots,omitempty"`
-	Seed         int64         `json:"seed,omitempty"`
-	Qubits       []int         `json:"qubits,omitempty"`
-	Readouts     *wireReadouts `json:"readouts,omitempty"`
-	Noise        *wireNoise    `json:"noise,omitempty"`
-	Trajectories int           `json:"trajectories,omitempty"`
-	Options      wireOptions   `json:"options"`
-	TimeoutMS    int64         `json:"timeout_ms,omitempty"`
+	Kind         string             `json:"kind"`
+	Shots        int                `json:"shots,omitempty"`
+	Seed         int64              `json:"seed,omitempty"`
+	Qubits       []int              `json:"qubits,omitempty"`
+	Readouts     *wireReadouts      `json:"readouts,omitempty"`
+	Params       map[string]float64 `json:"params,omitempty"`
+	Sweep        *wireSweep         `json:"sweep,omitempty"`
+	Optimize     *wireOptimize      `json:"optimize,omitempty"`
+	Noise        *wireNoise         `json:"noise,omitempty"`
+	Trajectories int                `json:"trajectories,omitempty"`
+	Options      wireOptions        `json:"options"`
+	TimeoutMS    int64              `json:"timeout_ms,omitempty"`
+}
+
+// wireSweep is the kind-"sweep" binding grid:
+//
+//	"sweep": {"bindings": [{"gamma": 0.1, "beta": 0.2}, …]}
+//	"sweep": {"grid": {"gamma": [0.1, 0.2], "beta": [0.3, 0.4]}}        // cartesian
+//	"sweep": {"grid": {"gamma": [...], "beta": [...]}, "zip": true}     // zipped columns
+type wireSweep struct {
+	Bindings []map[string]float64 `json:"bindings,omitempty"`
+	Grid     map[string][]float64 `json:"grid,omitempty"`
+	Zip      bool                 `json:"zip,omitempty"`
+}
+
+// wireOptimize is the kind-"optimize" spec: the objective (weighted Pauli
+// observables, summed), the optimizer and its knobs.
+type wireOptimize struct {
+	Observables  []wireObservable   `json:"observables"`
+	Method       string             `json:"method,omitempty"` // "spsa" (default) or "nelder-mead"
+	Init         map[string]float64 `json:"init,omitempty"`
+	MaxIters     int                `json:"max_iters,omitempty"`
+	Seed         int64              `json:"seed,omitempty"`
+	A            float64            `json:"a,omitempty"`
+	C            float64            `json:"c,omitempty"`
+	Tol          float64            `json:"tol,omitempty"`
+	Trajectories int                `json:"trajectories,omitempty"`
 }
 
 // wireReadouts is the kind-"run" multi-readout spec:
@@ -110,19 +146,31 @@ func (w *wireReadouts) toSpec() (core.ReadoutSpec, error) {
 		Statevector: w.Statevector, Shots: w.Shots, Seed: w.Seed,
 		Marginals: w.Marginals, Trajectories: w.Trajectories,
 	}
-	for i, ob := range w.Observables {
+	obs, err := toObservables(w.Observables)
+	if err != nil {
+		return spec, fmt.Errorf("readouts: %w", err)
+	}
+	spec.Observables = obs
+	return spec, nil
+}
+
+// toObservables converts wire observables, rejecting explicit zero
+// coefficients (an omitted coeff means 1).
+func toObservables(wobs []wireObservable) ([]core.Observable, error) {
+	var out []core.Observable
+	for i, ob := range wobs {
 		coeff := 0.0 // core zero value = unweighted (1)
 		if ob.Coeff != nil {
 			if *ob.Coeff == 0 {
-				return spec, fmt.Errorf("readouts: observable %d has coeff 0, which always contributes nothing — drop the term (or omit coeff for weight 1)", i)
+				return nil, fmt.Errorf("observable %d has coeff 0, which always contributes nothing — drop the term (or omit coeff for weight 1)", i)
 			}
 			coeff = *ob.Coeff
 		}
-		spec.Observables = append(spec.Observables, core.Observable{
+		out = append(out, core.Observable{
 			Name: ob.Name, Coeff: coeff, Paulis: ob.Paulis, Qubits: ob.Qubits,
 		})
 	}
-	return spec, nil
+	return out, nil
 }
 
 // wireNoise is the JSON noise-model spec for the noisy kinds:
@@ -255,6 +303,22 @@ func (w wireRequest) toRequest() (Request, error) {
 	req.Seed = w.Seed
 	req.Qubits = w.Qubits
 	req.Readouts = spec
+	req.Params = w.Params
+	if w.Sweep != nil {
+		req.Sweep = &SweepSpec{Bindings: w.Sweep.Bindings, Grid: w.Sweep.Grid, Zip: w.Sweep.Zip}
+	}
+	if w.Optimize != nil {
+		obs, err := toObservables(w.Optimize.Observables)
+		if err != nil {
+			return req, fmt.Errorf("optimize: %w", err)
+		}
+		req.Optimize = &core.OptimizeSpec{
+			Observables: obs, Method: w.Optimize.Method, Init: w.Optimize.Init,
+			MaxIters: w.Optimize.MaxIters, Seed: w.Optimize.Seed,
+			A: w.Optimize.A, C: w.Optimize.C, Tol: w.Optimize.Tol,
+			Trajectories: w.Optimize.Trajectories,
+		}
+	}
 	req.Noise = model
 	req.Trajectories = w.Trajectories
 	req.Options = opts
@@ -299,6 +363,49 @@ type wireResult struct {
 	Marginals     [][]float64    `json:"marginals,omitempty"`
 	Observables   []wireObsValue `json:"observables,omitempty"`
 	Amplitudes    [][2]float64   `json:"amplitudes,omitempty"`
+	// Sweep and Optimize are the v3 payloads (kinds "sweep"/"optimize").
+	Sweep    *wireSweepResult    `json:"sweep,omitempty"`
+	Optimize *wireOptimizeResult `json:"optimize,omitempty"`
+}
+
+// wireSweepResult is the kind-"sweep" payload: the compile-amortization
+// ledger plus one readout set per grid point, in request order.
+type wireSweepResult struct {
+	Compiles      int              `json:"compiles"`
+	TouchedBlocks int              `json:"touched_blocks"`
+	SharedBlocks  int              `json:"shared_blocks"`
+	Trajectories  int              `json:"trajectories,omitempty"`
+	Points        []wireSweepPoint `json:"points"`
+}
+
+// wireSweepPoint is one evaluated grid point.
+type wireSweepPoint struct {
+	Params      map[string]float64 `json:"params"`
+	Samples     []int              `json:"samples,omitempty"`
+	Counts      map[string]int     `json:"counts,omitempty"`
+	Marginals   [][]float64        `json:"marginals,omitempty"`
+	Observables []wireObsValue     `json:"observables,omitempty"`
+	Amplitudes  [][2]float64       `json:"amplitudes,omitempty"`
+}
+
+// wireOptimizeResult is the kind-"optimize" payload: the best binding and
+// its objective, plus the per-iteration trace.
+type wireOptimizeResult struct {
+	Method       string             `json:"method"`
+	Best         map[string]float64 `json:"best"`
+	BestValue    float64            `json:"best_value"`
+	Evaluations  int                `json:"evaluations"`
+	Compiles     int                `json:"compiles"`
+	Converged    bool               `json:"converged"`
+	Trajectories int                `json:"trajectories,omitempty"`
+	Trace        []wireOptIter      `json:"trace,omitempty"`
+}
+
+// wireOptIter is one optimization trace entry.
+type wireOptIter struct {
+	Iter   int                `json:"iter"`
+	Params map[string]float64 `json:"params"`
+	Value  float64            `json:"value"`
 }
 
 // wireObsValue is one evaluated observable.
@@ -313,7 +420,7 @@ func toWireJob(info JobInfo) wireJob {
 		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
 		Error: info.Err, Submitted: info.Submitted,
 	}
-	if info.Kind == KindRun {
+	if info.Kind == KindRun || info.Kind.Parameterized() {
 		out.Backend = info.Backend
 	}
 	if !info.Started.IsZero() {
@@ -358,6 +465,34 @@ func toWireResult(r *Result) *wireResult {
 				out.Amplitudes[i] = [2]float64{real(a), imag(a)}
 			}
 		}
+	case KindSweep:
+		out.Backend = r.Backend
+		out.Trajectories = r.Trajectories
+		if r.Sweep != nil {
+			ws := &wireSweepResult{
+				Compiles: r.Sweep.Compiles, TouchedBlocks: r.Sweep.TouchedBlocks,
+				SharedBlocks: r.Sweep.SharedBlocks, Trajectories: r.Sweep.Trajectories,
+				Points: make([]wireSweepPoint, 0, len(r.Sweep.Points)),
+			}
+			for _, p := range r.Sweep.Points {
+				ws.Points = append(ws.Points, toWireSweepPoint(p, r.NumQubits))
+			}
+			out.Sweep = ws
+		}
+	case KindOptimize:
+		out.Backend = r.Backend
+		out.Trajectories = r.Trajectories
+		if r.Optimize != nil {
+			wo := &wireOptimizeResult{
+				Method: r.Optimize.Method, Best: r.Optimize.Best, BestValue: r.Optimize.BestValue,
+				Evaluations: r.Optimize.Evaluations, Compiles: r.Optimize.Compiles,
+				Converged: r.Optimize.Converged, Trajectories: r.Optimize.Trajectories,
+			}
+			for _, it := range r.Optimize.Trace {
+				wo.Trace = append(wo.Trace, wireOptIter{Iter: it.Iter, Params: it.Params, Value: it.Value})
+			}
+			out.Optimize = wo
+		}
 	case KindSample, KindNoisySample:
 		out.Samples = r.Samples
 		out.Counts = make(map[string]int, len(r.Counts))
@@ -378,6 +513,34 @@ func toWireResult(r *Result) *wireResult {
 	case KindStatevector:
 		out.Amplitudes = make([][2]float64, len(r.Amplitudes))
 		for i, a := range r.Amplitudes {
+			out.Amplitudes[i] = [2]float64{real(a), imag(a)}
+		}
+	}
+	return out
+}
+
+// toWireSweepPoint renders one grid point's read-outs (bitstring count
+// keys and [re, im] amplitudes, matching the kind-"run" conventions).
+func toWireSweepPoint(p core.SweepPoint, n int) wireSweepPoint {
+	out := wireSweepPoint{Params: p.Binding}
+	ro := p.Readouts
+	if ro == nil {
+		return out
+	}
+	out.Samples = ro.Samples
+	if ro.Counts != nil {
+		out.Counts = make(map[string]int, len(ro.Counts))
+		for basis, c := range ro.Counts {
+			out.Counts[bitstring(basis, n)] = c
+		}
+	}
+	out.Marginals = ro.Marginals
+	for _, ov := range ro.Observables {
+		out.Observables = append(out.Observables, wireObsValue{Name: ov.Name, Value: ov.Value, StdErr: ov.StdErr})
+	}
+	if ro.Amplitudes != nil {
+		out.Amplitudes = make([][2]float64, len(ro.Amplitudes))
+		for i, a := range ro.Amplitudes {
 			out.Amplitudes[i] = [2]float64{real(a), imag(a)}
 		}
 	}

@@ -37,7 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,9 +64,24 @@ const (
 	// this path.
 	KindRun Kind = "run"
 
+	// KindSweep is the v3 grid kind: one parameterized circuit template,
+	// one ReadoutSpec, and a binding grid (Request.Sweep). The template
+	// compiles ONCE (asserted by Stats.TemplateCompiles) and every grid
+	// point re-binds the compiled plan, so M bindings cost one fusion
+	// compile plus M cheap runs. Results are keyed per grid point.
+	KindSweep Kind = "sweep"
+
+	// KindOptimize is the v3 variational kind: a server-side SPSA or
+	// Nelder-Mead loop (Request.Optimize) minimizing a weighted Pauli
+	// observable sum over the template's symbols, with a per-iteration
+	// trace in the result — the whole VQE/QAOA outer loop in one job.
+	KindOptimize Kind = "optimize"
+
 	// Deprecated single-readout kinds (v1 surface). They execute through
 	// the same unified readout path as KindRun and keep byte-compatible
-	// results; new callers should send KindRun with a ReadoutSpec.
+	// results (see shim.go for the whole translation table); new callers
+	// should send KindRun with a ReadoutSpec. Stats.ShimHits counts their
+	// use so the removal decision can be data-driven.
 	KindStatevector   Kind = "statevector"   // full amplitude vector
 	KindSample        Kind = "sample"        // Shots seeded basis-state samples
 	KindExpectation   Kind = "expectation"   // ⟨∏ Z_q⟩ over Qubits
@@ -91,12 +105,17 @@ const BackendTrajectory = "trajectory"
 
 // Kinds lists the accepted request kinds.
 func Kinds() []Kind {
-	return []Kind{KindRun, KindStatevector, KindSample, KindExpectation, KindProbabilities,
+	return []Kind{KindRun, KindSweep, KindOptimize,
+		KindStatevector, KindSample, KindExpectation, KindProbabilities,
 		KindNoisySample, KindNoisyExpectation}
 }
 
 // Noisy reports whether the kind runs a trajectory ensemble.
 func (k Kind) Noisy() bool { return k == KindNoisySample || k == KindNoisyExpectation }
+
+// Parameterized reports whether the kind is a v3 template job (binding
+// grids or optimization loops over a parameterized circuit).
+func (k Kind) Parameterized() bool { return k == KindSweep || k == KindOptimize }
 
 // Request describes one simulation job.
 type Request struct {
@@ -114,11 +133,24 @@ type Request struct {
 	// Qubits are the Z-string qubits (KindExpectation, KindNoisyExpectation)
 	// or the marginal qubits, little-endian (KindProbabilities).
 	Qubits []int
-	// Readouts is the unified multi-readout spec for KindRun (rejected on
-	// the deprecated kinds, which carry their read-out in the fields
-	// above). Its Seed/Trajectories fields take over the role of the
-	// request-level ones for KindRun.
+	// Readouts is the unified multi-readout spec for KindRun and KindSweep
+	// (rejected on the deprecated kinds, which carry their read-out in the
+	// fields above). Its Seed/Trajectories fields take over the role of the
+	// request-level ones for those kinds.
 	Readouts core.ReadoutSpec
+	// Params binds the circuit's symbols for KindRun (v3): a parameterized
+	// circuit template plus a complete binding runs exactly like the bound
+	// concrete circuit, but flat ideal runs share ONE compiled template
+	// across bindings (cache key: template fingerprint + binding digest).
+	// Unbound, unknown or non-finite entries are submit errors naming the
+	// symbol. Rejected on every other kind.
+	Params map[string]float64
+	// Sweep is the binding grid for KindSweep (required there, rejected
+	// elsewhere).
+	Sweep *SweepSpec
+	// Optimize is the optimization spec for KindOptimize (required there,
+	// rejected elsewhere).
+	Optimize *core.OptimizeSpec
 	// Noise is the noise model (nil = ideal: the trajectory layer reduces
 	// to one cached simulation plus sampling). Accepted by KindRun and the
 	// noisy kinds; rejected when effective on the deprecated ideal kinds.
@@ -178,6 +210,11 @@ type Result struct {
 	// ReadoutSpec order.
 	Marginals   [][]float64
 	Observables []core.ObservableValue
+	// Sweep is the per-grid-point readout table (KindSweep).
+	Sweep *core.SweepReport
+	// Optimize is the optimization outcome with its iteration trace
+	// (KindOptimize).
+	Optimize *core.OptimizeReport
 
 	// NumQubits is the simulated register width.
 	NumQubits int
@@ -248,6 +285,14 @@ type Config struct {
 	// so the bound plays the same backpressure role MaxShots does for
 	// sampling.
 	MaxTrajectories int
+	// MaxSweepPoints rejects sweep jobs whose binding grid expands beyond
+	// this many points (default 4096): each point is a template run plus a
+	// retained readout, so the bound is the sweep-shaped sibling of
+	// MaxShots/MaxTrajectories.
+	MaxSweepPoints int
+	// MaxOptimizeIters caps OptimizeSpec.MaxIters (default 1000); every
+	// iteration costs up to a handful of objective evaluations.
+	MaxOptimizeIters int
 }
 
 // maxJobWorkers caps Options.Workers per request; more goroutines than
@@ -285,6 +330,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTrajectories <= 0 {
 		c.MaxTrajectories = 4096
 	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.MaxOptimizeIters <= 0 {
+		c.MaxOptimizeIters = 1000
+	}
 	return c
 }
 
@@ -298,6 +349,13 @@ type Stats struct {
 	Trajectories int64 `json:"trajectories"` // stochastic trajectories executed
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
+	// TemplateCompiles counts parameterized-template fusion compiles. This
+	// is the compile-amortization scoreboard: a sweep of M bindings over a
+	// cold template bumps it by exactly 1.
+	TemplateCompiles int64 `json:"template_compiles"`
+	// ShimHits counts submissions through the deprecated v1 kinds (the
+	// shim.go table), informing the eventual removal.
+	ShimHits int64 `json:"shim_hits"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
@@ -350,6 +408,7 @@ type Service struct {
 	submitted, completed, failed, canceled atomic.Int64
 	simulations, cacheHits, cacheMisses    atomic.Int64
 	trajectories                           atomic.Int64
+	templateCompiles, shimHits             atomic.Int64
 }
 
 // job is the internal mutable job record; all fields past ctx/cancel are
@@ -467,17 +526,35 @@ func (s *Service) Submit(req Request) (string, error) {
 	if req.Kind.Noisy() && req.Trajectories == 0 {
 		req.Trajectories = min(256, s.cfg.MaxTrajectories)
 	}
-	if req.Kind == KindRun && !req.Noise.IsZero() && req.Readouts.Trajectories == 0 {
+	if (req.Kind == KindRun || req.Kind == KindSweep) && !req.Noise.IsZero() && req.Readouts.Trajectories == 0 {
 		req.Readouts.Trajectories = min(256, s.cfg.MaxTrajectories)
+	}
+	if req.Kind == KindSweep && req.Sweep != nil {
+		// Expand Grid/Zip specs into the explicit binding list once, here,
+		// so grid-shape errors (size mismatches, oversize products) are
+		// submit errors and the worker only ever sees concrete bindings.
+		expanded, err := req.Sweep.expand(s.cfg.MaxSweepPoints)
+		if err != nil {
+			return "", fmt.Errorf("service: %w", err)
+		}
+		req.Sweep = &SweepSpec{Bindings: expanded}
 	}
 	if err := s.validate(req); err != nil {
 		return "", err
+	}
+	if _, ok := v1Shims[req.Kind]; ok {
+		s.shimHits.Add(1)
 	}
 	// Capability enforcement happens here, at submit: an unknown backend, a
 	// rank/width mismatch, a noisy request on an engine with no noisy path,
 	// or a register over the engine's qubit cap is a submit error (an HTTP
 	// 400), never a worker-time failure.
 	noisy := req.Kind.Noisy() || !req.Noise.IsZero()
+	if req.Kind.Parameterized() && req.Options.Backend == "" {
+		// Template jobs default to the engine that runs them; only an
+		// explicit non-flat backend is a submit error below.
+		req.Options.Backend = "flat"
+	}
 	idealBackend, caps, err := core.ResolveBackendFor(req.Options.Backend, req.Options.Ranks, req.Circuit.NumQubits, noisy)
 	if err != nil {
 		return "", fmt.Errorf("service: %w", err)
@@ -485,6 +562,21 @@ func (s *Service) Submit(req Request) (string, error) {
 	exact := caps.Noise == backend.NoiseExact
 	if exact && (req.Kind == KindStatevector || req.Readouts.Statevector) {
 		return "", fmt.Errorf("service: statevector readout is not available on backend %q (ρ has no single amplitude vector)", idealBackend)
+	}
+	if req.Kind.Parameterized() && (exact || idealBackend != "flat") {
+		return "", fmt.Errorf("service: parameterized jobs run on the flat template engine (got backend %q)", idealBackend)
+	}
+	if req.Kind == KindRun && req.Circuit.Parametric() && (exact || (req.Noise.IsZero() && idealBackend != "flat")) {
+		// The template engine is flat-only; engines that execute a plain
+		// concrete circuit (hier/dist/baseline ideal paths, the exact DM
+		// engine) get the circuit bound here, once, so their cache keys and
+		// executors stay binding-correct without knowing about symbols.
+		bound, err := req.Circuit.Bind(req.Params)
+		if err != nil {
+			return "", fmt.Errorf("service: %w", err) // unreachable: validate checked the binding
+		}
+		req.Circuit = bound
+		req.Params = nil
 	}
 
 	var jctx context.Context
@@ -541,7 +633,40 @@ func (s *Service) validate(req Request) error {
 		// cache-keyed uniformly), never on the forwarded simulation options.
 		return fmt.Errorf("service: set Request.Noise, not Options.Noise")
 	}
-	if req.Kind != KindRun && !req.Readouts.Empty() {
+	// Symbol discipline first: every parameterized shape resolves to a
+	// complete, finite binding at submit (per grid point for sweeps), and
+	// symbols never leak into kinds that cannot bind them. The errors come
+	// from circuit.CheckBinding and name the offending symbol.
+	switch req.Kind {
+	case KindRun:
+		if req.Circuit.Parametric() || len(req.Params) > 0 {
+			if err := req.Circuit.CheckBinding(req.Params); err != nil {
+				return fmt.Errorf("service: %w", err)
+			}
+		}
+	case KindSweep, KindOptimize:
+		if len(req.Params) > 0 {
+			return fmt.Errorf("service: kind %q takes bindings from its %s spec, not Params", req.Kind, req.Kind)
+		}
+		if !req.Circuit.Parametric() {
+			return fmt.Errorf("service: kind %q needs a parameterized circuit (circuit %s has no symbols)", req.Kind, req.Circuit.Name)
+		}
+	default:
+		if len(req.Params) > 0 {
+			return fmt.Errorf("service: kind %q does not accept params (use %q)", req.Kind, KindRun)
+		}
+		if req.Circuit.Parametric() {
+			return fmt.Errorf("service: %w (bind via %q Params or submit a %q/%q job)",
+				req.Circuit.CheckBinding(nil), KindRun, KindSweep, KindOptimize)
+		}
+	}
+	if req.Sweep != nil && req.Kind != KindSweep {
+		return fmt.Errorf("service: kind %q does not accept a sweep spec (use %q)", req.Kind, KindSweep)
+	}
+	if req.Optimize != nil && req.Kind != KindOptimize {
+		return fmt.Errorf("service: kind %q does not accept an optimize spec (use %q)", req.Kind, KindOptimize)
+	}
+	if req.Kind != KindRun && req.Kind != KindSweep && !req.Readouts.Empty() {
 		return fmt.Errorf("service: kind %q does not accept a readout spec (use %q)", req.Kind, KindRun)
 	}
 	if req.Kind.Noisy() {
@@ -554,7 +679,7 @@ func (s *Service) validate(req Request) error {
 		if err := req.Noise.Validate(req.Circuit.NumQubits); err != nil {
 			return fmt.Errorf("service: %w", err)
 		}
-	} else if !req.Noise.IsZero() && req.Kind != KindRun {
+	} else if !req.Noise.IsZero() && req.Kind != KindRun && !req.Kind.Parameterized() {
 		return fmt.Errorf("service: kind %q does not accept a noise model (use %q or %q)",
 			req.Kind, KindRun, KindNoisySample)
 	}
@@ -582,6 +707,48 @@ func (s *Service) validate(req Request) error {
 			if !req.Noise.IsZero() && req.Readouts.Statevector {
 				return fmt.Errorf("service: statevector readout is undefined under an effective noise model")
 			}
+		}
+	case KindSweep:
+		if req.Shots != 0 || req.Seed != 0 || len(req.Qubits) != 0 || req.Trajectories != 0 {
+			return fmt.Errorf("service: kind %q takes its read-outs from Readouts (move shots/seed/qubits/trajectories into the readout spec)", KindSweep)
+		}
+		if req.Sweep == nil || len(req.Sweep.Bindings) == 0 {
+			return fmt.Errorf("service: sweep needs a binding grid (set Sweep.Bindings or Sweep.Grid)")
+		}
+		if len(req.Sweep.Bindings) > s.cfg.MaxSweepPoints {
+			return fmt.Errorf("service: sweep has %d points, limit %d", len(req.Sweep.Bindings), s.cfg.MaxSweepPoints)
+		}
+		for i, env := range req.Sweep.Bindings {
+			if err := req.Circuit.CheckBinding(env); err != nil {
+				return fmt.Errorf("service: binding %d: %w", i, err)
+			}
+		}
+		if err := req.Readouts.Validate(req.Circuit.NumQubits); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		if req.Readouts.Shots > s.cfg.MaxShots {
+			return fmt.Errorf("service: %d shots exceeds limit %d", req.Readouts.Shots, s.cfg.MaxShots)
+		}
+		if req.Readouts.Trajectories > s.cfg.MaxTrajectories {
+			return fmt.Errorf("service: %d trajectories exceeds limit %d", req.Readouts.Trajectories, s.cfg.MaxTrajectories)
+		}
+		if req.Noise != nil {
+			if err := req.Noise.Validate(req.Circuit.NumQubits); err != nil {
+				return fmt.Errorf("service: %w", err)
+			}
+			if !req.Noise.IsZero() && req.Readouts.Statevector {
+				return fmt.Errorf("service: statevector readout is undefined under an effective noise model")
+			}
+		}
+	case KindOptimize:
+		if req.Shots != 0 || req.Seed != 0 || len(req.Qubits) != 0 || req.Trajectories != 0 {
+			return fmt.Errorf("service: kind %q drives its objective from the optimize spec (drop shots/seed/qubits/trajectories)", KindOptimize)
+		}
+		if req.Optimize == nil {
+			return fmt.Errorf("service: optimize needs an optimize spec (observables + method)")
+		}
+		if err := s.validateOptimize(req); err != nil {
+			return err
 		}
 	case KindStatevector:
 	case KindSample, KindNoisySample:
@@ -703,7 +870,9 @@ func (s *Service) Stats() Stats {
 		Simulations:  s.simulations.Load(),
 		Trajectories: s.trajectories.Load(),
 		CacheHits:    s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
-		CacheEntries: entries, CacheBytes: bytes,
+		TemplateCompiles: s.templateCompiles.Load(),
+		ShimHits:         s.shimHits.Load(),
+		CacheEntries:     entries, CacheBytes: bytes,
 		PlanCacheEntries: planEntries, PlanCacheBytes: planBytes,
 		QueueLength: queued, Workers: s.cfg.Workers,
 		Backends: backends,
@@ -808,62 +977,31 @@ func resultBytes(r *Result) int64 {
 		b += int64(len(m)) * 8
 	}
 	b += int64(len(r.Observables)) * 48
+	if r.Sweep != nil {
+		for _, p := range r.Sweep.Points {
+			b += int64(len(p.Binding)) * 32
+			b += readoutsBytes(p.Readouts)
+		}
+	}
+	if r.Optimize != nil {
+		perIter := int64(len(r.Optimize.Best)+2) * 32
+		b += int64(len(r.Optimize.Trace))*perIter + perIter
+	}
 	return b
 }
 
-// specForJob lowers a request onto the unified ReadoutSpec. KindRun
-// carries its spec verbatim; every deprecated kind translates to the
-// single read-out it always meant — which is exactly what makes them thin
-// shims: one executor serves all seven kinds.
-func specForJob(req Request) core.ReadoutSpec {
-	switch req.Kind {
-	case KindRun:
-		return req.Readouts
-	case KindStatevector:
-		return core.ReadoutSpec{Statevector: true}
-	case KindSample, KindNoisySample:
-		return core.ReadoutSpec{Shots: req.Shots, Seed: req.Seed, Trajectories: req.Trajectories}
-	case KindProbabilities:
-		return core.ReadoutSpec{Marginals: [][]int{req.Qubits}}
-	case KindExpectation, KindNoisyExpectation:
-		// The legacy Z-string (repeats cancel via Z² = I, handled by the
-		// kernel's Z-only delegation).
-		qs := req.Qubits
-		if qs == nil {
-			qs = []int{}
-		}
-		return core.ReadoutSpec{
-			Observables:  []core.Observable{{Paulis: strings.Repeat("Z", len(qs)), Qubits: qs}},
-			Seed:         req.Seed,
-			Trajectories: req.Trajectories,
-		}
-	default:
-		return core.ReadoutSpec{}
+// readoutsBytes estimates one evaluated readout set's retained payload
+// (the per-point unit of a sweep result).
+func readoutsBytes(ro *core.Readouts) int64 {
+	if ro == nil {
+		return 0
 	}
-}
-
-// legacyProject maps unified read-outs back onto the deprecated kinds'
-// result fields, keeping their payloads byte-compatible with the v1
-// surface. KindRun results carry the unified fields as-is.
-func legacyProject(res *Result, ro *core.Readouts) {
-	switch res.Kind {
-	case KindRun:
-		res.Amplitudes = ro.Amplitudes
-		res.Samples = ro.Samples
-		res.Counts = ro.Counts
-		res.Marginals = ro.Marginals
-		res.Observables = ro.Observables
-	case KindStatevector:
-		res.Amplitudes = ro.Amplitudes
-	case KindSample, KindNoisySample:
-		res.Samples = ro.Samples
-		res.Counts = ro.Counts
-	case KindExpectation, KindNoisyExpectation:
-		res.Expectation = ro.Observables[0].Value
-		res.StdErr = ro.Observables[0].StdErr
-	case KindProbabilities:
-		res.Probabilities = ro.Marginals[0]
+	b := int64(len(ro.Amplitudes))*16 + int64(len(ro.Samples))*8 +
+		int64(len(ro.Counts))*16 + int64(len(ro.Observables))*48
+	for _, m := range ro.Marginals {
+		b += int64(len(m)) * 8
 	}
+	return b
 }
 
 // setBackend records the engine executing the job (visible in JobInfo
@@ -876,9 +1014,15 @@ func (s *Service) setBackend(j *job, name string) {
 }
 
 // execute resolves the cache entry (simulating on miss) and derives every
-// read-out the job's spec names. All kinds — KindRun and the deprecated
-// shims — pass through here.
+// read-out the job's spec names. All kinds — KindRun, the v3 template
+// kinds and the deprecated shims — pass through here.
 func (s *Service) execute(j *job) (*Result, error) {
+	switch j.req.Kind {
+	case KindSweep:
+		return s.executeSweep(j)
+	case KindOptimize:
+		return s.executeOptimize(j)
+	}
 	spec := specForJob(j.req)
 	if j.exact {
 		// Exact-noise engines serve every request shape — ideal, noisy,
@@ -890,6 +1034,12 @@ func (s *Service) execute(j *job) (*Result, error) {
 		// models: their counts come from per-trajectory split RNGs, not the
 		// single sampling stream of the ideal kinds.
 		return s.executeNoisy(j, spec)
+	}
+	if j.req.Circuit.Parametric() {
+		// Bound template run (KindRun + Params on the flat engine): the
+		// compiled template is shared across bindings; only the bound
+		// state is per-binding (keyed by the binding digest).
+		return s.executeParamRun(j, spec)
 	}
 	s.setBackend(j, j.idealBackend)
 	start := time.Now()
@@ -915,9 +1065,16 @@ func (s *Service) execute(j *job) (*Result, error) {
 // key, running it via single-flight on a miss. The returned hit flag is
 // true when no simulation ran on behalf of this job.
 func (s *Service) entryFor(j *job) (*cacheEntry, bool, error) {
-	key := cacheKey(j.req.Circuit, j.req.Options, j.idealBackend)
+	return s.entryForCircuit(j, j.req.Circuit)
+}
+
+// entryForCircuit is entryFor over an explicit circuit: the noisy path
+// passes the bound form of a parameterized request here so cache keys stay
+// per-binding.
+func (s *Service) entryForCircuit(j *job, c *circuit.Circuit) (*cacheEntry, bool, error) {
+	key := cacheKey(c, j.req.Options, j.idealBackend)
 	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
-		e, err := s.simulate(j)
+		e, err := s.simulate(j, c)
 		if err != nil {
 			return nil, err
 		}
@@ -1016,10 +1173,17 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 	var ens *noise.Ensemble
 	if plan.NoiseFree() {
 		// One ideal simulation serves every trajectory; the executing
-		// engine is the job's resolved ideal backend.
+		// engine is the job's resolved ideal backend. A parameterized
+		// request binds here so the state cache keys on the bound circuit.
 		s.setBackend(j, j.idealBackend)
 		res.Backend = j.idealBackend
-		entry, stateHit, err := s.entryFor(j)
+		c := req.Circuit
+		if c.Parametric() {
+			if c, err = c.Bind(req.Params); err != nil {
+				return nil, err
+			}
+		}
+		entry, stateHit, err := s.entryForCircuit(j, c)
 		if err != nil {
 			return nil, err
 		}
@@ -1032,6 +1196,13 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 	} else {
 		s.setBackend(j, BackendTrajectory)
 		res.Backend = BackendTrajectory
+		if plan.Parametric() {
+			// The cached plan is the shared template; only the touched gate
+			// runs re-materialize for this request's binding.
+			if plan, err = plan.Specialize(req.Params); err != nil {
+				return nil, err
+			}
+		}
 		ens, err = noise.RunEnsemble(j.ctx, plan, run)
 		if err != nil {
 			return nil, err
@@ -1144,11 +1315,11 @@ func noisePlanKey(c *circuit.Circuit, o core.Options, m *noise.Model) string {
 	return fmt.Sprintf("noise|%s|f=%t mf=%d", c.FingerprintWith(m.Hash()), o.Fuse.Enabled(), o.MaxFuseQubits)
 }
 
-func (s *Service) simulate(j *job) (*cacheEntry, error) {
+func (s *Service) simulate(j *job, c *circuit.Circuit) (*cacheEntry, error) {
 	s.simulations.Add(1)
 	opts := j.req.Options
 	opts.SkipState = false // the cache entry IS the state
-	res, err := core.SimulateContext(j.ctx, j.req.Circuit, opts)
+	res, err := core.SimulateContext(j.ctx, c, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"strings"
+
+	"hisvsim/internal/core"
+)
+
+// This file is the ENTIRE deprecated v1 surface: six single-readout kinds
+// (statevector, sample, expectation, probabilities, noisy_sample,
+// noisy_expectation) expressed as a translation table over the unified
+// KindRun path. Each shim is two pure functions — lower the legacy request
+// onto a core.ReadoutSpec, then project the unified read-outs back onto
+// the legacy result fields — so the executors never see a v1 kind and the
+// v1 payloads stay byte-compatible. Submit counts table hits in
+// Stats.ShimHits ("shim_hits" on /v1/stats) so the deprecation window can
+// close on evidence rather than guesswork; removing a kind is deleting
+// its table row.
+
+// v1Shim adapts one deprecated kind onto the unified readout path.
+type v1Shim struct {
+	// spec lowers the legacy request fields onto the ReadoutSpec the
+	// unified executors consume.
+	spec func(req Request) core.ReadoutSpec
+	// project maps the evaluated read-outs back onto the kind's legacy
+	// result fields.
+	project func(res *Result, ro *core.Readouts)
+}
+
+// v1Shims is the deprecated-kind translation table.
+var v1Shims = map[Kind]v1Shim{
+	KindStatevector: {
+		spec: func(Request) core.ReadoutSpec {
+			return core.ReadoutSpec{Statevector: true}
+		},
+		project: func(res *Result, ro *core.Readouts) {
+			res.Amplitudes = ro.Amplitudes
+		},
+	},
+	KindSample: {
+		spec:    sampleSpec,
+		project: sampleProject,
+	},
+	KindNoisySample: {
+		spec:    sampleSpec,
+		project: sampleProject,
+	},
+	KindExpectation: {
+		spec:    zStringSpec,
+		project: zStringProject,
+	},
+	KindNoisyExpectation: {
+		spec:    zStringSpec,
+		project: zStringProject,
+	},
+	KindProbabilities: {
+		spec: func(req Request) core.ReadoutSpec {
+			return core.ReadoutSpec{Marginals: [][]int{req.Qubits}}
+		},
+		project: func(res *Result, ro *core.Readouts) {
+			res.Probabilities = ro.Marginals[0]
+		},
+	},
+}
+
+func sampleSpec(req Request) core.ReadoutSpec {
+	return core.ReadoutSpec{Shots: req.Shots, Seed: req.Seed, Trajectories: req.Trajectories}
+}
+
+func sampleProject(res *Result, ro *core.Readouts) {
+	res.Samples = ro.Samples
+	res.Counts = ro.Counts
+}
+
+// zStringSpec is the legacy Z-string observable (repeats cancel via
+// Z² = I, handled by the kernel's Z-only delegation).
+func zStringSpec(req Request) core.ReadoutSpec {
+	qs := req.Qubits
+	if qs == nil {
+		qs = []int{}
+	}
+	return core.ReadoutSpec{
+		Observables:  []core.Observable{{Paulis: strings.Repeat("Z", len(qs)), Qubits: qs}},
+		Seed:         req.Seed,
+		Trajectories: req.Trajectories,
+	}
+}
+
+func zStringProject(res *Result, ro *core.Readouts) {
+	res.Expectation = ro.Observables[0].Value
+	res.StdErr = ro.Observables[0].StdErr
+}
+
+// specForJob lowers a request onto the unified ReadoutSpec: KindRun (and
+// the template kinds) carry their spec verbatim; deprecated kinds go
+// through their table row.
+func specForJob(req Request) core.ReadoutSpec {
+	if sh, ok := v1Shims[req.Kind]; ok {
+		return sh.spec(req)
+	}
+	return req.Readouts
+}
+
+// legacyProject maps unified read-outs back onto the result: the table row
+// for deprecated kinds, the unified fields as-is for KindRun.
+func legacyProject(res *Result, ro *core.Readouts) {
+	if sh, ok := v1Shims[res.Kind]; ok {
+		sh.project(res, ro)
+		return
+	}
+	res.Amplitudes = ro.Amplitudes
+	res.Samples = ro.Samples
+	res.Counts = ro.Counts
+	res.Marginals = ro.Marginals
+	res.Observables = ro.Observables
+}

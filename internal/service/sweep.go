@@ -1,0 +1,408 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hisvsim/internal/circuit"
+	"hisvsim/internal/core"
+	"hisvsim/internal/fuse"
+	"hisvsim/internal/noise"
+)
+
+// This file is the service half of the v3 template surface: binding-grid
+// expansion (SweepSpec), the template-fingerprint-keyed compile cache that
+// makes "M bindings = 1 fusion compile" hold ACROSS jobs as well as within
+// one, and the executors for KindSweep, KindOptimize and bound KindRun.
+
+// SweepSpec names a sweep job's binding grid. Exactly one of Bindings or
+// Grid must be set.
+type SweepSpec struct {
+	// Bindings is the explicit point list, evaluated in order.
+	Bindings []map[string]float64
+	// Grid gives per-symbol value lists. By default the points are the
+	// cartesian product in sorted symbol order (last symbol fastest); with
+	// Zip the columns must have equal length L and yield L points
+	// (column i of every symbol forms point i).
+	Grid map[string][]float64
+	Zip  bool
+}
+
+// expand resolves the spec to its explicit binding list, rejecting
+// malformed grids (both/neither form set, zip length mismatch, products
+// over limit) with errors that name the offending symbols.
+func (sp *SweepSpec) expand(limit int) ([]map[string]float64, error) {
+	if len(sp.Bindings) > 0 && len(sp.Grid) > 0 {
+		return nil, fmt.Errorf("sweep: set Bindings or Grid, not both")
+	}
+	if len(sp.Bindings) > 0 {
+		return sp.Bindings, nil
+	}
+	if len(sp.Grid) == 0 {
+		return nil, fmt.Errorf("sweep: empty binding grid (set Bindings or Grid)")
+	}
+	syms := make([]string, 0, len(sp.Grid))
+	for s := range sp.Grid {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		if len(sp.Grid[s]) == 0 {
+			return nil, fmt.Errorf("sweep: symbol %q has no grid values", s)
+		}
+		for _, v := range sp.Grid[s] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("sweep: non-finite grid value %v for symbol %q", v, s)
+			}
+		}
+	}
+	if sp.Zip {
+		want := len(sp.Grid[syms[0]])
+		for _, s := range syms[1:] {
+			if len(sp.Grid[s]) != want {
+				return nil, fmt.Errorf("sweep: grid-size mismatch: symbol %q has %d values, %q has %d",
+					syms[0], want, s, len(sp.Grid[s]))
+			}
+		}
+		if want > limit {
+			return nil, fmt.Errorf("sweep: grid has %d points, limit %d", want, limit)
+		}
+		out := make([]map[string]float64, want)
+		for i := range out {
+			env := make(map[string]float64, len(syms))
+			for _, s := range syms {
+				env[s] = sp.Grid[s][i]
+			}
+			out[i] = env
+		}
+		return out, nil
+	}
+	total := 1
+	for _, s := range syms {
+		if total > limit/len(sp.Grid[s]) {
+			return nil, fmt.Errorf("sweep: cartesian grid exceeds %d points", limit)
+		}
+		total *= len(sp.Grid[s])
+	}
+	out := make([]map[string]float64, 0, total)
+	idx := make([]int, len(syms))
+	for {
+		env := make(map[string]float64, len(syms))
+		for i, s := range syms {
+			env[s] = sp.Grid[s][idx[i]]
+		}
+		out = append(out, env)
+		// Odometer increment, last symbol fastest.
+		i := len(syms) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(sp.Grid[syms[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// validateOptimize checks a KindOptimize request at submit: known method,
+// a well-formed objective, a complete-and-known Init, and bounded work —
+// all the failures a worker could hit become 400s naming the problem.
+func (s *Service) validateOptimize(req Request) error {
+	spec := *req.Optimize
+	if spec.Method != "" && spec.Method != core.MethodSPSA && spec.Method != core.MethodNelderMead {
+		return fmt.Errorf("service: unknown optimizer %q (have %q, %q)", spec.Method, core.MethodSPSA, core.MethodNelderMead)
+	}
+	if len(spec.Observables) == 0 {
+		return fmt.Errorf("service: optimize needs at least one observable (the objective is their weighted sum)")
+	}
+	roSpec := core.ReadoutSpec{Observables: spec.Observables}
+	if err := roSpec.Validate(req.Circuit.NumQubits); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	syms := req.Circuit.Symbols()
+	for k, v := range spec.Init {
+		known := false
+		for _, s := range syms {
+			if s == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("service: init binds unknown symbol %q", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("service: non-finite init value %v for symbol %q", v, k)
+		}
+	}
+	if spec.MaxIters > s.cfg.MaxOptimizeIters {
+		return fmt.Errorf("service: %d iterations exceeds limit %d", spec.MaxIters, s.cfg.MaxOptimizeIters)
+	}
+	if spec.Trajectories < 0 {
+		return fmt.Errorf("service: negative trajectory count %d", spec.Trajectories)
+	}
+	if spec.Trajectories > s.cfg.MaxTrajectories {
+		return fmt.Errorf("service: %d trajectories exceeds limit %d", spec.Trajectories, s.cfg.MaxTrajectories)
+	}
+	return nil
+}
+
+// templateEntry wraps a compiled fuse.Template for the plan LRU.
+type templateEntry struct {
+	tpl *fuse.Template
+}
+
+// templateCost estimates a template's resident bytes: the fused payloads
+// plus the shared kernel index tables (roughly one int per amplitude
+// touched, approximated by the payload size again).
+func templateCost(t *fuse.Template) int64 {
+	var b int64 = 1024
+	for i := range t.Blocks {
+		b += int64(len(t.Blocks[i].Diag)) * 16
+		b += int64(len(t.Blocks[i].Matrix.Data)) * 16
+		b += int64(len(t.Blocks[i].Gates)) * 256
+	}
+	return 2 * b
+}
+
+// templateFor returns the compiled template for the circuit's TEMPLATE
+// fingerprint (structure + symbol names, not binding values), compiling on
+// miss. Templates live beside trajectory plans in the dedicated plan LRU:
+// they are small, hot, and must survive bursts of giant state entries.
+// Every real compile bumps Stats.TemplateCompiles — the counter the sweep
+// acceptance gate watches.
+func (s *Service) templateFor(c *circuit.Circuit, o core.Options) (*fuse.Template, bool, error) {
+	key := fmt.Sprintf("tpl|%s|mf=%d", c.Fingerprint(), o.MaxFuseQubits)
+	s.mu.Lock()
+	if v, ok := s.planCache.Get(key); ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return v.(*templateEntry).tpl, true, nil
+	}
+	s.mu.Unlock()
+	s.cacheMisses.Add(1)
+	s.templateCompiles.Add(1)
+	tpl, err := fuse.CompileTemplate(c, fuse.Options{MaxQubits: o.MaxFuseQubits})
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.planCache.Put(key, &templateEntry{tpl: tpl}, templateCost(tpl))
+	s.mu.Unlock()
+	return tpl, false, nil
+}
+
+// templateEntryFor returns the cached bound state for (template, binding):
+// the template compiles once per fingerprint, the state once per binding
+// digest, and repeats of the same bound run cost sampling only — the same
+// economics entryFor gives concrete circuits.
+func (s *Service) templateEntryFor(j *job, env map[string]float64) (*cacheEntry, bool, error) {
+	key := fmt.Sprintf("tplrun|%s|%s|mf=%d w=%d",
+		j.req.Circuit.Fingerprint(), circuit.BindingDigest(env), j.req.Options.MaxFuseQubits, j.req.Options.Workers)
+	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
+		tpl, _, err := s.templateFor(j.req.Circuit, j.req.Options)
+		if err != nil {
+			return nil, err
+		}
+		s.simulations.Add(1)
+		st, err := tpl.Run(env, j.req.Options.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{state: st}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*cacheEntry), hit, nil
+}
+
+// executeParamRun serves KindRun with a bound parameterized circuit on the
+// flat engine: the shared template is specialized for the request's Params
+// and the result is indistinguishable from running the bound concrete
+// circuit.
+func (s *Service) executeParamRun(j *job, spec core.ReadoutSpec) (*Result, error) {
+	start := time.Now()
+	s.setBackend(j, j.idealBackend)
+	entry, hit, err := s.templateEntryFor(j, j.req.Params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind: j.req.Kind, Backend: j.idealBackend, NumQubits: entry.state.N,
+		CacheHit: hit,
+		Waited:   j.started.Sub(j.submitted),
+	}
+	if spec.Shots > 0 {
+		legacyProject(res, core.EvaluateState(entry.state, entry.getSampler(), spec))
+	} else {
+		legacyProject(res, core.EvaluateState(entry.state, nil, spec))
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// executeSweep evaluates a binding grid against one compiled template.
+// Ideal sweeps replay the fused template per point; effective-noise sweeps
+// re-bind one cached trajectory plan and run a full seeded ensemble per
+// point. Result.Sweep.Compiles counts the fusion compiles THIS job caused
+// (0 when the template was already cached), which with a cold cache is
+// exactly 1 for any grid size.
+func (s *Service) executeSweep(j *job) (*Result, error) {
+	start := time.Now()
+	req := j.req
+	spec := req.Readouts
+	bindings := req.Sweep.Bindings
+	res := &Result{
+		Kind: KindSweep, NumQubits: req.Circuit.NumQubits,
+		Waited: j.started.Sub(j.submitted),
+	}
+	rep := &core.SweepReport{Points: make([]core.SweepPoint, 0, len(bindings))}
+
+	if !req.Noise.IsZero() {
+		// Trajectory-ensemble sweep: widen across the shared token pool
+		// exactly like executeNoisy, then run one seeded ensemble per point
+		// over the shared compiled plan.
+		width := 1
+		for width < s.cfg.Workers {
+			select {
+			case <-s.trajTokens:
+				width++
+				continue
+			default:
+			}
+			break
+		}
+		defer func() {
+			for i := 1; i < width; i++ {
+				s.trajTokens <- struct{}{}
+			}
+		}()
+		run := spec.NoisyRunConfig(width)
+		plan, hit, err := s.noisePlanFor(j)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			rep.Compiles++
+		}
+		res.CacheHit = hit
+		if plan.NoiseFree() {
+			// Zero-effect model: ideal template runs with readout error
+			// applied at sampling, mirroring the concrete-circuit fast path.
+			tpl, thit, err := s.templateFor(req.Circuit, req.Options)
+			if err != nil {
+				return nil, err
+			}
+			if !thit {
+				rep.Compiles++
+			}
+			s.setBackend(j, j.idealBackend)
+			res.Backend = j.idealBackend
+			rep.TouchedBlocks = tpl.TouchedBlocks()
+			rep.SharedBlocks = len(tpl.Blocks) - tpl.TouchedBlocks()
+			for i, env := range bindings {
+				if err := j.ctx.Err(); err != nil {
+					return nil, err
+				}
+				st, err := tpl.Run(env, width)
+				if err != nil {
+					return nil, fmt.Errorf("binding %d: %w", i, err)
+				}
+				ens, err := noise.RunEnsembleFromState(j.ctx, st, plan.Readout(), run)
+				if err != nil {
+					return nil, err
+				}
+				rep.Trajectories = ens.Trajectories
+				rep.Points = append(rep.Points, core.SweepPoint{Binding: env, Readouts: core.ReadoutsFromEnsemble(ens, spec)})
+			}
+		} else {
+			s.setBackend(j, BackendTrajectory)
+			res.Backend = BackendTrajectory
+			for i, env := range bindings {
+				if err := j.ctx.Err(); err != nil {
+					return nil, err
+				}
+				sp, err := plan.Specialize(env)
+				if err != nil {
+					return nil, fmt.Errorf("binding %d: %w", i, err)
+				}
+				ens, err := noise.RunEnsemble(j.ctx, sp, run)
+				if err != nil {
+					return nil, err
+				}
+				rep.Trajectories = ens.Trajectories
+				s.trajectories.Add(int64(ens.Trajectories))
+				rep.Points = append(rep.Points, core.SweepPoint{Binding: env, Readouts: core.ReadoutsFromEnsemble(ens, spec)})
+			}
+		}
+		rep.Elapsed = time.Since(start)
+		res.Sweep = rep
+		res.Trajectories = rep.Trajectories
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	s.setBackend(j, j.idealBackend)
+	res.Backend = j.idealBackend
+	tpl, hit, err := s.templateFor(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		rep.Compiles++
+	}
+	res.CacheHit = hit
+	rep.TouchedBlocks = tpl.TouchedBlocks()
+	rep.SharedBlocks = len(tpl.Blocks) - tpl.TouchedBlocks()
+	for i, env := range bindings {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := tpl.Run(env, req.Options.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("binding %d: %w", i, err)
+		}
+		rep.Points = append(rep.Points, core.SweepPoint{Binding: env, Readouts: core.EvaluateState(st, nil, spec)})
+	}
+	rep.Elapsed = time.Since(start)
+	res.Sweep = rep
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// executeOptimize runs the server-side variational loop. The loop owns its
+// template (compiled once inside core.OptimizeContext — counted here so
+// the stats ledger stays truthful); its trajectory work is credited like
+// any ensemble's.
+func (s *Service) executeOptimize(j *job) (*Result, error) {
+	start := time.Now()
+	req := j.req
+	backendName := j.idealBackend
+	if !req.Noise.IsZero() {
+		backendName = BackendTrajectory
+	}
+	s.setBackend(j, backendName)
+	opts := req.Options
+	opts.Noise = req.Noise
+	s.templateCompiles.Add(1)
+	rep, err := core.OptimizeContext(j.ctx, req.Circuit, opts, *req.Optimize)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Trajectories > 0 {
+		s.trajectories.Add(int64(rep.Trajectories) * int64(rep.Evaluations))
+	}
+	return &Result{
+		Kind: KindOptimize, Backend: backendName, NumQubits: req.Circuit.NumQubits,
+		Optimize:     rep,
+		Trajectories: rep.Trajectories,
+		Waited:       j.started.Sub(j.submitted),
+		Elapsed:      time.Since(start),
+	}, nil
+}

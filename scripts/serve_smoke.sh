@@ -227,6 +227,48 @@ if [ "$NCODE" != 400 ]; then
     exit 1
 fi
 
+# A v3 parameterized sweep job: a symbolic QASM template swept over a
+# 3×2 binding grid must cost EXACTLY one template compile (visible in
+# /v1/stats) and return per-point observable readouts.
+TC_BEFORE="$(curl -fsS "$BASE/v1/stats" | jq .template_compiles)"
+SWID="$(curl -fsS "$BASE/v1/jobs" -d '{
+    "circuit": {"qasm": "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nrz(gamma) q[0];\nrx(beta) q[1];\n"},
+    "kind": "sweep",
+    "readouts": {"observables": [{"name": "zz01", "paulis": "ZZ", "qubits": [0, 1]}]},
+    "sweep": {"grid": {"gamma": [0.1, 0.2, 0.3], "beta": [0.4, 0.5]}}
+}' | jq -r .id)"
+SWRES="$(curl -fsS "$BASE/v1/jobs/$SWID/result?wait=30s")"
+SWSTATUS="$(printf '%s' "$SWRES" | jq -r .status)"
+SWPTS="$(printf '%s' "$SWRES" | jq '.result.sweep.points | length')"
+SWCOMP="$(printf '%s' "$SWRES" | jq '.result.sweep.compiles')"
+SWOBS="$(printf '%s' "$SWRES" | jq '[.result.sweep.points[].observables | length] | min')"
+if [ "$SWSTATUS" != done ] || [ "$SWPTS" != 6 ] || [ "$SWCOMP" != 1 ] || [ "$SWOBS" != 1 ]; then
+    echo "serve-smoke: sweep job wrong (status=$SWSTATUS points=$SWPTS compiles=$SWCOMP min-obs=$SWOBS)" >&2
+    printf '%s\n' "$SWRES" >&2
+    exit 1
+fi
+TC_AFTER="$(curl -fsS "$BASE/v1/stats" | jq .template_compiles)"
+if [ "$((TC_AFTER - TC_BEFORE))" != 1 ]; then
+    echo "serve-smoke: 6-point sweep cost $((TC_AFTER - TC_BEFORE)) template compiles, want 1" >&2
+    exit 1
+fi
+
+# Binding validation is a 400 at submit: running the same template with
+# only gamma bound must be rejected naming the unbound symbol.
+UBODY="$(mktemp)"
+UCODE="$(curl -s -o "$UBODY" -w '%{http_code}' "$BASE/v1/jobs" -d '{
+    "circuit": {"qasm": "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nrz(gamma) q[0];\nrx(beta) q[1];\n"},
+    "kind": "run",
+    "readouts": {"observables": [{"name": "zz01", "paulis": "ZZ", "qubits": [0, 1]}]},
+    "params": {"gamma": 0.1}
+}')"
+if [ "$UCODE" != 400 ] || ! grep -q beta "$UBODY"; then
+    echo "serve-smoke: unbound-symbol run returned $UCODE (want 400 naming beta):" >&2
+    cat "$UBODY" >&2
+    exit 1
+fi
+rm -f "$UBODY"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 if ! wait "$PID"; then
@@ -235,4 +277,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, graceful shutdown)"
+echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, parameterized sweep, unbound-symbol 400, graceful shutdown)"

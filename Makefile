@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench obs-bench serve-smoke clean
 
 all: lint build test
 
@@ -50,6 +50,15 @@ SWEEP_QUBITS ?= 12
 SWEEP_POINTS ?= 50
 sweep-bench:
 	$(GO) run ./cmd/benchtables -only sweep -sweep-qubits $(SWEEP_QUBITS) -sweep-points $(SWEEP_POINTS) -sweep-out BENCH_sweep.json
+
+# Regenerates BENCH_obs.txt: the metric-primitive microbenchmarks (counter,
+# gauge, histogram, vec lookup — the Observe path must stay allocation-free)
+# plus the instrumented-service overhead guard next to its uninstrumented
+# twin. CI runs it with OBS_BENCHTIME=10x as a smoke.
+OBS_BENCHTIME ?= 2s
+obs-bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/obs/ | tee BENCH_obs.txt
+	$(GO) test -run='^$$' -bench='CacheHitSample|ServiceInstrumented' -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/service/ | tee -a BENCH_obs.txt
 
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:

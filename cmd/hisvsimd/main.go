@@ -12,9 +12,11 @@
 //	POST   /v1/jobs              submit  → {"id": "j000001", ...}
 //	GET    /v1/jobs/{id}         poll
 //	GET    /v1/jobs/{id}/result  long-poll result (?wait=30s)
+//	GET    /v1/jobs/{id}/trace   per-stage timing trace
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/backends          registered execution backends
 //	GET    /v1/stats             counters
+//	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness
 //
 // The v2 surface is kind "run": one "readouts" spec asks for any mix of
@@ -43,6 +45,12 @@
 // with 400s. Compiled trajectory plans cache in their own small LRU
 // (-plan-cache-mb) so statevector entries cannot evict them.
 //
+// Observability: GET /metrics exposes the service and HTTP metric series
+// in Prometheus text format; every request gets an X-Request-ID (incoming
+// ones are honored) that also tags the job's structured log lines
+// (-log-level, -log-json); -debug-addr serves net/http/pprof on a
+// separate, opt-in listener so profiling is never exposed on the API port.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight HTTP
 // requests get -grace seconds to finish, then the service cancels
 // outstanding jobs and the worker pool exits.
@@ -52,30 +60,41 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"hisvsim/internal/obs"
 	"hisvsim/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 256, "max queued jobs before 429s")
-		cacheMB = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
-		planMB  = flag.Int64("plan-cache-mb", 16, "compiled trajectory-plan cache budget in MiB (0 or negative disables)")
-		maxQ    = flag.Int("max-qubits", 26, "largest accepted register")
-		maxS    = flag.Int("max-shots", 1_000_000, "largest accepted shot count")
-		maxT    = flag.Int("max-trajectories", 4096, "largest accepted noisy-ensemble size")
-		retain  = flag.Int("retain", 4096, "terminal jobs kept pollable")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "max queued jobs before 429s")
+		cacheMB   = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
+		planMB    = flag.Int64("plan-cache-mb", 16, "compiled trajectory-plan cache budget in MiB (0 or negative disables)")
+		maxQ      = flag.Int("max-qubits", 26, "largest accepted register")
+		maxS      = flag.Int("max-shots", 1_000_000, "largest accepted shot count")
+		maxT      = flag.Int("max-trajectories", 4096, "largest accepted noisy-ensemble size")
+		retain    = flag.Int("retain", 4096, "terminal jobs kept pollable")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr = flag.String("debug-addr", "", "optional listen address serving /debug/pprof/ (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLoggerFromFlags(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
@@ -90,43 +109,57 @@ func main() {
 		CacheBytes: cacheBytes, PlanCacheBytes: planBytes,
 		MaxQubits: *maxQ, MaxShots: *maxS, MaxTrajectories: *maxT,
 		RetainJobs: *retain,
+		Logger:     logger,
 	})
+	// The HTTP wrapper reports into the service's registry, so one
+	// GET /metrics scrape covers jobs, caches, queue and HTTP alike.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewHandler(svc)),
+		Handler:           obs.InstrumentHTTP(svc.Metrics(), "hisvsim_", logger, service.NewHandler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		// pprof mounts on its own mux and listener — never the API port —
+		// so exposing profiling is an explicit deployment decision.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if derr := dsrv.ListenAndServe(); derr != nil && !errors.Is(derr, http.ErrServerClosed) {
+				logger.Error("debug serve", "err", derr)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hisvsimd listening on %s (workers=%d, cache=%dMiB)", *addr, svc.Stats().Workers, *cacheMB)
+	logger.Info("hisvsimd listening", "addr", *addr,
+		"workers", svc.Stats().Workers, "cache_mb", *cacheMB)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("%v: draining (grace %v)", sig, *grace)
+		logger.Info("draining", "signal", sig.String(), "grace", grace.String())
 	case err := <-errc:
 		svc.Close()
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	svc.Close()
 	st := svc.Stats()
-	log.Printf("bye: %d jobs done, %d simulations, %d cache hits",
-		st.Completed, st.Simulations, st.CacheHits)
-}
-
-// logRequests is a one-line access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+	logger.Info("bye", "jobs_done", st.Completed,
+		"simulations", st.Simulations, "cache_hits", st.CacheHits)
 }

@@ -18,6 +18,7 @@ import (
 	"hisvsim/internal/hier"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/noise"
+	"hisvsim/internal/obs"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/perfmodel"
 	"hisvsim/internal/sv"
@@ -137,6 +138,9 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
+	// Mark the simulate stage on a context-carried trace (a no-op without
+	// one): service jobs that miss the cache split their execute span here.
+	obs.TraceFromContext(ctx).Begin("simulate")
 	exec, err := b.Run(ctx, c, specFor(opts))
 	if err != nil {
 		return nil, err

@@ -42,10 +42,12 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*entry).value, true
 }
 
-// Put inserts or replaces key. An entry whose cost alone exceeds the
-// capacity is not stored (and an existing entry under that key is dropped),
-// so one oversized value can never wipe the whole cache.
-func (c *Cache) Put(key string, value any, cost int64) {
+// Put inserts or replaces key, reporting whether the entry was stored. An
+// entry whose cost alone exceeds the capacity is not stored (and an
+// existing entry under that key is dropped), so one oversized value can
+// never wipe the whole cache; the false return lets callers keeping
+// residency gauges skip the phantom insertion.
+func (c *Cache) Put(key string, value any, cost int64) bool {
 	if cost < 0 {
 		cost = 0
 	}
@@ -53,13 +55,14 @@ func (c *Cache) Put(key string, value any, cost int64) {
 		c.removeElement(el)
 	}
 	if c.capacity <= 0 || cost > c.capacity {
-		return
+		return false
 	}
 	for c.size+cost > c.capacity {
 		c.removeElement(c.ll.Back())
 	}
 	c.items[key] = c.ll.PushFront(&entry{key: key, value: value, cost: cost})
 	c.size += cost
+	return true
 }
 
 // Remove drops key if present.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hisvsim/internal/obs"
 	"hisvsim/internal/sv"
 )
 
@@ -234,6 +235,9 @@ type trajResult struct {
 // runTrajectories drives the ensemble: trajectories are chunked across
 // workers, each with a seed-derived private RNG, and merged deterministically.
 func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, error) {
+	// Mark the trajectories stage on a context-carried trace (no-op
+	// without one); consecutive ensembles in a sweep coalesce into one span.
+	obs.TraceFromContext(ctx).Begin("trajectories")
 	start := time.Now()
 	ro := p.Readout()
 	T := cfg.Trajectories

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The obs benchmarks are the hot-path overhead ledger: `make obs-bench`
+// records them (with -benchmem) so a future change that adds an
+// allocation or a lock to Counter.Inc/Histogram.Observe shows up as a
+// regression instead of silently taxing every job.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkVecWith measures the labeled-child resolution path (a map
+// lookup under a mutex) — cheap, but not free: hot loops should resolve
+// once and hold the child.
+func BenchmarkVecWith(b *testing.B) {
+	vec := NewRegistry().CounterVec("bench_total", "bench", "kind", "backend")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.With("run", "flat").Inc()
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("bench_total", "bench", "kind")
+	for _, k := range []string{"a", "b", "c", "d"} {
+		vec.With(k).Add(7)
+	}
+	h := reg.HistogramVec("bench_seconds", "bench", DurationBuckets(), "stage")
+	for _, st := range []string{"queue_wait", "execute", "sample"} {
+		h.With(st).Observe(0.01)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

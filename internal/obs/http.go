@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// InstrumentHTTP wraps an HTTP handler with the daemon-level telemetry:
+//
+//   - http_in_flight (gauge): requests currently being served;
+//   - http_requests_total{route,code} (counter): completed requests by
+//     matched mux pattern and status code;
+//   - http_request_duration_seconds{route} (histogram): per-route latency;
+//   - a request ID per request (honoring an incoming X-Request-ID header,
+//     minting one otherwise) attached to the request context and echoed
+//     in the X-Request-ID response header;
+//   - one structured access-log line per request with the request ID.
+//
+// The metric names are prefixed with prefix (e.g. "hisvsim_"). The route
+// label is the mux pattern that matched (r.Pattern, e.g.
+// "POST /v1/jobs"), not the raw path, so per-job URLs cannot explode the
+// label cardinality; unmatched requests are labeled "unmatched". A nil
+// logger disables access logging.
+func InstrumentHTTP(reg *Registry, prefix string, logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = Nop()
+	}
+	inFlight := reg.Gauge(prefix+"http_in_flight", "HTTP requests currently being served.")
+	requests := reg.CounterVec(prefix+"http_requests_total", "Completed HTTP requests by route pattern and status code.", "route", "code")
+	latency := reg.HistogramVec(prefix+"http_request_duration_seconds", "HTTP request latency by route pattern.", DurationBuckets(), "route")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = NewRequestID()
+		}
+		ctx := WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", id)
+
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		inFlight.Add(-1)
+
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		requests.With(route, strconv.Itoa(code)).Inc()
+		latency.With(route).Observe(elapsed.Seconds())
+		logger.LogAttrs(ctx, slog.LevelInfo, "http",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", code),
+			slog.Duration("elapsed", elapsed),
+		)
+	})
+}
+
+// statusWriter captures the status code written by the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher so long-poll handlers keep streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Request-ID plumbing: every submit (HTTP or Go API) gets a correlation ID
+// that flows through context.Context into structured log lines, the job
+// record, and the X-Request-ID response header.
+
+type ridCtxKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridCtxKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridCtxKey{}).(string)
+	return id
+}
+
+var (
+	ridCounter atomic.Int64
+	ridPrefix  = fmt.Sprintf("%08x", uint32(time.Now().UnixNano())) //nolint:gochecknoglobals — per-process token
+)
+
+// NewRequestID returns a process-unique request ID: a per-process token
+// plus a monotonic counter (cheap, collision-free within a process,
+// distinguishable across restarts).
+func NewRequestID() string {
+	return fmt.Sprintf("r%s-%06d", ridPrefix, ridCounter.Add(1))
+}
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a structured logger writing to w at the given level,
+// as logfmt-style text or JSON. The returned logger injects the context's
+// request ID (see WithRequestID) as a request_id attribute on every line
+// logged with a context-carrying method, so one grep follows a request
+// through submit, execution and completion.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(&ctxHandler{Handler: h})
+}
+
+// NewLoggerFromFlags is NewLogger on stderr with a flag-shaped level
+// string — the daemon's -log-level / -log-json entry point.
+func NewLoggerFromFlags(level string, json bool) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return NewLogger(os.Stderr, lv, json), nil
+}
+
+// Nop returns a logger that discards everything — the default for embedded
+// services whose owner did not wire logging.
+func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ctxHandler decorates records with the context's request ID.
+type ctxHandler struct{ slog.Handler }
+
+func (h *ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ctxHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	return &ctxHandler{Handler: h.Handler.WithGroup(name)}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers every instrument type from many
+// goroutines; under `go test -race` this is the data-race guard for the
+// atomic hot paths.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "counter")
+	g := reg.Gauge("g", "gauge")
+	h := reg.Histogram("h_seconds", "histogram", []float64{0.001, 0.01, 0.1})
+	vec := reg.CounterVec("v_total", "labeled counter", "kind")
+
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := []string{"a", "b", "c"}[i%3]
+			child := vec.With(kind)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%200) / 1000)
+				child.Inc()
+				// Exercise the child-resolution path concurrently too.
+				vec.With(kind).Add(0)
+			}
+		}(i)
+	}
+	// Concurrent scrapes must not race with writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := reg.WriteText(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var vecSum int64
+	vec.Each(func(_ []string, v int64) { vecSum += v })
+	if vecSum != total {
+		t.Errorf("vec sum = %d, want %d", vecSum, total)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the ≤ semantics: a value exactly on a
+// bucket's upper bound lands in that bucket, just above it lands in the
+// next, and everything past the last bound goes to +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latencies", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 5.0, 5.0001, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative counts: ≤1 → {0.5, 1.0} = 2; ≤2 → +{1.0001, 2.0} = 4;
+	// ≤5 → +{5.0} = 5; +Inf → +{5.0001, 100} = 7.
+	for _, line := range []string{
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="2"} 4`,
+		`lat_seconds_bucket{le="5"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 7`,
+		`lat_seconds_count 7`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	wantSum := 0.5 + 1.0 + 1.0001 + 2.0 + 5.0 + 5.0001 + 100
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestTextFormatGolden pins the full exposition output: HELP/TYPE lines,
+// name-sorted families, label-sorted children, label-value escaping, and
+// histogram bucket/sum/count series.
+func TestTextFormatGolden(t *testing.T) {
+	reg := NewRegistry()
+	jobs := reg.CounterVec("app_jobs_total", "Jobs by kind.", "kind", "status")
+	jobs.With("run", "done").Add(3)
+	jobs.With("run", "failed").Inc()
+	jobs.With(`we"ird\kind`+"\n", "done").Inc()
+	reg.Gauge("app_queue_depth", "Queued jobs.").Set(2.5)
+	h := reg.Histogram("app_wait_seconds", "Queue wait.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(1)
+	reg.GaugeFunc("app_workers", "Worker pool size.", func() float64 { return 4 })
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_jobs_total Jobs by kind.
+# TYPE app_jobs_total counter
+app_jobs_total{kind="run",status="done"} 3
+app_jobs_total{kind="run",status="failed"} 1
+app_jobs_total{kind="we\"ird\\kind\n",status="done"} 1
+# HELP app_queue_depth Queued jobs.
+# TYPE app_queue_depth gauge
+app_queue_depth 2.5
+# HELP app_wait_seconds Queue wait.
+# TYPE app_wait_seconds histogram
+app_wait_seconds_bucket{le="0.01"} 1
+app_wait_seconds_bucket{le="0.1"} 2
+app_wait_seconds_bucket{le="+Inf"} 3
+app_wait_seconds_sum 1.055
+app_wait_seconds_count 3
+# HELP app_workers Worker pool size.
+# TYPE app_workers gauge
+app_workers 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGetOrCreate verifies re-registration returns the same storage and a
+// shape mismatch panics.
+func TestGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x")
+	b := reg.Counter("x_total", "x")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("re-registered counter did not share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("type mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "now a gauge")
+}
+
+// TestObserveAllocFree is the hot-path guard: once the instrument is
+// resolved, counter adds and histogram observes must not allocate.
+func TestObserveAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a_total", "a")
+	g := reg.Gauge("b", "b")
+	h := reg.HistogramVec("c_seconds", "c", DurationBuckets(), "stage").With("execute")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.0042)
+	}); n != 0 {
+		t.Errorf("hot-path observe allocates %v times per op, want 0", n)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one completed (or in-progress) stage of a traced job: its name,
+// its offset from the trace start, and its duration.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Trace is a sequential per-job stage tracer: at any moment at most one
+// stage is open, Begin closes the current stage and opens the next at the
+// same instant, and Finish closes the last one. Because the stages tile
+// the trace window with no gaps or overlaps, the span durations sum to
+// exactly the traced wall time — the invariant the /v1/jobs/{id}/trace
+// acceptance check leans on.
+//
+// All methods are safe for concurrent use and no-ops on a nil *Trace, so
+// instrumented code paths (core, the trajectory engine) can Begin stages
+// unconditionally via TraceFromContext.
+type Trace struct {
+	mu       sync.Mutex
+	t0       time.Time
+	spans    []Span
+	cur      string
+	curStart time.Time
+	done     bool
+}
+
+// NewTrace starts a trace whose window opens at start (zero = now).
+func NewTrace(start time.Time) *Trace {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &Trace{t0: start}
+}
+
+// Begin closes the current stage (if any) and opens name, both at now.
+func (t *Trace) Begin(name string) { t.BeginAt(name, time.Now()) }
+
+// BeginAt is Begin at an explicit instant — the service uses it to open
+// the queue_wait stage at exactly the submit timestamp the trace window
+// starts at, so the spans tile the full submitted→finished window.
+func (t *Trace) BeginAt(name string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.endLocked(now)
+	t.cur = name
+	t.curStart = now
+}
+
+// Finish closes the current stage; further Begins are ignored.
+func (t *Trace) Finish() { t.FinishAt(time.Now()) }
+
+// FinishAt is Finish at an explicit instant (the job's finished
+// timestamp, so the last span ends exactly where the wall clock stops).
+func (t *Trace) FinishAt(now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.endLocked(now)
+	t.done = true
+}
+
+// maxTraceSpans bounds a trace's stored spans. A job that flips stages
+// thousands of times (a big sweep's per-point ensembles) folds the
+// overflow into its trailing span instead of growing without bound;
+// tiling is preserved because the folded span absorbs the extra time.
+const maxTraceSpans = 512
+
+func (t *Trace) endLocked(now time.Time) {
+	if t.cur == "" {
+		return
+	}
+	if n := len(t.spans); n > 0 {
+		last := &t.spans[n-1]
+		if last.Name == t.cur || n >= maxTraceSpans {
+			// Coalesce: contiguous same-name stages merge into one span, and
+			// past the cap everything folds into the trailing span.
+			last.Dur = now.Sub(t.t0) - last.Start
+			t.cur = ""
+			return
+		}
+	}
+	t.spans = append(t.spans, Span{Name: t.cur, Start: t.curStart.Sub(t.t0), Dur: now.Sub(t.curStart)})
+	t.cur = ""
+}
+
+// Spans returns a copy of the recorded spans. While the trace is live the
+// open stage is included with its duration measured to now, so snapshots
+// of running jobs show where time is going.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Span(nil), t.spans...)
+	if t.cur != "" {
+		out = append(out, Span{Name: t.cur, Start: t.curStart.Sub(t.t0), Dur: time.Since(t.curStart)})
+	}
+	return out
+}
+
+// Start returns the trace window's opening instant.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.t0
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches the trace to the context so lower layers
+// (core.SimulateContext, the trajectory engine) can mark their stages.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the attached trace, or nil (on which every
+// Trace method is a safe no-op).
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

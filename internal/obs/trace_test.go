@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTraceTiles verifies the tracer's core invariant: sequential stages
+// tile the window, so span durations sum to exactly finish−start.
+func TestTraceTiles(t *testing.T) {
+	t0 := time.Now()
+	tr := NewTrace(t0)
+	tr.BeginAt("queue_wait", t0)
+	tr.BeginAt("execute", t0.Add(10*time.Millisecond))
+	tr.BeginAt("sample", t0.Add(30*time.Millisecond))
+	tr.FinishAt(t0.Add(35 * time.Millisecond))
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %v", len(spans), spans)
+	}
+	wantNames := []string{"queue_wait", "execute", "sample"}
+	wantDurs := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 5 * time.Millisecond}
+	var sum time.Duration
+	for i, sp := range spans {
+		if sp.Name != wantNames[i] {
+			t.Errorf("span %d name = %q, want %q", i, sp.Name, wantNames[i])
+		}
+		if sp.Dur != wantDurs[i] {
+			t.Errorf("span %d dur = %v, want %v", i, sp.Dur, wantDurs[i])
+		}
+		sum += sp.Dur
+	}
+	if want := 35 * time.Millisecond; sum != want {
+		t.Errorf("span sum = %v, want the full wall %v", sum, want)
+	}
+	if spans[1].Start != 10*time.Millisecond {
+		t.Errorf("execute start = %v, want 10ms", spans[1].Start)
+	}
+
+	// Finished traces ignore further stages.
+	tr.Begin("late")
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("Begin after Finish grew the trace to %d spans", got)
+	}
+}
+
+// TestTraceOpenSpanSnapshot verifies a live trace's snapshot includes the
+// currently open stage.
+func TestTraceOpenSpanSnapshot(t *testing.T) {
+	tr := NewTrace(time.Now())
+	tr.Begin("execute")
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "execute" {
+		t.Fatalf("open span not snapshotted: %v", spans)
+	}
+	if spans[0].Dur < 0 {
+		t.Errorf("open span has negative duration %v", spans[0].Dur)
+	}
+}
+
+// TestNilTrace verifies every method is a no-op on nil, so instrumented
+// code can call through TraceFromContext unconditionally.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.Begin("x")
+	tr.Finish()
+	if tr.Spans() != nil {
+		t.Error("nil trace returned spans")
+	}
+	if got := TraceFromContext(context.Background()); got != nil {
+		t.Errorf("empty context returned trace %v", got)
+	}
+}
+
+// TestTraceContext round-trips a trace through a context.
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace(time.Now())
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFromContext(ctx); got != tr {
+		t.Errorf("context round-trip lost the trace")
+	}
+	TraceFromContext(ctx).Begin("inner")
+	if spans := tr.Spans(); len(spans) != 1 || spans[0].Name != "inner" {
+		t.Errorf("stage via context not recorded: %v", spans)
+	}
+}
+
+// TestRequestID checks uniqueness and context plumbing.
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Errorf("request IDs not unique: %q, %q", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Errorf("RequestID = %q, want %q", got, a)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("empty context RequestID = %q, want \"\"", got)
+	}
+}

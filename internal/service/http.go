@@ -21,9 +21,11 @@ import (
 //	POST   /v1/jobs             submit a job            → 202 {id, status}
 //	GET    /v1/jobs/{id}        poll a job snapshot     → 200 job JSON
 //	GET    /v1/jobs/{id}/result long-poll for the result (?wait=30s)
+//	GET    /v1/jobs/{id}/trace  per-stage timing trace  → 200 trace JSON
 //	DELETE /v1/jobs/{id}        cancel                  → 200 job JSON
 //	GET    /v1/backends         registered execution backends
 //	GET    /v1/stats            service counters
+//	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
 //
 // The submit body names the circuit either inline ("qasm") or by generator
@@ -46,6 +48,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(s, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) { handleTrace(s, w, r) })
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, core.Backends())
@@ -56,6 +59,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.Handle("GET /metrics", s.Metrics().Handler())
 	return mux
 }
 
@@ -573,7 +577,7 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.Submit(req)
+	id, err := s.SubmitContext(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
@@ -646,6 +650,53 @@ func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, wireJob{ID: id, Status: string(status), Error: werr.Error()})
 	}
 }
+
+// wireTrace is the GET /v1/jobs/{id}/trace body: the job's sequential
+// stage spans. For terminal jobs the stage durations sum to wall_ms (the
+// spans tile the submitted→finished window); live jobs include the open
+// stage measured to now.
+type wireTrace struct {
+	ID        string      `json:"id"`
+	Kind      string      `json:"kind"`
+	Status    string      `json:"status"`
+	RequestID string      `json:"request_id,omitempty"`
+	Backend   string      `json:"backend,omitempty"`
+	WallMS    float64     `json:"wall_ms"`
+	Stages    []wireStage `json:"stages"`
+}
+
+// wireStage is one stage span: its offset from submit and its duration.
+type wireStage struct {
+	Stage      string  `json:"stage"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func handleTrace(s *Service, w http.ResponseWriter, r *http.Request) {
+	info, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	wall := time.Since(info.Submitted)
+	if !info.Finished.IsZero() {
+		wall = info.Finished.Sub(info.Submitted)
+	}
+	out := wireTrace{
+		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
+		RequestID: info.RequestID, Backend: info.Backend,
+		WallMS: durationMS(wall),
+		Stages: make([]wireStage, 0, len(info.Trace)),
+	}
+	for _, sp := range info.Trace {
+		out.Stages = append(out.Stages, wireStage{
+			Stage: sp.Name, StartMS: durationMS(sp.Start), DurationMS: durationMS(sp.Dur),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func durationMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func handleCancel(s *Service, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")

@@ -36,9 +36,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hisvsim/internal/backend"
@@ -47,6 +47,7 @@ import (
 	"hisvsim/internal/dm"
 	"hisvsim/internal/lru"
 	"hisvsim/internal/noise"
+	"hisvsim/internal/obs"
 	"hisvsim/internal/partition"
 	"hisvsim/internal/sv"
 )
@@ -230,6 +231,11 @@ type Result struct {
 	// the time spent queued.
 	Elapsed time.Duration
 	Waited  time.Duration
+	// Stages is the job's completed stage trace: sequential spans
+	// (queue_wait, compile, execute, sample, …) that tile the
+	// submitted→finished window, so their durations sum to the job's wall
+	// time. Served over HTTP at GET /v1/jobs/{id}/trace.
+	Stages []obs.Span
 }
 
 // JobInfo is a point-in-time snapshot of a job.
@@ -245,6 +251,14 @@ type JobInfo struct {
 	Submitted time.Time
 	Started   time.Time // zero until running
 	Finished  time.Time // zero until terminal
+	// RequestID is the job's correlation ID: taken from the submitting
+	// context (the HTTP layer mints one per request and echoes it in
+	// X-Request-ID), or generated at submit. It appears as request_id on
+	// every log line the job produces.
+	RequestID string
+	// Trace is the job's stage spans so far (live jobs include the open
+	// stage measured to now; terminal jobs tile submitted→finished).
+	Trace []obs.Span
 }
 
 // Config tunes a Service. The zero value selects the documented defaults.
@@ -293,6 +307,15 @@ type Config struct {
 	// MaxOptimizeIters caps OptimizeSpec.MaxIters (default 1000); every
 	// iteration costs up to a handful of objective evaluations.
 	MaxOptimizeIters int
+	// Metrics is the registry the service reports into (nil = a private
+	// one). Share a registry between the service and obs.InstrumentHTTP so
+	// one GET /metrics exposition covers both; use one registry per
+	// Service — the queue-depth and worker gauges are service-shaped.
+	Metrics *obs.Registry
+	// Logger receives the service's structured log lines (job lifecycle
+	// at info, submissions at debug), each carrying the job's request_id.
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 // maxJobWorkers caps Options.Workers per request; more goroutines than
@@ -403,12 +426,11 @@ type Service struct {
 	cache         *lru.Cache
 	planCache     *lru.Cache // compiled trajectory plans (own small budget)
 	inflight      map[string]*flight
-	backendJobs   map[string]int64 // executed jobs per engine name
 
-	submitted, completed, failed, canceled atomic.Int64
-	simulations, cacheHits, cacheMisses    atomic.Int64
-	trajectories                           atomic.Int64
-	templateCompiles, shimHits             atomic.Int64
+	// m is the single source of truth for every service counter: Stats()
+	// is a read-only projection of it, and GET /metrics exposes it raw.
+	m   *serviceMetrics
+	log *slog.Logger
 }
 
 // job is the internal mutable job record; all fields past ctx/cancel are
@@ -430,6 +452,12 @@ type job struct {
 	// backend is the engine actually executing the job (idealBackend or
 	// BackendTrajectory), set when execution starts.
 	backend string
+	// requestID correlates the job's log lines (and its HTTP submit, when
+	// the ID came in via X-Request-ID); trace records the job's sequential
+	// stage spans, tiling submitted→finished. Both are write-once at
+	// submit; the trace has its own lock.
+	requestID string
+	trace     *obs.Trace
 
 	status    Status
 	result    *Result
@@ -495,17 +523,22 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:         cfg,
-		root:        root,
-		stop:        stop,
-		queue:       make(chan *job, cfg.QueueDepth),
-		jobs:        map[string]*job{},
-		cache:       lru.New(cfg.CacheBytes),
-		planCache:   lru.New(cfg.PlanCacheBytes),
-		inflight:    map[string]*flight{},
-		backendJobs: map[string]int64{},
-		trajTokens:  make(chan struct{}, cfg.Workers), // Workers−1 tokens below
+		cfg:        cfg,
+		root:       root,
+		stop:       stop,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       map[string]*job{},
+		cache:      lru.New(cfg.CacheBytes),
+		planCache:  lru.New(cfg.PlanCacheBytes),
+		inflight:   map[string]*flight{},
+		trajTokens: make(chan struct{}, cfg.Workers), // Workers−1 tokens below
+		m:          newServiceMetrics(cfg.Metrics),
+		log:        cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
+	s.m.attach(s)
 	for i := 0; i < cfg.Workers-1; i++ {
 		s.trajTokens <- struct{}{}
 	}
@@ -516,10 +549,24 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// Metrics returns the registry the service reports into. NewHandler
+// mounts it at GET /metrics; pass it to obs.InstrumentHTTP so the
+// daemon-level HTTP series land in the same exposition.
+func (s *Service) Metrics() *obs.Registry { return s.m.reg }
+
 // Submit validates and enqueues a request, returning the job ID
 // immediately. It never blocks on execution: a full queue fails fast with
 // ErrQueueFull.
 func (s *Service) Submit(req Request) (string, error) {
+	return s.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit with a caller context carrying observability
+// state: an obs request ID on ctx (the HTTP layer mints one per request)
+// becomes the job's correlation ID — a fresh one is generated otherwise.
+// The context is NOT a cancellation scope for the job; job lifetime is
+// still bounded by the service root and Request.Timeout.
+func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error) {
 	if (req.Kind == KindSample || req.Kind == KindNoisySample) && req.Shots == 0 {
 		req.Shots = min(1024, s.cfg.MaxShots)
 	}
@@ -543,7 +590,7 @@ func (s *Service) Submit(req Request) (string, error) {
 		return "", err
 	}
 	if _, ok := v1Shims[req.Kind]; ok {
-		s.shimHits.Add(1)
+		s.m.shimHits.With(string(req.Kind)).Inc()
 	}
 	// Capability enforcement happens here, at submit: an unknown backend, a
 	// rank/width mismatch, a noisy request on an engine with no noisy path,
@@ -586,6 +633,18 @@ func (s *Service) Submit(req Request) (string, error) {
 	} else {
 		jctx, jcancel = context.WithCancel(s.root)
 	}
+	rid := obs.RequestID(ctx)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	// The trace window opens — and its queue_wait stage begins — at the
+	// exact submit timestamp, so the spans tile submitted→finished and
+	// their durations sum to the job's wall time. Both ride the job
+	// context so core and the trajectory engine can mark their stages.
+	submitted := time.Now()
+	trace := obs.NewTrace(submitted)
+	trace.BeginAt(stageQueueWait, submitted)
+	jctx = obs.ContextWithTrace(obs.WithRequestID(jctx, rid), trace)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -597,7 +656,8 @@ func (s *Service) Submit(req Request) (string, error) {
 		id: fmt.Sprintf("j%06d", s.nextID), req: req,
 		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
 		idealBackend: idealBackend, exact: exact,
-		status: StatusQueued, submitted: time.Now(),
+		requestID: rid, trace: trace,
+		status: StatusQueued, submitted: submitted,
 	}
 	select {
 	case s.queue <- j:
@@ -607,8 +667,11 @@ func (s *Service) Submit(req Request) (string, error) {
 		return "", ErrQueueFull
 	}
 	s.jobs[j.id] = j
-	s.submitted.Add(1)
 	s.mu.Unlock()
+	s.m.jobsSubmitted.With(string(req.Kind)).Inc()
+	s.log.LogAttrs(jctx, slog.LevelDebug, "job submitted",
+		slog.String("job", j.id), slog.String("kind", string(req.Kind)),
+		slog.String("backend", idealBackend))
 	return j.id, nil
 }
 
@@ -793,6 +856,7 @@ func (s *Service) snapshotLocked(j *job) JobInfo {
 		ID: j.id, Kind: j.req.Kind, Status: j.status, Backend: j.backend,
 		Result:    j.result,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		RequestID: j.requestID, Trace: j.trace.Spans(),
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
@@ -850,33 +914,45 @@ func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
 	return res, err
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. It is a read-only projection of the
+// metrics registry (the labeled series summed back to the original
+// aggregates), so the /v1/stats JSON shape — and its numbers — stay
+// byte-compatible with the pre-registry surface.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries, bytes := s.cache.Len(), s.cache.Size()
 	planEntries, planBytes := s.planCache.Len(), s.planCache.Size()
 	queued := len(s.queue)
-	var backends map[string]int64
-	if len(s.backendJobs) > 0 {
-		backends = make(map[string]int64, len(s.backendJobs))
-		for k, v := range s.backendJobs {
-			backends[k] = v
-		}
-	}
 	s.mu.Unlock()
-	return Stats{
-		Submitted: s.submitted.Load(), Completed: s.completed.Load(),
-		Failed: s.failed.Load(), Canceled: s.canceled.Load(),
-		Simulations:  s.simulations.Load(),
-		Trajectories: s.trajectories.Load(),
-		CacheHits:    s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
-		TemplateCompiles: s.templateCompiles.Load(),
-		ShimHits:         s.shimHits.Load(),
+	st := Stats{
+		Simulations:      s.m.simulations.Value(),
+		Trajectories:     s.m.trajectories.Value(),
+		TemplateCompiles: s.m.templateCompiles.Value(),
 		CacheEntries:     entries, CacheBytes: bytes,
 		PlanCacheEntries: planEntries, PlanCacheBytes: planBytes,
 		QueueLength: queued, Workers: s.cfg.Workers,
-		Backends: backends,
 	}
+	s.m.jobsSubmitted.Each(func(_ []string, v int64) { st.Submitted += v })
+	s.m.jobsFinished.Each(func(labels []string, v int64) {
+		switch Status(labels[1]) {
+		case StatusDone:
+			st.Completed += v
+		case StatusCanceled:
+			st.Canceled += v
+		default:
+			st.Failed += v
+		}
+	})
+	s.m.cacheHits.Each(func(_ []string, v int64) { st.CacheHits += v })
+	s.m.cacheMisses.Each(func(_ []string, v int64) { st.CacheMisses += v })
+	s.m.shimHits.Each(func(_ []string, v int64) { st.ShimHits += v })
+	s.m.backendJobs.Each(func(labels []string, v int64) {
+		if st.Backends == nil {
+			st.Backends = map[string]int64{}
+		}
+		st.Backends[labels[0]] += v
+	})
+	return st
 }
 
 // Close stops the service: no new submissions, queued jobs are canceled,
@@ -917,10 +993,15 @@ func (s *Service) worker() {
 }
 
 func (s *Service) run(j *job) {
+	s.m.workersBusy.Add(1)
+	defer s.m.workersBusy.Add(-1)
 	s.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
 	s.mu.Unlock()
+	// queue_wait ends exactly at the started timestamp; the executors open
+	// finer stages (compile, simulate, sample, …) from here.
+	j.trace.BeginAt(stageExecute, j.started)
 
 	if err := j.ctx.Err(); err != nil {
 		s.finish(j, nil, err)
@@ -931,25 +1012,33 @@ func (s *Service) run(j *job) {
 }
 
 func (s *Service) finish(j *job, res *Result, err error) {
+	// Close the trace at the exact finished timestamp (before res is
+	// published under the lock — observers of j.result must never see
+	// Stages still being written) so the spans tile submitted→finished.
+	now := time.Now()
+	j.trace.FinishAt(now)
+	spans := j.trace.Spans()
+	if res != nil {
+		res.Stages = spans
+	}
 	s.mu.Lock()
 	if j.status.Terminal() {
 		s.mu.Unlock()
 		return
 	}
-	j.finished = time.Now()
+	j.finished = now
 	j.result = res
 	j.err = err
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		s.completed.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCanceled
-		s.canceled.Add(1)
 	default:
 		j.status = StatusFailed
-		s.failed.Add(1)
 	}
+	status := j.status
+	backendName := j.backend
 	s.retained = append(s.retained, j.id)
 	s.retainedBytes += resultBytes(res)
 	for len(s.retained) > s.cfg.RetainJobs ||
@@ -962,6 +1051,30 @@ func (s *Service) finish(j *job, res *Result, err error) {
 		s.retained = s.retained[1:]
 	}
 	s.mu.Unlock()
+	// Metrics and logging happen off the lock: the stage histograms are
+	// the worker-utilization ledger (per stage/kind/backend; jobs that
+	// never reached an engine are labeled backend "none").
+	kind := string(j.req.Kind)
+	if backendName == "" {
+		backendName = "none"
+	}
+	for _, sp := range spans {
+		s.m.stageSeconds.With(sp.Name, kind, backendName).Observe(sp.Dur.Seconds())
+	}
+	s.m.jobsFinished.With(kind, string(status)).Inc()
+	level := slog.LevelInfo
+	if status == StatusFailed {
+		level = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("job", j.id), slog.String("kind", kind),
+		slog.String("status", string(status)), slog.String("backend", backendName),
+		slog.Duration("wall", now.Sub(j.submitted)),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("err", err.Error()))
+	}
+	s.log.LogAttrs(j.ctx, level, "job finished", attrs...)
 	j.cancel() // release the context's resources
 	close(j.done)
 }
@@ -1009,8 +1122,8 @@ func readoutsBytes(ro *core.Readouts) int64 {
 func (s *Service) setBackend(j *job, name string) {
 	s.mu.Lock()
 	j.backend = name
-	s.backendJobs[name]++
 	s.mu.Unlock()
+	s.m.backendJobs.With(name).Inc()
 }
 
 // execute resolves the cache entry (simulating on miss) and derives every
@@ -1052,6 +1165,7 @@ func (s *Service) execute(j *job) (*Result, error) {
 		CacheHit: hit, Parts: entry.parts(),
 		Waited: j.started.Sub(j.submitted),
 	}
+	j.trace.Begin(stageSample)
 	var sampler *sv.Sampler
 	if spec.Shots > 0 {
 		sampler = entry.getSampler() // reuse the cached CDF across jobs
@@ -1092,11 +1206,14 @@ func (s *Service) entryForCircuit(j *job, c *circuit.Circuit) (*cacheEntry, bool
 // when the owner was canceled — that says nothing about their own job;
 // a real compute failure would fail them identically).
 func (s *Service) cachedCompute(j *job, key string, compute func() (costed, error)) (costed, bool, error) {
+	// The cache label (state vs rho) is keyed by the entry's key prefix,
+	// so one LRU serves two logically distinct metric series.
+	cacheName := mainCacheName(key)
 	for {
 		s.mu.Lock()
 		if v, ok := s.cache.Get(key); ok {
 			s.mu.Unlock()
-			s.cacheHits.Add(1)
+			s.m.cacheHits.With(cacheName).Inc()
 			return v.(costed), true, nil
 		}
 		if fl, ok := s.inflight[key]; ok {
@@ -1112,19 +1229,21 @@ func (s *Service) cachedCompute(j *job, key string, compute func() (costed, erro
 				}
 				return nil, false, fl.err
 			}
-			s.cacheHits.Add(1)
+			s.m.cacheHits.With(cacheName).Inc()
 			return fl.val, true, nil
 		}
 		fl := &flight{done: make(chan struct{})}
 		s.inflight[key] = fl
 		s.mu.Unlock()
 
-		s.cacheMisses.Add(1)
+		s.m.cacheMisses.With(cacheName).Inc()
 		fl.val, fl.err = compute()
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if fl.err == nil {
-			s.cache.Put(key, fl.val, fl.val.cost())
+			if s.cache.Put(key, fl.val, fl.val.cost()) {
+				s.m.cachePut(cacheName, fl.val.cost())
+			}
 		}
 		s.mu.Unlock()
 		close(fl.done)
@@ -1162,6 +1281,7 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 		}
 	}()
 	run := spec.NoisyRunConfig(width)
+	j.trace.Begin(stageCompile)
 	plan, hit, err := s.noisePlanFor(j)
 	if err != nil {
 		return nil, err
@@ -1199,6 +1319,7 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 		if plan.Parametric() {
 			// The cached plan is the shared template; only the touched gate
 			// runs re-materialize for this request's binding.
+			j.trace.Begin(stageSpecialize)
 			if plan, err = plan.Specialize(req.Params); err != nil {
 				return nil, err
 			}
@@ -1207,10 +1328,11 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.trajectories.Add(int64(ens.Trajectories))
+		s.m.trajectories.Add(int64(ens.Trajectories))
 	}
 	res.CacheHit = hit
 	res.Trajectories = ens.Trajectories
+	j.trace.Begin(stageSample)
 	legacyProject(res, core.ReadoutsFromEnsemble(ens, spec))
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -1225,6 +1347,7 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 func (s *Service) executeDM(j *job, spec core.ReadoutSpec) (*Result, error) {
 	start := time.Now()
 	s.setBackend(j, j.idealBackend)
+	j.trace.Begin(stageCompile)
 	plan, _, err := s.noisePlanFor(j)
 	if err != nil {
 		return nil, err
@@ -1238,6 +1361,7 @@ func (s *Service) executeDM(j *job, spec core.ReadoutSpec) (*Result, error) {
 		CacheHit: hit,
 		Waited:   j.started.Sub(j.submitted),
 	}
+	j.trace.Begin(stageSample)
 	legacyProject(res, core.EvaluateDensity(entry.d, plan.Readout(), spec))
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -1249,7 +1373,8 @@ func (s *Service) executeDM(j *job, spec core.ReadoutSpec) (*Result, error) {
 func (s *Service) dmEntryFor(j *job, plan *noise.Plan) (*dmEntry, bool, error) {
 	key := dmKey(j.req.Circuit, j.req.Options, j.req.Noise)
 	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
-		s.simulations.Add(1)
+		s.m.simulations.Inc()
+		j.trace.Begin(stageSimulate)
 		d, err := dm.Evolve(j.ctx, plan, j.req.Options.Workers)
 		if err != nil {
 			return nil, err
@@ -1288,11 +1413,11 @@ func (s *Service) noisePlanFor(j *job) (*noise.Plan, bool, error) {
 	s.mu.Lock()
 	if v, ok := s.planCache.Get(key); ok {
 		s.mu.Unlock()
-		s.cacheHits.Add(1)
+		s.m.cacheHits.With(cachePlan).Inc()
 		return v.(*noisePlanEntry).plan, true, nil
 	}
 	s.mu.Unlock()
-	s.cacheMisses.Add(1)
+	s.m.cacheMisses.With(cachePlan).Inc()
 	plan, err := noise.Compile(j.req.Circuit, j.req.Noise, noise.CompileOptions{
 		Fuse: j.req.Options.Fuse.Enabled(), MaxFuseQubits: j.req.Options.MaxFuseQubits,
 	})
@@ -1300,7 +1425,9 @@ func (s *Service) noisePlanFor(j *job) (*noise.Plan, bool, error) {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	s.planCache.Put(key, &noisePlanEntry{plan: plan}, plan.MemoryBytes())
+	if s.planCache.Put(key, &noisePlanEntry{plan: plan}, plan.MemoryBytes()) {
+		s.m.cachePut(cachePlan, plan.MemoryBytes())
+	}
 	s.mu.Unlock()
 	return plan, false, nil
 }
@@ -1316,7 +1443,7 @@ func noisePlanKey(c *circuit.Circuit, o core.Options, m *noise.Model) string {
 }
 
 func (s *Service) simulate(j *job, c *circuit.Circuit) (*cacheEntry, error) {
-	s.simulations.Add(1)
+	s.m.simulations.Inc()
 	opts := j.req.Options
 	opts.SkipState = false // the cache entry IS the state
 	res, err := core.SimulateContext(j.ctx, c, opts)

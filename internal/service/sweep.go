@@ -181,18 +181,20 @@ func (s *Service) templateFor(c *circuit.Circuit, o core.Options) (*fuse.Templat
 	s.mu.Lock()
 	if v, ok := s.planCache.Get(key); ok {
 		s.mu.Unlock()
-		s.cacheHits.Add(1)
+		s.m.cacheHits.With(cachePlan).Inc()
 		return v.(*templateEntry).tpl, true, nil
 	}
 	s.mu.Unlock()
-	s.cacheMisses.Add(1)
-	s.templateCompiles.Add(1)
+	s.m.cacheMisses.With(cachePlan).Inc()
+	s.m.templateCompiles.Inc()
 	tpl, err := fuse.CompileTemplate(c, fuse.Options{MaxQubits: o.MaxFuseQubits})
 	if err != nil {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	s.planCache.Put(key, &templateEntry{tpl: tpl}, templateCost(tpl))
+	if s.planCache.Put(key, &templateEntry{tpl: tpl}, templateCost(tpl)) {
+		s.m.cachePut(cachePlan, templateCost(tpl))
+	}
 	s.mu.Unlock()
 	return tpl, false, nil
 }
@@ -205,11 +207,13 @@ func (s *Service) templateEntryFor(j *job, env map[string]float64) (*cacheEntry,
 	key := fmt.Sprintf("tplrun|%s|%s|mf=%d w=%d",
 		j.req.Circuit.Fingerprint(), circuit.BindingDigest(env), j.req.Options.MaxFuseQubits, j.req.Options.Workers)
 	v, hit, err := s.cachedCompute(j, key, func() (costed, error) {
+		j.trace.Begin(stageCompile)
 		tpl, _, err := s.templateFor(j.req.Circuit, j.req.Options)
 		if err != nil {
 			return nil, err
 		}
-		s.simulations.Add(1)
+		s.m.simulations.Inc()
+		j.trace.Begin(stageSimulate)
 		st, err := tpl.Run(env, j.req.Options.Workers)
 		if err != nil {
 			return nil, err
@@ -238,6 +242,7 @@ func (s *Service) executeParamRun(j *job, spec core.ReadoutSpec) (*Result, error
 		CacheHit: hit,
 		Waited:   j.started.Sub(j.submitted),
 	}
+	j.trace.Begin(stageSample)
 	if spec.Shots > 0 {
 		legacyProject(res, core.EvaluateState(entry.state, entry.getSampler(), spec))
 	} else {
@@ -284,6 +289,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 			}
 		}()
 		run := spec.NoisyRunConfig(width)
+		j.trace.Begin(stageCompile)
 		plan, hit, err := s.noisePlanFor(j)
 		if err != nil {
 			return nil, err
@@ -306,6 +312,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 			res.Backend = j.idealBackend
 			rep.TouchedBlocks = tpl.TouchedBlocks()
 			rep.SharedBlocks = len(tpl.Blocks) - tpl.TouchedBlocks()
+			j.trace.Begin(stageExecute)
 			for i, env := range bindings {
 				if err := j.ctx.Err(); err != nil {
 					return nil, err
@@ -324,6 +331,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 		} else {
 			s.setBackend(j, BackendTrajectory)
 			res.Backend = BackendTrajectory
+			j.trace.Begin(stageExecute)
 			for i, env := range bindings {
 				if err := j.ctx.Err(); err != nil {
 					return nil, err
@@ -337,7 +345,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 					return nil, err
 				}
 				rep.Trajectories = ens.Trajectories
-				s.trajectories.Add(int64(ens.Trajectories))
+				s.m.trajectories.Add(int64(ens.Trajectories))
 				rep.Points = append(rep.Points, core.SweepPoint{Binding: env, Readouts: core.ReadoutsFromEnsemble(ens, spec)})
 			}
 		}
@@ -350,6 +358,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 
 	s.setBackend(j, j.idealBackend)
 	res.Backend = j.idealBackend
+	j.trace.Begin(stageCompile)
 	tpl, hit, err := s.templateFor(req.Circuit, req.Options)
 	if err != nil {
 		return nil, err
@@ -360,6 +369,7 @@ func (s *Service) executeSweep(j *job) (*Result, error) {
 	res.CacheHit = hit
 	rep.TouchedBlocks = tpl.TouchedBlocks()
 	rep.SharedBlocks = len(tpl.Blocks) - tpl.TouchedBlocks()
+	j.trace.Begin(stageExecute)
 	for i, env := range bindings {
 		if err := j.ctx.Err(); err != nil {
 			return nil, err
@@ -390,13 +400,13 @@ func (s *Service) executeOptimize(j *job) (*Result, error) {
 	s.setBackend(j, backendName)
 	opts := req.Options
 	opts.Noise = req.Noise
-	s.templateCompiles.Add(1)
+	s.m.templateCompiles.Inc()
 	rep, err := core.OptimizeContext(j.ctx, req.Circuit, opts, *req.Optimize)
 	if err != nil {
 		return nil, err
 	}
 	if rep.Trajectories > 0 {
-		s.trajectories.Add(int64(rep.Trajectories) * int64(rep.Evaluations))
+		s.m.trajectories.Add(int64(rep.Trajectories) * int64(rep.Evaluations))
 	}
 	return &Result{
 		Kind: KindOptimize, Backend: backendName, NumQubits: req.Circuit.NumQubits,

@@ -269,6 +269,47 @@ if [ "$UCODE" != 400 ] || ! grep -q beta "$UBODY"; then
 fi
 rm -f "$UBODY"
 
+# The Prometheus exposition reflects everything this script just did:
+# submits by kind, state-cache hits, stage-latency observations, and the
+# queue/worker/HTTP series.
+METRICS="$(mktemp)"
+curl -fsS "$BASE/metrics" >"$METRICS"
+msum() {
+    # Sum the values of every sample whose name (incl. labels) matches $1.
+    grep "^$1" "$METRICS" | awk '{s += $NF} END {printf "%d\n", s}'
+}
+SUBMITTED_SAMPLE="$(msum 'hisvsim_jobs_submitted_total{kind="sample"}')"
+STATE_HITS="$(msum 'hisvsim_cache_hits_total{cache="state"}')"
+STAGE_OBS="$(msum 'hisvsim_stage_duration_seconds_count')"
+if [ "$SUBMITTED_SAMPLE" -lt 2 ] || [ "$STATE_HITS" -lt 1 ] || [ "$STAGE_OBS" -lt 1 ]; then
+    echo "serve-smoke: /metrics counters wrong (sample submits=$SUBMITTED_SAMPLE state hits=$STATE_HITS stage obs=$STAGE_OBS)" >&2
+    grep ^hisvsim_ "$METRICS" >&2
+    exit 1
+fi
+for series in hisvsim_queue_depth hisvsim_workers hisvsim_workers_busy \
+    hisvsim_cache_resident_bytes hisvsim_http_requests_total hisvsim_http_in_flight; do
+    if ! grep -q "^$series" "$METRICS"; then
+        echo "serve-smoke: /metrics is missing the $series series" >&2
+        exit 1
+    fi
+done
+rm -f "$METRICS"
+
+# The per-job stage trace: non-empty, starts in queue_wait, and the stage
+# durations tile the job's wall time (within 5%).
+TRACE="$(curl -fsS "$BASE/v1/jobs/$ID/trace")"
+TOK="$(printf '%s' "$TRACE" | jq '
+    .wall_ms as $wall
+    | (.stages | length > 0)
+      and .stages[0].stage == "queue_wait"
+      and ((([.stages[].duration_ms] | add) - $wall
+            | if . < 0 then -. else . end) <= $wall * 0.05 + 0.05)')"
+if [ "$TOK" != true ]; then
+    echo "serve-smoke: stage trace failed validation:" >&2
+    printf '%s\n' "$TRACE" >&2
+    exit 1
+fi
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 if ! wait "$PID"; then
@@ -277,4 +318,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, parameterized sweep, unbound-symbol 400, graceful shutdown)"
+echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, parameterized sweep, unbound-symbol 400, /metrics scrape, stage trace, graceful shutdown)"

@@ -1,7 +1,12 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench obs-bench serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench obs-bench bench-all benchdiff serve-smoke clean
+
+# Where the *-bench targets write their BENCH_*.json artifacts. The
+# committed baselines live at the repo root; point BENCH_DIR at a scratch
+# directory to produce a fresh run for benchdiff without touching them.
+BENCH_DIR ?= .
 
 all: lint build test
 
@@ -23,17 +28,19 @@ lint:
 	$(GO) vet ./...
 
 # Regenerates BENCH_fusion.json (fused vs. unfused, qft/ising/random at 16-20 qubits).
+# CI smokes it narrow: make fusion-bench FUSION_REPS=1.
+FUSION_REPS ?= 3
 fusion-bench:
-	$(GO) run ./cmd/benchtables -only fusion -fusion-out BENCH_fusion.json
+	$(GO) run ./cmd/benchtables -only fusion -fusion-reps $(FUSION_REPS) -fusion-out $(BENCH_DIR)/BENCH_fusion.json
 
 # Regenerates BENCH_service.json (cold vs. cache-hit latency, jobs/sec sweep).
 service-bench:
-	$(GO) run ./cmd/benchtables -only service -service-out BENCH_service.json
+	$(GO) run ./cmd/benchtables -only service -service-out $(BENCH_DIR)/BENCH_service.json
 
 # Regenerates BENCH_noise.json (trajectory throughput vs. workers, Pauli
 # fast path vs. general Kraus selection, one fused plan reused throughout).
 noise-bench:
-	$(GO) run ./cmd/benchtables -only noise -noise-out BENCH_noise.json
+	$(GO) run ./cmd/benchtables -only noise -noise-out $(BENCH_DIR)/BENCH_noise.json
 
 # Regenerates BENCH_dm.json (exact density matrix vs trajectory ensemble:
 # per-width timings and the trajectory count where ensembles start winning).
@@ -41,7 +48,7 @@ noise-bench:
 DM_QUBITS ?= 6,8,10,12
 DM_TRAJ ?= 50
 dm-bench:
-	$(GO) run ./cmd/benchtables -only dm -dm-qubits $(DM_QUBITS) -dm-traj $(DM_TRAJ) -dm-out BENCH_dm.json
+	$(GO) run ./cmd/benchtables -only dm -dm-qubits $(DM_QUBITS) -dm-traj $(DM_TRAJ) -dm-out $(BENCH_DIR)/BENCH_dm.json
 
 # Regenerates BENCH_sweep.json (one compiled template specialized across a
 # binding grid vs. per-point bind + fusion + run; speedup and block sharing).
@@ -49,7 +56,19 @@ dm-bench:
 SWEEP_QUBITS ?= 12
 SWEEP_POINTS ?= 50
 sweep-bench:
-	$(GO) run ./cmd/benchtables -only sweep -sweep-qubits $(SWEEP_QUBITS) -sweep-points $(SWEEP_POINTS) -sweep-out BENCH_sweep.json
+	$(GO) run ./cmd/benchtables -only sweep -sweep-qubits $(SWEEP_QUBITS) -sweep-points $(SWEEP_POINTS) -sweep-out $(BENCH_DIR)/BENCH_sweep.json
+
+# Regenerates every normalized BENCH_*.json artifact. Point BENCH_DIR at a
+# scratch directory and gate with benchdiff:
+#
+#	make bench-all BENCH_DIR=/tmp/bench FUSION_REPS=1
+#	make benchdiff BENCH_DIR=/tmp/bench
+bench-all: fusion-bench service-bench noise-bench dm-bench sweep-bench
+
+# Compares the artifacts under BENCH_DIR against the committed baselines
+# at the repo root; exits nonzero on any out-of-tolerance regression.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline . -fresh $(BENCH_DIR)
 
 # Regenerates BENCH_obs.txt: the metric-primitive microbenchmarks (counter,
 # gauge, histogram, vec lookup — the Observe path must stay allocation-free)

@@ -1,0 +1,46 @@
+// Command benchdiff compares a fresh benchmark run against the repo's
+// committed BENCH_*.json baselines and exits nonzero on any
+// out-of-tolerance regression. Each baseline row carries its own
+// direction and tolerance (see internal/bench: schema.go for the format,
+// diff.go for the rules), so one invocation gates every artifact:
+//
+//	make bench-all BENCH_DIR=/tmp/bench   # regenerate into a scratch dir
+//	benchdiff -baseline . -fresh /tmp/bench
+//
+// Baseline metrics the fresh run did not measure are skipped — narrow CI
+// configs (fewer widths, fewer reps) gate only the intersection they
+// actually measured. Baseline files with no fresh counterpart are
+// reported and skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hisvsim/internal/bench"
+)
+
+func main() {
+	var (
+		baseDir  = flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+		freshDir = flag.String("fresh", "", "directory holding the freshly generated BENCH_*.json artifacts")
+	)
+	flag.Parse()
+	if *freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		os.Exit(2)
+	}
+	d, err := bench.DiffDirs(*baseDir, *freshDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var sb strings.Builder
+	d.Render(&sb)
+	fmt.Print(sb.String())
+	if d.Regressions() > 0 {
+		os.Exit(1)
+	}
+}

@@ -13,11 +13,13 @@
 //	GET    /v1/jobs/{id}         poll
 //	GET    /v1/jobs/{id}/result  long-poll result (?wait=30s)
 //	GET    /v1/jobs/{id}/trace   per-stage timing trace
+//	GET    /v1/jobs/{id}/profile kernel-level execution profile
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/backends          registered execution backends
 //	GET    /v1/stats             counters
 //	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 once drain begins)
 //
 // The v2 surface is kind "run": one "readouts" spec asks for any mix of
 // statevector, seeded shots, marginal distributions and weighted
@@ -51,9 +53,10 @@
 // (-log-level, -log-json); -debug-addr serves net/http/pprof on a
 // separate, opt-in listener so profiling is never exposed on the API port.
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight HTTP
-// requests get -grace seconds to finish, then the service cancels
-// outstanding jobs and the worker pool exits.
+// SIGINT/SIGTERM drain gracefully: /readyz flips to 503 first (so load
+// balancers stop routing), the listener stops, in-flight HTTP requests get
+// -grace seconds to finish, then the service cancels outstanding jobs and
+// the worker pool exits. /healthz stays 200 throughout the drain.
 package main
 
 import (
@@ -146,6 +149,10 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
+		// Flip readiness before touching the listener: a load balancer
+		// polling /readyz sees the 503 while the API still answers, instead
+		// of discovering the drain through connection errors.
+		svc.BeginDrain()
 		logger.Info("draining", "signal", sig.String(), "grace", grace.String())
 	case err := <-errc:
 		svc.Close()

@@ -12,6 +12,7 @@ import (
 	"hisvsim/internal/dm"
 	"hisvsim/internal/hier"
 	"hisvsim/internal/partition"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -84,6 +85,7 @@ func (flatBackend) Run(ctx context.Context, c *circuit.Circuit, spec Spec) (*Exe
 	start := time.Now()
 	st := sv.NewState(c.NumQubits)
 	st.Workers = spec.Workers
+	st.Prof = prof.FromContext(ctx)
 	for _, g := range c.Gates {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -123,6 +125,7 @@ func (hierBackend) Run(ctx context.Context, c *circuit.Circuit, spec Spec) (*Exe
 	start := time.Now()
 	st := sv.NewState(c.NumQubits)
 	st.Workers = spec.Workers
+	st.Prof = prof.FromContext(ctx)
 	m, err := hier.ExecutePlan(pl, st, hier.Options{
 		Ctx:           ctx,
 		SecondLevelLm: spec.SecondLevelLm, Workers: spec.Workers,

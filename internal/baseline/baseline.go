@@ -19,6 +19,7 @@ import (
 	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/mpi"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -158,6 +159,7 @@ func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
 		}
 		st := sv.NewStateRaw(local)
 		st.Workers = cfg.Workers
+		st.Prof = prof.FromContext(cfg.Ctx)
 
 		for gi := 0; gi < len(gates); gi++ {
 			if gateGate != nil {

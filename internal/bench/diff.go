@@ -1,0 +1,175 @@
+// Benchmark regression comparison: fresh normalized reports against
+// committed baselines. Each baseline row carries its own direction and
+// tolerance (see schema.go); Compare applies them metric by metric, and
+// DiffDirs lifts that over whole BENCH_*.json directories so
+// cmd/benchdiff is a thin exit-code wrapper.
+
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Delta is one compared metric.
+type Delta struct {
+	Metric    string
+	Base      float64
+	Fresh     float64
+	Unit      string
+	Better    string
+	Tol       float64
+	Regressed bool
+}
+
+// String renders the delta as one benchdiff output line.
+func (d Delta) String() string {
+	status := "ok"
+	if d.Regressed {
+		status = "REGRESSED"
+	} else if d.Better == "" {
+		status = "info"
+	}
+	return fmt.Sprintf("%-44s base %14.6g  fresh %14.6g %-8s %-6s tol %g: %s",
+		d.Metric, d.Base, d.Fresh, d.Unit, d.Better, d.Tol, status)
+}
+
+// DiffReport is the comparison of one fresh report against its baseline.
+type DiffReport struct {
+	Name   string
+	Deltas []Delta
+	// MissingInFresh lists baseline metrics the fresh run did not produce
+	// (narrow CI configs measure a subset; only the intersection gates).
+	MissingInFresh []string
+	// NewInFresh lists fresh metrics the baseline lacks (future baselines
+	// should be regenerated to cover them).
+	NewInFresh []string
+}
+
+// Regressions counts the out-of-tolerance deltas.
+func (d *DiffReport) Regressions() int {
+	n := 0
+	for _, dl := range d.Deltas {
+		if dl.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare evaluates every baseline row that the fresh report also
+// measured. The baseline row's direction and tolerance govern:
+//
+//	lower:  regression when fresh > base·(1+tol)
+//	higher: regression when fresh < base/(1+tol)
+//	exact:  regression when fresh ≠ base
+//	"":     informational, never a regression
+func Compare(base, fresh *Report) *DiffReport {
+	freshRows := make(map[string]Row, len(fresh.Rows))
+	for _, row := range fresh.Rows {
+		freshRows[row.Metric] = row
+	}
+	out := &DiffReport{Name: base.Name}
+	seen := make(map[string]bool, len(base.Rows))
+	for _, b := range base.Rows {
+		seen[b.Metric] = true
+		f, ok := freshRows[b.Metric]
+		if !ok {
+			out.MissingInFresh = append(out.MissingInFresh, b.Metric)
+			continue
+		}
+		d := Delta{Metric: b.Metric, Base: b.Value, Fresh: f.Value,
+			Unit: b.Unit, Better: b.Better, Tol: b.Tol}
+		switch b.Better {
+		case BetterLower:
+			d.Regressed = f.Value > b.Value*(1+b.Tol)
+		case BetterHigher:
+			d.Regressed = f.Value < b.Value/(1+b.Tol)
+		case BetterExact:
+			d.Regressed = f.Value != b.Value
+		}
+		out.Deltas = append(out.Deltas, d)
+	}
+	for _, f := range fresh.Rows {
+		if !seen[f.Metric] {
+			out.NewInFresh = append(out.NewInFresh, f.Metric)
+		}
+	}
+	return out
+}
+
+// DirDiff is the comparison of two artifact directories.
+type DirDiff struct {
+	Reports []*DiffReport
+	// SkippedFresh lists baseline files with no fresh counterpart.
+	SkippedFresh []string
+}
+
+// Regressions counts out-of-tolerance deltas across every report.
+func (d *DirDiff) Regressions() int {
+	n := 0
+	for _, r := range d.Reports {
+		n += r.Regressions()
+	}
+	return n
+}
+
+// DiffDirs compares every BENCH_*.json under baseDir against the
+// same-named file under freshDir. Baseline files with no fresh
+// counterpart are skipped (and recorded); a baseline that fails to parse
+// as schema v1 is an error — committed artifacts must be normalized.
+func DiffDirs(baseDir, freshDir string) (*DirDiff, error) {
+	paths, err := filepath.Glob(filepath.Join(baseDir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchdiff: no BENCH_*.json baselines under %s", baseDir)
+	}
+	out := &DirDiff{}
+	for _, bp := range paths {
+		name := filepath.Base(bp)
+		base, err := LoadReport(bp)
+		if err != nil {
+			return nil, err
+		}
+		fp := filepath.Join(freshDir, name)
+		if _, err := os.Stat(fp); err != nil {
+			out.SkippedFresh = append(out.SkippedFresh, name)
+			continue
+		}
+		fresh, err := LoadReport(fp)
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, Compare(base, fresh))
+	}
+	return out, nil
+}
+
+// Render writes the directory diff as the benchdiff text output.
+func (d *DirDiff) Render(w *strings.Builder) {
+	for _, rep := range d.Reports {
+		fmt.Fprintf(w, "== %s ==\n", rep.Name)
+		for _, dl := range rep.Deltas {
+			fmt.Fprintln(w, dl.String())
+		}
+		if len(rep.MissingInFresh) > 0 {
+			fmt.Fprintf(w, "   (skipped %d baseline metrics the fresh run did not measure)\n",
+				len(rep.MissingInFresh))
+		}
+		if len(rep.NewInFresh) > 0 {
+			fmt.Fprintf(w, "   (%d fresh metrics have no baseline yet: %s)\n",
+				len(rep.NewInFresh), strings.Join(rep.NewInFresh, ", "))
+		}
+	}
+	for _, name := range d.SkippedFresh {
+		fmt.Fprintf(w, "== %s == skipped: no fresh artifact\n", name)
+	}
+	fmt.Fprintf(w, "benchdiff: %d regression(s) across %d report(s)\n",
+		d.Regressions(), len(d.Reports))
+}

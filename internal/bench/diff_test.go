@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(t *testing.T, name string) *Report {
+	t.Helper()
+	r, err := NewReport(name, map[string]int{"orig": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func writeReport(t *testing.T, dir, file string, r *Report) {
+	t.Helper()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareRules pins the per-direction regression rules, including the
+// acceptance fixture: an injected 2× slowdown on a lower-is-better row
+// with tol 0.5 MUST register as a regression.
+func TestCompareRules(t *testing.T) {
+	base := mkReport(t, "rules")
+	base.Add("slow_ms", 100, "ms", BetterLower, 0.5)
+	base.Add("edge_ms", 100, "ms", BetterLower, 0.5)
+	base.Add("rate", 100, "traj/s", BetterHigher, 0.6)
+	base.Add("rate_ok", 100, "traj/s", BetterHigher, 0.6)
+	base.Add("gates", 81, "count", BetterExact, 0)
+	base.Add("note", 7, "", "", 0)
+	base.Add("only_base_ms", 5, "ms", BetterLower, 0.5)
+
+	fresh := mkReport(t, "rules")
+	fresh.Add("slow_ms", 200, "ms", BetterLower, 0.5)  // 2× slowdown > 1.5× budget
+	fresh.Add("edge_ms", 150, "ms", BetterLower, 0.5)  // exactly at budget: not a regression
+	fresh.Add("rate", 50, "traj/s", BetterHigher, 0.6) // halved throughput < 100/1.6
+	fresh.Add("rate_ok", 70, "traj/s", BetterHigher, 0.6)
+	fresh.Add("gates", 82, "count", BetterExact, 0) // drifted count
+	fresh.Add("note", 70000, "", "", 0)             // informational: never gates
+	fresh.Add("only_fresh_ms", 9, "ms", BetterLower, 0.5)
+
+	d := Compare(base, fresh)
+	want := map[string]bool{
+		"slow_ms": true, "edge_ms": false,
+		"rate": true, "rate_ok": false,
+		"gates": true, "note": false,
+	}
+	if len(d.Deltas) != len(want) {
+		t.Fatalf("compared %d metrics, want %d: %+v", len(d.Deltas), len(want), d.Deltas)
+	}
+	for _, dl := range d.Deltas {
+		if dl.Regressed != want[dl.Metric] {
+			t.Errorf("%s: regressed=%v, want %v (base %g fresh %g)",
+				dl.Metric, dl.Regressed, want[dl.Metric], dl.Base, dl.Fresh)
+		}
+	}
+	if d.Regressions() != 3 {
+		t.Errorf("regressions = %d, want 3", d.Regressions())
+	}
+	if len(d.MissingInFresh) != 1 || d.MissingInFresh[0] != "only_base_ms" {
+		t.Errorf("missing-in-fresh = %v, want [only_base_ms]", d.MissingInFresh)
+	}
+	if len(d.NewInFresh) != 1 || d.NewInFresh[0] != "only_fresh_ms" {
+		t.Errorf("new-in-fresh = %v, want [only_fresh_ms]", d.NewInFresh)
+	}
+}
+
+// TestDiffDirs runs the whole directory pipeline cmd/benchdiff wraps: a
+// fixture baseline with a 2× injected slowdown in the fresh directory
+// must come back with a nonzero regression count (that count is what the
+// command turns into its nonzero exit), and a baseline with no fresh
+// counterpart is skipped, not failed.
+func TestDiffDirs(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+
+	base := mkReport(t, "fusion")
+	base.Add("qft-20/fused_ms", 153, "ms", BetterLower, 0.5)
+	base.Add("qft-20/speedup", 3.3, "x", BetterHigher, 0.6)
+	writeReport(t, baseDir, "BENCH_fusion.json", base)
+
+	fresh := mkReport(t, "fusion")
+	fresh.Add("qft-20/fused_ms", 306, "ms", BetterLower, 0.5) // injected 2× slowdown
+	fresh.Add("qft-20/speedup", 3.1, "x", BetterHigher, 0.6)
+	writeReport(t, freshDir, "BENCH_fusion.json", fresh)
+
+	skipped := mkReport(t, "dm")
+	skipped.Add("ising-12/dm_ms", 9000, "ms", BetterLower, 3)
+	writeReport(t, baseDir, "BENCH_dm.json", skipped)
+
+	d, err := DiffDirs(baseDir, freshDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Regressions(); got != 1 {
+		t.Fatalf("injected 2x slowdown: regressions = %d, want 1: %+v", got, d.Reports)
+	}
+	if len(d.SkippedFresh) != 1 || d.SkippedFresh[0] != "BENCH_dm.json" {
+		t.Errorf("skipped = %v, want [BENCH_dm.json]", d.SkippedFresh)
+	}
+	var sb strings.Builder
+	d.Render(&sb)
+	out := sb.String()
+	for _, wantLine := range []string{"qft-20/fused_ms", "REGRESSED", "1 regression(s)", "skipped: no fresh artifact"} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("rendered diff missing %q:\n%s", wantLine, out)
+		}
+	}
+}
+
+// TestLoadReportRejectsUnversioned guards the committed-artifact contract:
+// a pre-normalization BENCH file (no schema tag) is an error, not a
+// silently empty comparison.
+func TestLoadReportRejectsUnversioned(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_old.json")
+	if err := os.WriteFile(path, []byte(`{"circuit":"qft","rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("LoadReport on unversioned artifact: err = %v, want schema error", err)
+	}
+	r := mkReport(t, "roundtrip")
+	r.Add("x_ms", 1.5, "ms", BetterLower, 3)
+	writeReport(t, dir, "BENCH_rt.json", r)
+	got, err := LoadReport(filepath.Join(dir, "BENCH_rt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" || len(got.Rows) != 1 || got.Rows[0].Metric != "x_ms" ||
+		got.Machine.NumCPU < 1 || got.Machine.Go == "" {
+		t.Errorf("roundtrip drifted: %+v", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Normalized benchmark-artifact schema. Every BENCH_*.json the repo
+// commits is one Report: a machine block identifying the host, a flat
+// list of named metric rows carrying their own regression policy
+// (direction + tolerance), and the generating benchmark's full original
+// output preserved under "detail". The flat rows are what cmd/benchdiff
+// compares; the detail block keeps the rich per-benchmark structure for
+// humans and plots.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// SchemaV1 tags the normalized artifact format.
+const SchemaV1 = "hisvsim.bench/v1"
+
+// Row regression directions. "" marks an informational row benchdiff
+// reports but never gates on.
+const (
+	// BetterLower: a time-like metric; regression when fresh > base·(1+tol).
+	BetterLower = "lower"
+	// BetterHigher: a throughput/ratio metric; regression when
+	// fresh < base/(1+tol).
+	BetterHigher = "higher"
+	// BetterExact: a deterministic count; any inequality is a regression.
+	BetterExact = "exact"
+)
+
+// Machine identifies the benchmark host. Committed baselines and CI
+// runners differ, which is why time-like rows carry generous tolerances:
+// the gate catches order-of-magnitude regressions and broken ratios, not
+// single-digit-percent drift.
+type Machine struct {
+	CPU    string `json:"cpu"`
+	NumCPU int    `json:"num_cpu"`
+	Go     string `json:"go"`
+}
+
+// Row is one comparable metric. Metric names embed the configuration that
+// produced them ("qft-20/fused_ms", "traj_per_sec@4w") so narrow CI runs
+// compare only the intersection they actually measured.
+type Row struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	// Better is BetterLower, BetterHigher, BetterExact or "" (informational).
+	Better string `json:"better,omitempty"`
+	// Tol is the fractional slack before a row regresses (3.0 = 4× for
+	// time-like rows across machines, 0.6 for unitless ratios, 0 for exact).
+	Tol float64 `json:"tol,omitempty"`
+}
+
+// Report is one normalized BENCH_*.json artifact.
+type Report struct {
+	Schema  string  `json:"schema"`
+	Name    string  `json:"name"`
+	Machine Machine `json:"machine"`
+	Rows    []Row   `json:"rows"`
+	// Detail is the generating benchmark's original report, verbatim.
+	Detail json.RawMessage `json:"detail,omitempty"`
+}
+
+// NewReport starts a normalized report on the current host, embedding
+// detail (the benchmark's rich original output) verbatim.
+func NewReport(name string, detail any) (*Report, error) {
+	r := &Report{Schema: SchemaV1, Name: name, Machine: HostMachine()}
+	if detail != nil {
+		b, err := json.Marshal(detail)
+		if err != nil {
+			return nil, fmt.Errorf("bench: marshal %s detail: %w", name, err)
+		}
+		r.Detail = b
+	}
+	return r, nil
+}
+
+// Add appends one metric row.
+func (r *Report) Add(metric string, value float64, unit, better string, tol float64) {
+	r.Rows = append(r.Rows, Row{Metric: metric, Value: value, Unit: unit, Better: better, Tol: tol})
+}
+
+// JSON renders the report as the indented BENCH_*.json payload.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadReport reads and validates one normalized artifact.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, SchemaV1)
+	}
+	return &r, nil
+}
+
+// HostMachine describes the current host. The CPU model comes from
+// /proc/cpuinfo where available ("" elsewhere — the field is
+// informational, never compared).
+func HostMachine() Machine {
+	return Machine{CPU: cpuModel(), NumCPU: runtime.NumCPU(), Go: runtime.Version()}
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

@@ -22,6 +22,7 @@ import (
 	"hisvsim/internal/hier"
 	"hisvsim/internal/mpi"
 	"hisvsim/internal/partition"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -115,6 +116,7 @@ func Run(pl *partition.Plan, cfg Config) (*Result, error) {
 	if cfg.Ctx != nil {
 		stepGate = make([]atomic.Int32, len(steps))
 	}
+	recorder := prof.FromContext(cfg.Ctx)
 	stats, err := mpi.RunMapped(vranks, realOf, model, func(cm *mpi.Comm) error {
 		local := make([]complex128, 1<<uint(l))
 		if cm.Rank() == 0 {
@@ -147,6 +149,7 @@ func Run(pl *partition.Plan, cfg Config) (*Result, error) {
 			}
 			slab := sv.NewStateRaw(local)
 			slab.Workers = cfg.Workers
+			slab.Prof = recorder
 			t0 := time.Now()
 			if st.subPlan != nil {
 				if _, err := hier.ExecutePlan(st.subPlan, slab, hier.Options{

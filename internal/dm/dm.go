@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"math/cmplx"
 	"math/rand"
+	"time"
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/noise"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -142,22 +144,52 @@ func (d *Density) ApplyGate(g gate.Gate) error {
 	return nil
 }
 
+// suppressProf detaches the kernel recorder from the underlying vec so a
+// multi-sweep ρ update can be re-attributed as ONE logical kernel at the dm
+// layer (otherwise the two UρU† sides would show up as unrelated sv kernels
+// with the wrong class). It returns the recorder (nil when profiling is off)
+// and the start time (zero when off — no clock reads on the unprofiled path).
+func (d *Density) suppressProf() (*prof.Recorder, time.Time) {
+	rec := d.vec.Prof
+	if rec == nil {
+		return nil, time.Time{}
+	}
+	d.vec.Prof = nil
+	return rec, time.Now()
+}
+
+// resumeProf records the finished ρ update and re-attaches the recorder.
+func (d *Density) resumeProf(rec *prof.Recorder, k prof.Kind, width int, t0 time.Time, amps, bytes, allocs int64) {
+	if rec == nil {
+		return
+	}
+	rec.Record(k, width, time.Since(t0), amps, bytes, allocs)
+	d.vec.Prof = rec
+}
+
 // ApplyMatrix applies ρ → MρM† for an arbitrary matrix over the listed
 // qubits (little-endian over the list, like the sv kernels).
 func (d *Density) ApplyMatrix(qubits []int, m gate.Matrix) {
+	rec, t0 := d.suppressProf()
 	d.vec.ApplyMatrixK(qubits, m)
 	d.vec.ApplyMatrixK(d.shift(qubits), m.Conj())
+	n := int64(len(d.vec.Amps))
+	k := len(qubits)
+	d.resumeProf(rec, prof.Dense, k, t0, 2*n, 2*n*32, 4*d.vec.SweepChunks(len(d.vec.Amps)>>uint(k)))
 }
 
 // ApplyDiagonal applies ρ → DρD† for a diagonal operator over the listed
 // qubits (one multiply per side per element — the fused diagonal path).
 func (d *Density) ApplyDiagonal(qubits []int, diag []complex128) {
+	rec, t0 := d.suppressProf()
 	conj := make([]complex128, len(diag))
 	for i, v := range diag {
 		conj[i] = cmplx.Conj(v)
 	}
 	d.vec.ApplyFusedDiagonal(qubits, diag)
 	d.vec.ApplyFusedDiagonal(d.shift(qubits), conj)
+	n := int64(len(d.vec.Amps))
+	d.resumeProf(rec, prof.Diagonal, len(qubits), t0, 2*n, 2*n*32, 1)
 }
 
 // Superoperator returns the vectorized form of the channel: the 2k-qubit
@@ -190,7 +222,10 @@ func (d *Density) applySuper(qubits []int, super gate.Matrix) {
 	targets := make([]int, 0, 2*len(qubits))
 	targets = append(targets, qubits...)
 	targets = append(targets, d.shift(qubits)...)
+	rec, t0 := d.suppressProf()
 	d.vec.ApplyMatrixK(targets, super)
+	n := int64(len(d.vec.Amps))
+	d.resumeProf(rec, prof.Super, 2*len(qubits), t0, n, n*32, 2*d.vec.SweepChunks(len(d.vec.Amps)>>uint(2*len(qubits))))
 }
 
 // Options configures Run.
@@ -229,6 +264,7 @@ func Evolve(ctx context.Context, plan *noise.Plan, workers int) (*Density, error
 		return nil, err
 	}
 	d.vec.Workers = workers
+	d.vec.Prof = prof.FromContext(ctx)
 	// Channels repeat across insertion sites; build each superoperator once.
 	supers := map[*noise.Channel]gate.Matrix{}
 	err = plan.VisitSteps(func(s noise.Step) error {

@@ -18,6 +18,18 @@ import (
 // Strategies compared against the IQS baseline throughout the evaluation.
 var Strategies = []string{"nat", "dfs", "dagp"}
 
+// Regression tolerances for the normalized BENCH_*.json rows (see
+// internal/bench). Committed baselines and CI runners are different
+// machines, so time-like rows get a 4× budget — the gate exists to catch
+// order-of-magnitude regressions and broken ratios, not percent-level
+// drift. Unitless speedups are machine-sensitive but bounded, so they
+// gate tighter. Deterministic counts (gates, blocks, bytes) use
+// bench.BetterExact with tolerance 0.
+const (
+	tolTime  = 3.0
+	tolRatio = 0.6
+)
+
 // Config scales the reproduction.
 type Config struct {
 	// Base is the qubit count for the 30-qubit rows of Table I; the larger

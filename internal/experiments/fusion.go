@@ -5,7 +5,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -160,11 +159,36 @@ func (r *FusionReport) Table() *bench.Table {
 	return t
 }
 
-// JSON renders the report as indented JSON (the BENCH_fusion.json payload).
-func (r *FusionReport) JSON() ([]byte, error) {
-	b, err := json.MarshalIndent(r, "", "  ")
+// Normalize flattens the report into the comparable BENCH schema. Metric
+// names embed the (circuit, qubits) point so narrow runs compare only
+// what they measured; gate/part/block counts are deterministic under the
+// fixed strategy and seed, so they gate exactly.
+func (r *FusionReport) Normalize() (*bench.Report, error) {
+	rep, err := bench.NewReport("fusion", r)
 	if err != nil {
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	for _, row := range r.Rows {
+		p := fmt.Sprintf("%s-%d/", row.Circuit, row.Qubits)
+		rep.Add(p+"unfused_ms", row.UnfusedMS, "ms", bench.BetterLower, tolTime)
+		rep.Add(p+"fused_ms", row.FusedMS, "ms", bench.BetterLower, tolTime)
+		rep.Add(p+"speedup", row.Speedup, "x", bench.BetterHigher, tolRatio)
+		rep.Add(p+"gates", float64(row.Gates), "count", bench.BetterExact, 0)
+		rep.Add(p+"parts", float64(row.Parts), "count", bench.BetterExact, 0)
+		rep.Add(p+"blocks", float64(row.Blocks), "count", bench.BetterExact, 0)
+	}
+	for _, fam := range bench.SortedKeys(r.MedianSpeedup) {
+		rep.Add("median_speedup/"+fam, r.MedianSpeedup[fam], "x", bench.BetterHigher, tolRatio)
+	}
+	return rep, nil
+}
+
+// JSON renders the normalized report as indented JSON (the
+// BENCH_fusion.json payload; the original report rides under "detail").
+func (r *FusionReport) JSON() ([]byte, error) {
+	rep, err := r.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return rep.JSON()
 }

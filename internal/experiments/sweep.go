@@ -11,7 +11,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"time"
 
@@ -178,11 +177,35 @@ func (r *SweepReport) Table() *bench.Table {
 	return t
 }
 
-// JSON renders the report as indented JSON (the BENCH_sweep.json payload).
-func (r *SweepReport) JSON() ([]byte, error) {
-	b, err := json.MarshalIndent(r, "", "  ")
+// Normalize flattens the report into the comparable BENCH schema. Every
+// metric name embeds the full configuration — register, depth AND grid
+// size — because the whole point of the sweep is amortization: per-point
+// costs and speedups shift with the binding count, so runs at different
+// grid sizes must not gate against each other.
+func (r *SweepReport) Normalize() (*bench.Report, error) {
+	rep, err := bench.NewReport("sweep", r)
 	if err != nil {
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	p := fmt.Sprintf("%s-%dx%d/p%d/", r.Circuit, r.Qubits, r.Layers, r.Points)
+	rep.Add(p+"template_ms", r.TemplateMS, "ms", bench.BetterLower, tolTime)
+	rep.Add(p+"concrete_ms", r.ConcreteMS, "ms", bench.BetterLower, tolTime)
+	rep.Add(p+"compile_ms", r.CompileMS, "ms", bench.BetterLower, tolTime)
+	rep.Add(p+"speedup", r.Speedup, "x", bench.BetterHigher, tolRatio)
+	rep.Add(p+"per_point_template_ms", r.PerPointTemplateMS, "ms", bench.BetterLower, tolTime)
+	rep.Add(p+"per_point_concrete_ms", r.PerPointConcreteMS, "ms", bench.BetterLower, tolTime)
+	rep.Add(p+"symbols", float64(r.Symbols), "count", bench.BetterExact, 0)
+	rep.Add(p+"touched_blocks", float64(r.TouchedBlocks), "count", bench.BetterExact, 0)
+	rep.Add(p+"shared_blocks", float64(r.SharedBlocks), "count", bench.BetterExact, 0)
+	return rep, nil
+}
+
+// JSON renders the normalized report as indented JSON (the
+// BENCH_sweep.json payload; the original report rides under "detail").
+func (r *SweepReport) JSON() ([]byte, error) {
+	rep, err := r.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return rep.JSON()
 }

@@ -26,6 +26,7 @@ import (
 	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
 	"hisvsim/internal/partition"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -117,6 +118,7 @@ func Run(c *circuit.Circuit, lm int, s partition.Strategy, opts Options) (*sv.St
 	}
 	outer := sv.NewState(c.NumQubits)
 	outer.Workers = opts.Workers
+	outer.Prof = prof.FromContext(opts.Ctx)
 	m, err := ExecutePlan(pl, outer, opts)
 	if err != nil {
 		return nil, nil, err
@@ -265,6 +267,7 @@ func executeSweeps(pp *prepared, outer *sv.State, workers int) error {
 	runRange := func(lo, hi int) (int64, error) {
 		inner := sv.NewState(w)
 		inner.Workers = 1 // inner vectors are small; parallelism is sweep-level
+		inner.Prof = outer.Prof
 		dimInner := inner.Dim()
 		for f := lo; f < hi; f++ {
 			base := f

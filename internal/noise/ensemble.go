@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hisvsim/internal/obs"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -239,6 +240,7 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 	// without one); consecutive ensembles in a sweep coalesce into one span.
 	obs.TraceFromContext(ctx).Begin("trajectories")
 	start := time.Now()
+	rec := prof.FromContext(ctx)
 	ro := p.Readout()
 	T := cfg.Trajectories
 	wantExp := cfg.Qubits != nil
@@ -265,7 +267,7 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 					return
 				}
 				rng := trajRNG(cfg.Seed, t)
-				st, stats, err := p.RunTrajectory(rng)
+				st, stats, err := p.runTrajectory(rng, rec)
 				if err != nil {
 					errs[t] = err
 					return

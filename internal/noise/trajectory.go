@@ -8,6 +8,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/fuse"
 	"hisvsim/internal/gate"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -250,8 +251,17 @@ func (a *TrajStats) add(b TrajStats) {
 // sampling layer makes afterwards), so a trajectory's randomness is fully
 // determined by its RNG seed.
 func (p *Plan) RunTrajectory(rng *rand.Rand) (*sv.State, TrajStats, error) {
+	return p.runTrajectory(rng, nil)
+}
+
+// runTrajectory is RunTrajectory with an optional kernel recorder attached
+// to the trajectory state (the ensemble runner threads the job's recorder
+// through here; kernel times from concurrent trajectories sum, so they can
+// exceed the stage's wall time when trajectory workers > 1).
+func (p *Plan) runTrajectory(rng *rand.Rand, rec *prof.Recorder) (*sv.State, TrajStats, error) {
 	st := sv.NewState(p.n)
 	st.Workers = 1 // parallelism is trajectory-level (RunEnsemble)
+	st.Prof = rec
 	var stats TrajStats
 	for i := range p.steps {
 		s := &p.steps[i]

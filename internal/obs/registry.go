@@ -24,11 +24,14 @@ import (
 	"sync/atomic"
 )
 
-// Metric type names as they appear on # TYPE lines.
+// Metric type names as they appear on # TYPE lines. typFloatCounter is an
+// internal shape (float-valued monotone series, e.g. attributed kernel
+// seconds) that renders as a plain Prometheus counter.
 const (
-	typeCounter   = "counter"
-	typeGauge     = "gauge"
-	typeHistogram = "histogram"
+	typeCounter     = "counter"
+	typeGauge       = "gauge"
+	typeHistogram   = "histogram"
+	typFloatCounter = "floatcounter"
 )
 
 // Registry holds metric families and renders them in Prometheus text
@@ -59,16 +62,34 @@ type family struct {
 
 	mu       sync.Mutex
 	children map[string]*child
+	// root is the hot-path lookup trie: one level per label, keyed by that
+	// label's value. Resolving a child walks len(labels) map lookups on
+	// strings the caller already holds — no joined-key allocation, unlike
+	// the children map (which only exposition iterates).
+	root lookupNode
+}
+
+// lookupNode is one trie level of a family's child lookup.
+type lookupNode struct {
+	leaf *child
+	next map[string]*lookupNode
 }
 
 // child is one label-value combination's storage. Counters use count;
 // gauges store float64 bits in bits; histograms use buckets (per-bound,
-// non-cumulative) plus bits as the observation sum.
+// non-cumulative) plus bits as the observation sum. The typed wrapper is
+// built once at child creation and handed out by every Vec.With, so the
+// hot-path lookup is allocation-free even without caller-side caching.
 type child struct {
 	labelVals []string
 	count     atomic.Int64
 	bits      atomic.Uint64
 	buckets   []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+
+	counter  *Counter
+	fcounter *FloatCounter
+	gauge    *Gauge
+	hist     *Histogram
 }
 
 // childKey joins label values with an unprintable separator.
@@ -78,16 +99,36 @@ func (f *family) child(vals ...string) *child {
 	if len(vals) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(vals)))
 	}
-	key := childKey(vals)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	c, ok := f.children[key]
-	if !ok {
-		c = &child{labelVals: append([]string(nil), vals...)}
-		if f.typ == typeHistogram {
-			c.buckets = make([]atomic.Int64, len(f.bounds)+1)
+	n := &f.root
+	for _, v := range vals {
+		nx, ok := n.next[v]
+		if !ok {
+			if n.next == nil {
+				n.next = map[string]*lookupNode{}
+			}
+			nx = &lookupNode{}
+			n.next[v] = nx
 		}
-		f.children[key] = c
+		n = nx
+	}
+	c := n.leaf
+	if c == nil {
+		c = &child{labelVals: append([]string(nil), vals...)}
+		switch f.typ {
+		case typeHistogram:
+			c.buckets = make([]atomic.Int64, len(f.bounds)+1)
+			c.hist = &Histogram{bounds: f.bounds, c: c}
+		case typeCounter:
+			c.counter = &Counter{c: c}
+		case typFloatCounter:
+			c.fcounter = &FloatCounter{c: c}
+		case typeGauge:
+			c.gauge = &Gauge{c: c}
+		}
+		f.children[childKey(vals)] = c
+		n.leaf = c
 	}
 	return c
 }
@@ -157,6 +198,25 @@ func (g *Gauge) Add(v float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
 
+// FloatCounter is a monotonically increasing float64 total (e.g. seconds
+// of attributed kernel time). It renders as a Prometheus counter.
+type FloatCounter struct{ c *child }
+
+// Add adds v (must be ≥ 0 for Prometheus semantics; not enforced).
+// Allocation-free: one CAS loop.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.c.bits.Load()) }
+
 // Histogram counts observations into fixed buckets and tracks their sum.
 type Histogram struct {
 	bounds []float64
@@ -191,8 +251,10 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.c.bits.Load())
 type CounterVec struct{ f *family }
 
 // With returns the child for the given label values (created on first
-// use). Resolve once and hold the *Counter on hot paths.
-func (v *CounterVec) With(vals ...string) *Counter { return &Counter{c: v.f.child(vals...)} }
+// use). The wrapper is cached on the child, so repeated With calls are
+// allocation-free; still resolve once outside tight loops to skip the
+// map lookup.
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.child(vals...).counter }
 
 // Each calls fn for every populated child, in unspecified order.
 func (v *CounterVec) Each(fn func(labels []string, value int64)) {
@@ -207,11 +269,30 @@ func (v *CounterVec) Each(fn func(labels []string, value int64)) {
 	}
 }
 
+// FloatCounterVec is a float-counter family with labels.
+type FloatCounterVec struct{ f *family }
+
+// With returns the cached child wrapper for the given label values.
+func (v *FloatCounterVec) With(vals ...string) *FloatCounter { return v.f.child(vals...).fcounter }
+
+// Each calls fn for every populated child, in unspecified order.
+func (v *FloatCounterVec) Each(fn func(labels []string, value float64)) {
+	v.f.mu.Lock()
+	children := make([]*child, 0, len(v.f.children))
+	for _, c := range v.f.children {
+		children = append(children, c)
+	}
+	v.f.mu.Unlock()
+	for _, c := range children {
+		fn(c.labelVals, math.Float64frombits(c.bits.Load()))
+	}
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
-// With returns the child for the given label values.
-func (v *GaugeVec) With(vals ...string) *Gauge { return &Gauge{c: v.f.child(vals...)} }
+// With returns the cached child wrapper for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.child(vals...).gauge }
 
 // Each calls fn for every populated child, in unspecified order.
 func (v *GaugeVec) Each(fn func(labels []string, value float64)) {
@@ -229,14 +310,14 @@ func (v *GaugeVec) Each(fn func(labels []string, value float64)) {
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
-// With returns the child for the given label values.
+// With returns the cached child wrapper for the given label values.
 func (v *HistogramVec) With(vals ...string) *Histogram {
-	return &Histogram{bounds: v.f.bounds, c: v.f.child(vals...)}
+	return v.f.child(vals...).hist
 }
 
 // Counter registers (or returns) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
-	return &Counter{c: r.family(name, help, typeCounter, nil, nil).child()}
+	return r.family(name, help, typeCounter, nil, nil).child().counter
 }
 
 // CounterVec registers (or returns) a labeled counter family.
@@ -244,9 +325,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{f: r.family(name, help, typeCounter, labels, nil)}
 }
 
+// FloatCounterVec registers (or returns) a labeled float-counter family.
+func (r *Registry) FloatCounterVec(name, help string, labels ...string) *FloatCounterVec {
+	return &FloatCounterVec{f: r.family(name, help, typFloatCounter, labels, nil)}
+}
+
 // Gauge registers (or returns) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return &Gauge{c: r.family(name, help, typeGauge, nil, nil).child()}
+	return r.family(name, help, typeGauge, nil, nil).child().gauge
 }
 
 // GaugeVec registers (or returns) a labeled gauge family.
@@ -266,8 +352,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // Histogram registers (or returns) an unlabeled histogram with the given
 // ascending bucket upper bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
-	f := r.family(name, help, typeHistogram, nil, buckets)
-	return &Histogram{bounds: f.bounds, c: f.child()}
+	return r.family(name, help, typeHistogram, nil, buckets).child().hist
 }
 
 // HistogramVec registers (or returns) a labeled histogram family.
@@ -307,7 +392,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		typ := f.typ
+		if typ == typFloatCounter {
+			typ = typeCounter // internal shape; standard counter on the wire
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, typ)
 		f.mu.Lock()
 		if f.fn != nil {
 			fn := f.fn
@@ -329,6 +418,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 			switch f.typ {
 			case typeCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, c.labelVals, "", 0), c.count.Load())
+			case typFloatCounter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, c.labelVals, "", 0),
+					formatFloat(math.Float64frombits(c.bits.Load())))
 			case typeGauge:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, c.labelVals, "", 0),
 					formatFloat(math.Float64frombits(c.bits.Load())))

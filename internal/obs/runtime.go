@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// RegisterBuildInfo exposes the standard build-info gauge: a constant-1
+// series whose labels carry the server version, the Go toolchain and
+// GOMAXPROCS, so dashboards can break every other series down by build.
+func RegisterBuildInfo(r *Registry, version string) {
+	r.GaugeVec("hisvsim_build_info",
+		"Constant 1; labels identify the build (server version, Go toolchain, GOMAXPROCS).",
+		"version", "go", "gomaxprocs").
+		With(version, runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+}
+
+// RegisterRuntimeMetrics exposes the Go runtime gauges the profiling work
+// reads next to the kernel counters: live heap bytes, goroutine count and
+// cumulative GC pause time. Values are read at scrape time; ReadMemStats
+// briefly stops the world, which is fine at scrape cadence.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("hisvsim_go_heap_alloc_bytes",
+		"Bytes of live heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.GaugeFunc("hisvsim_go_goroutines",
+		"Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("hisvsim_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

@@ -13,6 +13,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
 	"hisvsim/internal/noise"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/qasm"
 )
 
@@ -22,11 +23,13 @@ import (
 //	GET    /v1/jobs/{id}        poll a job snapshot     → 200 job JSON
 //	GET    /v1/jobs/{id}/result long-poll for the result (?wait=30s)
 //	GET    /v1/jobs/{id}/trace  per-stage timing trace  → 200 trace JSON
+//	GET    /v1/jobs/{id}/profile kernel-level execution profile → 200 profile JSON
 //	DELETE /v1/jobs/{id}        cancel                  → 200 job JSON
 //	GET    /v1/backends         registered execution backends
 //	GET    /v1/stats            service counters
 //	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (200 until the process exits)
+//	GET    /readyz              readiness (503 once graceful drain begins)
 //
 // The submit body names the circuit either inline ("qasm") or by generator
 // family ("family" + "qubits"), plus kind/shots/seed/qubits and the
@@ -49,6 +52,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(s, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) { handleTrace(s, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", func(w http.ResponseWriter, r *http.Request) { handleProfile(s, w, r) })
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, core.Backends())
@@ -58,6 +62,16 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is distinct from liveness: once graceful shutdown
+		// begins the process is still alive (healthz 200, in-flight jobs
+		// finishing) but must stop receiving new traffic.
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	})
 	mux.Handle("GET /metrics", s.Metrics().Handler())
 	return mux
@@ -693,6 +707,63 @@ func handleTrace(s *Service, w http.ResponseWriter, r *http.Request) {
 			Stage: sp.Name, StartMS: durationMS(sp.Start), DurationMS: durationMS(sp.Dur),
 		})
 	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// wireProfile is the GET /v1/jobs/{id}/profile body: the job's kernel-level
+// execution profile nested under its stage trace. window_ms sums the engine
+// stages (simulate + trajectories) — the wall time the kernels could have
+// been attributed to — and kernel_ms sums the attributed kernel rows.
+// unattributed_ms = window_ms − kernel_ms is the engine time spent outside
+// instrumented kernels (fusion compile, state allocation, scheduling); it
+// goes NEGATIVE when trajectory workers > 1, because concurrent
+// trajectories' kernel seconds sum while the stage clock does not.
+type wireProfile struct {
+	ID             string            `json:"id"`
+	Kind           string            `json:"kind"`
+	Status         string            `json:"status"`
+	RequestID      string            `json:"request_id,omitempty"`
+	Backend        string            `json:"backend,omitempty"`
+	WallMS         float64           `json:"wall_ms"`
+	WindowMS       float64           `json:"window_ms"`
+	KernelMS       float64           `json:"kernel_ms"`
+	UnattributedMS float64           `json:"unattributed_ms"`
+	Stages         []wireStage       `json:"stages"`
+	Kernels        []prof.KernelStat `json:"kernels"`
+}
+
+func handleProfile(s *Service, w http.ResponseWriter, r *http.Request) {
+	info, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	wall := time.Since(info.Submitted)
+	if !info.Finished.IsZero() {
+		wall = info.Finished.Sub(info.Submitted)
+	}
+	out := wireProfile{
+		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
+		RequestID: info.RequestID, Backend: info.Backend,
+		WallMS:  durationMS(wall),
+		Stages:  make([]wireStage, 0, len(info.Trace)),
+		Kernels: info.Profile,
+	}
+	if out.Kernels == nil {
+		out.Kernels = []prof.KernelStat{} // render [] rather than null
+	}
+	for _, sp := range info.Trace {
+		out.Stages = append(out.Stages, wireStage{
+			Stage: sp.Name, StartMS: durationMS(sp.Start), DurationMS: durationMS(sp.Dur),
+		})
+		if sp.Name == stageSimulate || sp.Name == stageTrajectories {
+			out.WindowMS += durationMS(sp.Dur)
+		}
+	}
+	for _, ks := range info.Profile {
+		out.KernelMS += ks.Seconds * 1e3
+	}
+	out.UnattributedMS = out.WindowMS - out.KernelMS
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -2,9 +2,15 @@ package service
 
 import (
 	"strings"
+	"sync"
 
 	"hisvsim/internal/obs"
+	"hisvsim/internal/prof"
 )
+
+// Version identifies the service build in hisvsim_build_info and log lines.
+// It tracks the repo's PR sequence rather than a release tag.
+const Version = "0.8.0"
 
 // This file is the service's metrics surface: every counter the old
 // ad-hoc Stats bookkeeping tracked now lives in one obs.Registry (the
@@ -58,13 +64,53 @@ type serviceMetrics struct {
 	cacheEvictions *obs.CounterVec // {cache}
 	cacheBytes     *obs.GaugeVec   // {cache}
 	cacheEntries   *obs.GaugeVec   // {cache}
+
+	kernelSeconds *obs.FloatCounterVec // {kernel, width}
+	kernelBytes   *obs.CounterVec      // {kernel, width}
+
+	// stageTimers caches resolved stage-histogram children per (stage, kind,
+	// backend), so the per-job flush in finish() touches no registry locks on
+	// the steady-state path. The obs lookup itself is allocation-free; this
+	// cache removes the per-label trie walk as well.
+	stageMu     sync.RWMutex
+	stageTimers map[stageKey]*obs.Histogram
+}
+
+// stageKey addresses one cached stage-duration histogram child.
+type stageKey struct{ stage, kind, backend string }
+
+// stageObserve records one stage duration through the handle cache.
+func (m *serviceMetrics) stageObserve(stage, kind, backend string, seconds float64) {
+	k := stageKey{stage, kind, backend}
+	m.stageMu.RLock()
+	h := m.stageTimers[k]
+	m.stageMu.RUnlock()
+	if h == nil {
+		h = m.stageSeconds.With(stage, kind, backend)
+		m.stageMu.Lock()
+		m.stageTimers[k] = h
+		m.stageMu.Unlock()
+	}
+	h.Observe(seconds)
+}
+
+// flushProfile folds one finished job's kernel profile into the aggregate
+// per-kernel registry series.
+func (m *serviceMetrics) flushProfile(stats []prof.KernelStat) {
+	for _, ks := range stats {
+		w := prof.WidthLabel(ks.Width)
+		m.kernelSeconds.With(ks.Kernel, w).Add(ks.Seconds)
+		m.kernelBytes.With(ks.Kernel, w).Add(ks.Bytes)
+	}
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	m := &serviceMetrics{reg: reg}
+	m := &serviceMetrics{reg: reg, stageTimers: map[stageKey]*obs.Histogram{}}
+	obs.RegisterBuildInfo(reg, Version)
+	obs.RegisterRuntimeMetrics(reg)
 	m.jobsSubmitted = reg.CounterVec("hisvsim_jobs_submitted_total",
 		"Accepted job submissions by request kind.", "kind")
 	m.jobsFinished = reg.CounterVec("hisvsim_jobs_finished_total",
@@ -94,6 +140,12 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		"Resident bytes per cache (state, plan, rho).", "cache")
 	m.cacheEntries = reg.GaugeVec("hisvsim_cache_entries",
 		"Resident entries per cache (state, plan, rho).", "cache")
+	m.kernelSeconds = reg.FloatCounterVec("hisvsim_kernel_seconds_total",
+		"Kernel-attributed execution seconds by kernel class (dense, diagonal, controlled, kraus, superop) and block width in qubits.",
+		"kernel", "width")
+	m.kernelBytes = reg.CounterVec("hisvsim_kernel_bytes_total",
+		"Estimated amplitude bytes moved per kernel class and block width (the per-job profile's traffic model, aggregated).",
+		"kernel", "width")
 	return m
 }
 

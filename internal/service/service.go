@@ -39,6 +39,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hisvsim/internal/backend"
@@ -49,6 +50,7 @@ import (
 	"hisvsim/internal/noise"
 	"hisvsim/internal/obs"
 	"hisvsim/internal/partition"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/sv"
 )
 
@@ -236,6 +238,13 @@ type Result struct {
 	// submitted→finished window, so their durations sum to the job's wall
 	// time. Served over HTTP at GET /v1/jobs/{id}/trace.
 	Stages []obs.Span
+	// Profile is the job's kernel-level execution profile: per (kernel
+	// class, block width) time, amplitudes touched, bytes moved and scratch
+	// allocations, attributed by the engines while the job ran. The rows
+	// tile the execute/simulate stage (ensemble kernels sum across
+	// concurrent trajectories). Served over HTTP at
+	// GET /v1/jobs/{id}/profile.
+	Profile []prof.KernelStat
 }
 
 // JobInfo is a point-in-time snapshot of a job.
@@ -259,6 +268,10 @@ type JobInfo struct {
 	// Trace is the job's stage spans so far (live jobs include the open
 	// stage measured to now; terminal jobs tile submitted→finished).
 	Trace []obs.Span
+	// Profile is the job's kernel profile so far: live jobs report the
+	// counters accumulated up to the snapshot (the recorder is lock-free),
+	// terminal jobs the full profile.
+	Profile []prof.KernelStat
 }
 
 // Config tunes a Service. The zero value selects the documented defaults.
@@ -409,6 +422,10 @@ type Service struct {
 
 	queue chan *job
 	wg    sync.WaitGroup
+	// draining flips once when graceful shutdown begins: /readyz turns 503
+	// so load balancers stop routing, while /healthz stays 200 until the
+	// process exits (liveness vs readiness).
+	draining atomic.Bool
 	// trajTokens bounds trajectory-level parallelism ACROSS noisy jobs:
 	// every noisy job runs at least one trajectory lane (its own worker
 	// slot) and widens by however many shared tokens it can grab, so the
@@ -458,6 +475,10 @@ type job struct {
 	// submit; the trace has its own lock.
 	requestID string
 	trace     *obs.Trace
+	// profr accumulates the job's kernel-level profile: the engines record
+	// into it through the job context, lock-free, so snapshots are safe at
+	// any time.
+	profr *prof.Recorder
 
 	status    Status
 	result    *Result
@@ -644,7 +665,11 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 	submitted := time.Now()
 	trace := obs.NewTrace(submitted)
 	trace.BeginAt(stageQueueWait, submitted)
-	jctx = obs.ContextWithTrace(obs.WithRequestID(jctx, rid), trace)
+	// The kernel recorder rides the same context; its bucket table is
+	// allocated lazily on the first recorded kernel, so cache-hit jobs pay
+	// one pointer-sized struct and nothing else.
+	profr := &prof.Recorder{}
+	jctx = prof.WithRecorder(obs.ContextWithTrace(obs.WithRequestID(jctx, rid), trace), profr)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -656,7 +681,7 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 		id: fmt.Sprintf("j%06d", s.nextID), req: req,
 		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
 		idealBackend: idealBackend, exact: exact,
-		requestID: rid, trace: trace,
+		requestID: rid, trace: trace, profr: profr,
 		status: StatusQueued, submitted: submitted,
 	}
 	select {
@@ -856,7 +881,7 @@ func (s *Service) snapshotLocked(j *job) JobInfo {
 		ID: j.id, Kind: j.req.Kind, Status: j.status, Backend: j.backend,
 		Result:    j.result,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
-		RequestID: j.requestID, Trace: j.trace.Spans(),
+		RequestID: j.requestID, Trace: j.trace.Spans(), Profile: j.profr.Snapshot(),
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
@@ -955,10 +980,22 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
+// BeginDrain marks the service as draining: Draining() — and with it the
+// HTTP /readyz probe — flips to not-ready so load balancers stop sending
+// traffic, while already-accepted work keeps running. Call it when graceful
+// shutdown starts, before the listener closes; it is idempotent and does
+// not by itself stop anything.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether graceful shutdown has begun (BeginDrain or
+// Close was called).
+func (s *Service) Draining() bool { return s.draining.Load() }
+
 // Close stops the service: no new submissions, queued jobs are canceled,
 // running jobs are interrupted via their contexts, and the worker pool is
 // drained before returning.
 func (s *Service) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -1018,8 +1055,10 @@ func (s *Service) finish(j *job, res *Result, err error) {
 	now := time.Now()
 	j.trace.FinishAt(now)
 	spans := j.trace.Spans()
+	profile := j.profr.Snapshot()
 	if res != nil {
 		res.Stages = spans
+		res.Profile = profile
 	}
 	s.mu.Lock()
 	if j.status.Terminal() {
@@ -1059,8 +1098,9 @@ func (s *Service) finish(j *job, res *Result, err error) {
 		backendName = "none"
 	}
 	for _, sp := range spans {
-		s.m.stageSeconds.With(sp.Name, kind, backendName).Observe(sp.Dur.Seconds())
+		s.m.stageObserve(sp.Name, kind, backendName, sp.Dur.Seconds())
 	}
+	s.m.flushProfile(profile)
 	s.m.jobsFinished.With(kind, string(status)).Inc()
 	level := slog.LevelInfo
 	if status == StatusFailed {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hisvsim/internal/gate"
+	"hisvsim/internal/prof"
 )
 
 // This file holds the raw-matrix entry points the noise layer needs: applying
@@ -27,7 +28,9 @@ func (s *State) ApplyMatrix1(t int, m gate.Matrix) {
 		panic(fmt.Sprintf("sv: ApplyMatrix1 got a %d-qubit matrix", m.K))
 	}
 	s.Ops++
+	t0 := s.profStart()
 	s.apply1(t, 0, m)
+	s.profRecord(prof.Kraus, 1, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRW, 0)
 }
 
 // Kraus1Norm2 returns ‖Kψ‖² for the 2×2 operator K on qubit t without
@@ -40,6 +43,7 @@ func (s *State) Kraus1Norm2(t int, m gate.Matrix) float64 {
 	if m.K != 1 {
 		panic(fmt.Sprintf("sv: Kraus1Norm2 got a %d-qubit matrix", m.K))
 	}
+	t0 := s.profStart()
 	m00, m01, m10, m11 := m.At(0, 0), m.At(0, 1), m.At(1, 0), m.At(1, 1)
 	tbit := 1 << uint(t)
 	half := len(s.Amps) >> 1
@@ -59,7 +63,9 @@ func (s *State) Kraus1Norm2(t int, m gate.Matrix) float64 {
 	// callback contract does not expose).
 	w := s.workers()
 	if w <= 1 || half < parallelThreshold {
-		return sumRange(0, half)
+		p := sumRange(0, half)
+		s.profRecord(prof.Kraus, 1, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRead, 0)
+		return p
 	}
 	if w > half {
 		w = half
@@ -81,6 +87,7 @@ func (s *State) Kraus1Norm2(t int, m gate.Matrix) float64 {
 	for _, p := range partial {
 		total += p
 	}
+	s.profRecord(prof.Kraus, 1, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRead, 1)
 	return total
 }
 
@@ -109,11 +116,15 @@ func (s *State) checkTargets(name string, targets []int, m gate.Matrix) {
 func (s *State) ApplyMatrixK(targets []int, m gate.Matrix) {
 	s.checkTargets("ApplyMatrixK", targets, m)
 	s.Ops++
+	t0 := s.profStart()
 	if m.K == 1 {
 		s.apply1(targets[0], 0, m)
+		s.profRecord(prof.Kraus, 1, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRW, 0)
 		return
 	}
 	s.applyK(targets, 0, m)
+	s.profRecord(prof.Kraus, len(targets), t0, int64(len(s.Amps)),
+		int64(len(s.Amps))*bytesPerAmpRW, 2*s.sweepChunks(1<<uint(s.N-len(targets))))
 }
 
 // ApplyControlledMatrixK is ApplyMatrixK with structural control qubits:
@@ -136,11 +147,15 @@ func (s *State) ApplyControlledMatrixK(targets, controls []int, m gate.Matrix) {
 		}
 	}
 	s.Ops++
+	t0 := s.profStart()
 	if m.K == 1 {
 		s.apply1(targets[0], ctrlMask, m)
+		s.profRecord(prof.Controlled, 1, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRW, 0)
 		return
 	}
 	s.applyK(targets, ctrlMask, m)
+	s.profRecord(prof.Controlled, len(targets), t0, int64(len(s.Amps)),
+		int64(len(s.Amps))*bytesPerAmpRW, 2*s.sweepChunks(1<<uint(s.N-len(targets)-len(controls))))
 }
 
 // KrausKNorm2 returns ‖Kψ‖² for the 2^k×2^k operator K on the listed target
@@ -152,6 +167,7 @@ func (s *State) KrausKNorm2(targets []int, m gate.Matrix) float64 {
 	if m.K == 1 {
 		return s.Kraus1Norm2(targets[0], m)
 	}
+	t0 := s.profStart()
 	k := len(targets)
 	fixed := append([]int(nil), targets...)
 	sortInts(fixed)
@@ -192,7 +208,9 @@ func (s *State) KrausKNorm2(targets []int, m gate.Matrix) float64 {
 	n := 1 << uint(free)
 	w := s.workers()
 	if w <= 1 || n < parallelThreshold {
-		return sumRange(0, n)
+		p := sumRange(0, n)
+		s.profRecord(prof.Kraus, k, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRead, 1)
+		return p
 	}
 	if w > n {
 		w = n
@@ -213,16 +231,20 @@ func (s *State) KrausKNorm2(targets []int, m gate.Matrix) float64 {
 	for _, p := range partial {
 		total += p
 	}
+	s.profRecord(prof.Kraus, k, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRead,
+		1+s.sweepChunks(n))
 	return total
 }
 
 // Scale multiplies every amplitude by c (used to renormalize after a Kraus
 // application: c = 1/√p).
 func (s *State) Scale(c complex128) {
+	t0 := s.profStart()
 	s.parallelFor(len(s.Amps), func(lo, hi int) {
 		amps := s.Amps
 		for i := lo; i < hi; i++ {
 			amps[i] *= c
 		}
 	})
+	s.profRecord(prof.Kraus, 0, t0, int64(len(s.Amps)), int64(len(s.Amps))*bytesPerAmpRW, 0)
 }

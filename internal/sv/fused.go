@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hisvsim/internal/gate"
+	"hisvsim/internal/prof"
 )
 
 // This file holds the fused-block kernels: applying one dense 2^k×2^k
@@ -115,6 +116,7 @@ func (s *State) ApplyFusedPlan(p *FusedPlan, m gate.Matrix) {
 	masks := p.masks
 	offs := p.offs
 	free := 1 << uint(s.N-k)
+	t0 := s.profStart()
 	s.parallelFor(free, func(lo, hi int) {
 		amps := s.Amps
 		sub := make([]complex128, dim)
@@ -137,6 +139,8 @@ func (s *State) ApplyFusedPlan(p *FusedPlan, m gate.Matrix) {
 			}
 		}
 	})
+	s.profRecord(prof.Dense, k, t0, int64(len(s.Amps)),
+		int64(len(s.Amps))*bytesPerAmpRW, 2*s.sweepChunks(free))
 }
 
 // ApplyFusedDiagonal multiplies the amplitudes addressed by the k sorted
@@ -161,6 +165,7 @@ func (s *State) ApplyFusedDiagonalPlan(p *FusedPlan, d []complex128) {
 	masks := p.masks
 	offs := p.offs
 	free := 1 << uint(s.N-k)
+	t0 := s.profStart()
 	s.parallelFor(free, func(lo, hi int) {
 		amps := s.Amps
 		for f := lo; f < hi; f++ {
@@ -170,4 +175,6 @@ func (s *State) ApplyFusedDiagonalPlan(p *FusedPlan, d []complex128) {
 			}
 		}
 	})
+	s.profRecord(prof.Diagonal, k, t0, int64(len(s.Amps)),
+		int64(len(s.Amps))*bytesPerAmpRW, 0)
 }

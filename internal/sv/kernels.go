@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hisvsim/internal/gate"
+	"hisvsim/internal/prof"
 )
 
 // ApplyGate applies one (possibly controlled) gate to the state, selecting
@@ -27,20 +28,42 @@ func (s *State) ApplyGate(g gate.Gate) error {
 	}
 	targets := g.Targets()
 
+	n := int64(len(s.Amps))
 	if d, ok := diagonalOf(g); ok {
+		t0 := s.profStart()
 		s.applyDiagonal(targets, ctrlMask, d)
+		s.profRecord(prof.Diagonal, len(targets), t0, n, n*bytesPerAmpRW, 0)
 		return nil
 	}
 	if g.Name == "swap" && ctrlMask == 0 {
+		t0 := s.profStart()
 		s.applySwap(targets[0], targets[1])
+		// A swap exchanges the two mixed-bit quarters: half the amplitudes move.
+		s.profRecord(prof.Dense, 2, t0, n/2, n/2*bytesPerAmpRW, 0)
 		return nil
 	}
+	kind := prof.Dense
+	if ctrlMask != 0 {
+		kind = prof.Controlled
+	}
 	m := g.BaseMatrix()
+	t0 := s.profStart()
 	switch len(targets) {
 	case 1:
 		s.apply1(targets[0], ctrlMask, m)
+		s.profRecord(kind, 1, t0, n, n*bytesPerAmpRW, 0)
 	default:
 		s.applyK(targets, ctrlMask, m)
+		if s.Prof != nil {
+			var ctrls int
+			for b := 0; b < s.N; b++ {
+				if ctrlMask>>uint(b)&1 == 1 {
+					ctrls++
+				}
+			}
+			s.profRecord(kind, len(targets), t0, n, n*bytesPerAmpRW,
+				2*s.sweepChunks(1<<uint(s.N-len(targets)-ctrls)))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,65 @@
+package sv
+
+import (
+	"time"
+
+	"hisvsim/internal/prof"
+)
+
+// This file holds the kernel-profiling guards. Every public kernel entry
+// point brackets its sweep with profStart/profRecord; with s.Prof nil
+// (the default) both are branch-only — no clock reads, no atomics — so
+// unprofiled callers pay nothing measurable.
+//
+// Traffic model: a full dense or diagonal sweep reads and writes every
+// amplitude once (32 bytes per complex128 round trip); norm reductions
+// read only (16 bytes). These are the asymptotic per-sweep numbers — the
+// effective GB/s derived from them is exactly what reveals cache locality
+// and latency stalls to the kernel-overhaul work. Scratch allocations are
+// self-reported from the known per-chunk buffers (gather/scatter kernels
+// allocate two 2^k slices per parallel chunk).
+
+const (
+	// bytesPerAmpRW is one read-modify-write of a complex128.
+	bytesPerAmpRW = 32
+	// bytesPerAmpRead is one read of a complex128 (norm reductions).
+	bytesPerAmpRead = 16
+)
+
+// profStart returns the kernel start time when profiling is enabled, and
+// the zero Time otherwise.
+func (s *State) profStart() time.Time {
+	if s.Prof == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// profRecord attributes one finished kernel invocation.
+func (s *State) profRecord(k prof.Kind, width int, t0 time.Time, amps, bytes, allocs int64) {
+	if s.Prof == nil {
+		return
+	}
+	s.Prof.Record(k, width, time.Since(t0), amps, bytes, allocs)
+}
+
+// SweepChunks reports how many chunks (and hence per-chunk scratch
+// allocations) a parallel sweep over n items splits into under the state's
+// worker bound. Engines that suppress the inner kernel recording and
+// re-attribute at their own layer (the dm superoperator path) use it to
+// reproduce the kernels' scratch-allocation estimate.
+func (s *State) SweepChunks(n int) int64 { return s.sweepChunks(n) }
+
+// sweepChunks mirrors parallelFor's chunking: how many chunks (and hence
+// per-chunk scratch allocations) a sweep over n items produces.
+func (s *State) sweepChunks(n int) int64 {
+	w := s.workers()
+	if w <= 1 || n < parallelThreshold {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	return int64((n + chunk - 1) / chunk)
+}

@@ -13,6 +13,7 @@ import (
 
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/gate"
+	"hisvsim/internal/prof"
 )
 
 // State is an n-qubit pure state: 2^n complex128 amplitudes, little-endian
@@ -24,6 +25,11 @@ type State struct {
 	Workers int
 	// Ops counts applied gates (for benchmarks/metrics).
 	Ops int64
+	// Prof, when non-nil, receives per-kernel execution statistics (time,
+	// amplitudes touched, bytes moved, scratch allocations). Executors set
+	// it from the job context; nil (the default) keeps every kernel free
+	// of clock reads.
+	Prof *prof.Recorder
 }
 
 // NewState returns |0…0⟩ on n qubits.
@@ -50,7 +56,7 @@ func NewStateRaw(amps []complex128) *State {
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
-	out := &State{N: s.N, Amps: make([]complex128, len(s.Amps)), Workers: s.Workers}
+	out := &State{N: s.N, Amps: make([]complex128, len(s.Amps)), Workers: s.Workers, Prof: s.Prof}
 	copy(out.Amps, s.Amps)
 	return out
 }

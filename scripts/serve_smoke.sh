@@ -42,6 +42,13 @@ until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
     sleep 0.5
 done
 
+# Readiness: before any drain, /readyz must be 200 next to /healthz.
+RCODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")"
+if [ "$RCODE" != 200 ]; then
+    echo "serve-smoke: /readyz returned $RCODE before drain, want 200" >&2
+    exit 1
+fi
+
 submit() {
     curl -fsS "$BASE/v1/jobs" -d '{
         "circuit": {"family": "qft", "qubits": 12},
@@ -310,6 +317,34 @@ if [ "$TOK" != true ]; then
     exit 1
 fi
 
+# The kernel-level execution profile: kernel rows present for the simulated
+# job, consistent with the engine window (kernel time fits inside it; the
+# strict 5%-tiling criterion is pinned by TestKernelProfileTilesSimulate on
+# a large job — this millisecond-scale smoke circuit is dominated by fixed
+# setup costs, which is exactly what unattributed_ms is for).
+PROFILE="$(curl -fsS "$BASE/v1/jobs/$ID/profile")"
+POK="$(printf '%s' "$PROFILE" | jq '
+    (.kernels | length > 0)
+    and (.window_ms > 0)
+    and (.kernel_ms > 0)
+    and (.kernel_ms <= .window_ms * 1.05 + 0.5)
+    and ((.window_ms - .kernel_ms - .unattributed_ms | if . < 0 then -. else . end) < 0.001)')"
+if [ "$POK" != true ]; then
+    echo "serve-smoke: kernel profile failed validation:" >&2
+    printf '%s\n' "$PROFILE" >&2
+    exit 1
+fi
+
+# The aggregate kernel series made it into the exposition.
+KMETRICS="$(curl -fsS "$BASE/metrics")"
+for series in hisvsim_kernel_seconds_total hisvsim_kernel_bytes_total hisvsim_build_info \
+    hisvsim_go_heap_alloc_bytes hisvsim_go_goroutines; do
+    if ! printf '%s\n' "$KMETRICS" | grep -q "^$series"; then
+        echo "serve-smoke: /metrics is missing the $series series" >&2
+        exit 1
+    fi
+done
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
 if ! wait "$PID"; then
@@ -318,4 +353,4 @@ if ! wait "$PID"; then
     exit 1
 fi
 trap - EXIT
-echo "serve-smoke: OK (backends listing, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, parameterized sweep, unbound-symbol 400, /metrics scrape, stage trace, graceful shutdown)"
+echo "serve-smoke: OK (backends listing, readyz, submit, poll, sample, cache hit, multi-readout run, deprecated shim, noisy ensemble, exact dm run, capability 400s, parameterized sweep, unbound-symbol 400, /metrics scrape, stage trace, kernel profile, graceful shutdown)"

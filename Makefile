@@ -1,7 +1,7 @@
 # Local workflows and CI invoke these identical targets (.github/workflows/ci.yml).
 GO ?= go
 
-.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench obs-bench bench-all benchdiff serve-smoke clean
+.PHONY: all build test bench lint fusion-bench service-bench noise-bench dm-bench sweep-bench cluster-bench obs-bench bench-all benchdiff serve-smoke cluster-smoke clean
 
 # Where the *-bench targets write their BENCH_*.json artifacts. The
 # committed baselines live at the repo root; point BENCH_DIR at a scratch
@@ -58,12 +58,22 @@ SWEEP_POINTS ?= 50
 sweep-bench:
 	$(GO) run ./cmd/benchtables -only sweep -sweep-qubits $(SWEEP_QUBITS) -sweep-points $(SWEEP_POINTS) -sweep-out $(BENCH_DIR)/BENCH_sweep.json
 
+# Regenerates BENCH_cluster.json (coordinator scale-out: ensemble wall time
+# and jobs/sec at 1/2/3 in-process workers, cache-hit routing rate under a
+# skewed circuit mix). CI smokes it narrow (keep CLUSTER_TRAJ at the
+# baseline's 512 — it prefixes the metric names, so changing it would
+# empty the benchdiff intersection): make cluster-bench CLUSTER_FLEETS=1,2.
+CLUSTER_TRAJ ?= 512
+CLUSTER_FLEETS ?= 1,2,3
+cluster-bench:
+	$(GO) run ./cmd/benchtables -only cluster -cluster-traj $(CLUSTER_TRAJ) -cluster-fleets $(CLUSTER_FLEETS) -cluster-out $(BENCH_DIR)/BENCH_cluster.json
+
 # Regenerates every normalized BENCH_*.json artifact. Point BENCH_DIR at a
 # scratch directory and gate with benchdiff:
 #
 #	make bench-all BENCH_DIR=/tmp/bench FUSION_REPS=1
 #	make benchdiff BENCH_DIR=/tmp/bench
-bench-all: fusion-bench service-bench noise-bench dm-bench sweep-bench
+bench-all: fusion-bench service-bench noise-bench dm-bench sweep-bench cluster-bench
 
 # Compares the artifacts under BENCH_DIR against the committed baselines
 # at the repo root; exits nonzero on any out-of-tolerance regression.
@@ -82,6 +92,12 @@ obs-bench:
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Boots a coordinator + two worker daemons, splits an ensemble across
+# them, kills one worker mid-job and requires completion via sub-job
+# retry (curl + jq).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

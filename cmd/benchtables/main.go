@@ -28,7 +28,7 @@ func main() {
 		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
 		seed       = flag.Int64("seed", 1, "partitioner seed")
 		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm,sweep")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm,sweep,cluster")
 		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
 		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
 		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
@@ -45,6 +45,10 @@ func main() {
 		sweepOut   = flag.String("sweep-out", "", "also write the parameter-sweep benchmark as JSON to this path (e.g. BENCH_sweep.json)")
 		sweepN     = flag.Int("sweep-qubits", 12, "register size for the sweep benchmark ansatz")
 		sweepPts   = flag.Int("sweep-points", 50, "binding-grid size for the sweep benchmark")
+		clusterOut = flag.String("cluster-out", "", "also write the cluster scale-out benchmark as JSON to this path (e.g. BENCH_cluster.json)")
+		clusterN   = flag.Int("cluster-qubits", 10, "register size for the cluster benchmark ensemble")
+		clusterT   = flag.Int("cluster-traj", 512, "trajectories in the cluster benchmark ensemble")
+		clusterFl  = flag.String("cluster-fleets", "1,2,3", "worker fleet sizes for the cluster benchmark")
 	)
 	flag.Parse()
 
@@ -181,6 +185,22 @@ func main() {
 			check(err)
 			check(os.WriteFile(*sweepOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *sweepOut)
+		}
+	}
+	if sel("cluster") || *clusterOut != "" {
+		rep, err := experiments.ClusterBench(experiments.ClusterConfig{
+			Qubits: *clusterN, Trajectories: *clusterT, Fleets: parseInts(*clusterFl),
+		})
+		check(err)
+		fmt.Println(rep.Table())
+		if cav := rep.Caveat(); cav != "" {
+			fmt.Println(cav)
+		}
+		if *clusterOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*clusterOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *clusterOut)
 		}
 	}
 	if sel("dm") || *dmOut != "" {

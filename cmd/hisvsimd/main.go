@@ -57,6 +57,17 @@
 // balancers stop routing), the listener stops, in-flight HTTP requests get
 // -grace seconds to finish, then the service cancels outstanding jobs and
 // the worker pool exits. /healthz stays 200 throughout the drain.
+//
+// Cluster mode: -coordinator turns the process into a multi-node
+// coordinator instead of a single-node service. -workers then takes a
+// comma-separated URL list (or -workers-file a JSON file reloaded
+// periodically), and the same /v1/jobs surface routes whole jobs to the
+// consistent-hash ring owner of the circuit fingerprint, splits large
+// ensembles/sweeps into sub-jobs across the fleet, merges results
+// bit-identically, and retries sub-jobs lost to dead workers:
+//
+//	hisvsimd -coordinator -addr :8080 \
+//	    -workers http://n1:8081,http://n2:8081,http://n3:8081
 package main
 
 import (
@@ -64,13 +75,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"hisvsim/internal/cluster"
 	"hisvsim/internal/obs"
 	"hisvsim/internal/service"
 )
@@ -78,7 +93,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		workers   = flag.String("workers", "0", "worker pool size, 0 = GOMAXPROCS; with -coordinator, a comma-separated list of worker URLs")
 		queue     = flag.Int("queue", 256, "max queued jobs before 429s")
 		cacheMB   = flag.Int64("cache-mb", 256, "plan/state cache budget in MiB (0 or negative disables)")
 		planMB    = flag.Int64("plan-cache-mb", 16, "compiled trajectory-plan cache budget in MiB (0 or negative disables)")
@@ -90,12 +105,35 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		debugAddr = flag.String("debug-addr", "", "optional listen address serving /debug/pprof/ (empty = disabled)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator fronting -workers / -workers-file")
+		workersFile = flag.String("workers-file", "", "JSON file {\"workers\": [\"url\", ...]} reloaded periodically (coordinator mode)")
+		splitTraj   = flag.Int("split-trajectories", 128, "minimum ensemble size the coordinator fans out (coordinator mode)")
+		splitSweep  = flag.Int("split-sweep-points", 8, "minimum sweep grid the coordinator fans out (coordinator mode)")
+		maxSubJobs  = flag.Int("max-subjobs", 8, "fan-out width cap per job (coordinator mode)")
+		healthEvery = flag.Duration("health-every", 2*time.Second, "worker /readyz probe interval (coordinator mode)")
 	)
 	flag.Parse()
 
 	logger, err := obs.NewLoggerFromFlags(*logLevel, *logJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *coordinator {
+		runCoordinator(logger, coordConfig{
+			addr: *addr, workers: *workers, workersFile: *workersFile,
+			splitTraj: *splitTraj, splitSweep: *splitSweep,
+			maxSubJobs: *maxSubJobs, healthEvery: *healthEvery,
+			grace: *grace,
+		})
+		return
+	}
+
+	poolSize, err := strconv.Atoi(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-workers %q: need an integer pool size (URL lists require -coordinator)\n", *workers)
 		os.Exit(2)
 	}
 
@@ -108,7 +146,7 @@ func main() {
 		planBytes = -1
 	}
 	svc := service.New(service.Config{
-		Workers: *workers, QueueDepth: *queue,
+		Workers: poolSize, QueueDepth: *queue,
 		CacheBytes: cacheBytes, PlanCacheBytes: planBytes,
 		MaxQubits: *maxQ, MaxShots: *maxS, MaxTrajectories: *maxT,
 		RetainJobs: *retain,
@@ -169,4 +207,68 @@ func main() {
 	st := svc.Stats()
 	logger.Info("bye", "jobs_done", st.Completed,
 		"simulations", st.Simulations, "cache_hits", st.CacheHits)
+}
+
+// coordConfig is the flag subset coordinator mode consumes.
+type coordConfig struct {
+	addr        string
+	workers     string
+	workersFile string
+	splitTraj   int
+	splitSweep  int
+	maxSubJobs  int
+	healthEvery time.Duration
+	grace       time.Duration
+}
+
+// runCoordinator serves the cluster coordinator: same listen/drain
+// lifecycle as the single-node service, but jobs fan out to the worker
+// fleet instead of a local pool.
+func runCoordinator(logger *slog.Logger, cfg coordConfig) {
+	var urls []string
+	for _, u := range strings.Split(cfg.workers, ",") {
+		u = strings.TrimSpace(u)
+		// "0" is the -workers default (a pool size, meaningless here).
+		if u != "" && u != "0" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers: urls, WorkersFile: cfg.workersFile,
+		SplitTrajectories: cfg.splitTraj, SplitSweepPoints: cfg.splitSweep,
+		MaxSubJobs: cfg.maxSubJobs, HealthEvery: cfg.healthEvery,
+		Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           obs.InstrumentHTTP(coord.Metrics(), "hisvsim_", logger, cluster.NewHandler(coord)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("hisvsimd coordinator listening", "addr", cfg.addr,
+		"workers", len(urls), "workers_file", cfg.workersFile)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		coord.BeginDrain()
+		logger.Info("coordinator draining", "signal", sig.String(), "grace", cfg.grace.String())
+	case err := <-errc:
+		coord.Close()
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("shutdown", "err", err)
+	}
+	coord.Close()
+	logger.Info("bye")
 }

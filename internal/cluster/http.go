@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"hisvsim/internal/service"
+)
+
+// NewHandler exposes the coordinator over the same HTTP/JSON surface as a
+// worker, so clients (and the CLI) need no cluster awareness:
+//
+//	POST   /v1/jobs             submit → routed or fanned out  → 202 {id, status}
+//	GET    /v1/jobs/{id}        job snapshot (+ merged result when done)
+//	GET    /v1/jobs/{id}/result long-poll for the merged result (?wait=30s)
+//	GET    /v1/jobs/{id}/trace  plan/fanout/merge stages + per-sub-job attempt spans
+//	GET    /v1/cluster          ring membership and job tallies
+//	GET    /metrics             Prometheus text exposition (cluster_* series)
+//	GET    /healthz, /readyz    liveness / drain-aware readiness
+func NewHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(c, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(c, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(c, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) { handleTrace(c, w, r) })
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) { handleCluster(c, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	})
+	mux.Handle("GET /metrics", c.Metrics().Handler())
+	return mux
+}
+
+// wireJob mirrors the worker job body; Result is the merged (or
+// passed-through) worker result, already in wire form.
+type wireJob struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Status    string          `json:"status"`
+	Mode      string          `json:"mode,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func handleSubmit(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := c.Submit(r.Context(), body)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrNoWorkers):
+		// The fleet may come back; tell the client when to re-try.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(service.StatusQueued)})
+}
+
+func toWireJob(j *cjob) wireJob {
+	out := wireJob{
+		ID: j.id, Kind: j.kind, Status: string(j.status), Mode: j.mode,
+		Error: j.err, Submitted: j.submitted, Result: j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.Finished = &t
+	}
+	return out
+}
+
+func handleJob(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	c.mu.Lock()
+	out := toWireJob(j)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleResult long-polls like the worker endpoint: 200 with the merged
+// result on completion, 202 with the snapshot when the wait expires
+// first.
+func handleResult(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait := 30 * time.Second
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", raw, err))
+			return
+		}
+		wait = min(max(d, 0), 5*time.Minute)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	err := c.Wait(ctx, id)
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j, ok := c.job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	c.mu.Lock()
+	out := toWireJob(j)
+	c.mu.Unlock()
+	code := http.StatusOK
+	if !service.Status(out.Status).Terminal() {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, out)
+}
+
+// wireTrace is the coordinator trace body: the plan/fanout/merge stages
+// tile the submitted→finished window exactly like a worker job's trace,
+// and the subjobs array breaks the fan-out down into per-attempt spans
+// (worker, offset, duration, outcome).
+type wireTrace struct {
+	ID      string       `json:"id"`
+	Kind    string       `json:"kind"`
+	Status  string       `json:"status"`
+	Mode    string       `json:"mode,omitempty"`
+	WallMS  float64      `json:"wall_ms"`
+	Stages  []wireStage  `json:"stages"`
+	SubJobs []wireSubJob `json:"subjobs,omitempty"`
+}
+
+type wireStage struct {
+	Stage      string  `json:"stage"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type wireSubJob struct {
+	Index    int              `json:"index"`
+	Worker   string           `json:"worker,omitempty"`
+	RemoteID string           `json:"remote_id,omitempty"`
+	Attempts []wireSubAttempt `json:"attempts,omitempty"`
+}
+
+type wireSubAttempt struct {
+	Worker     string  `json:"worker"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Outcome    string  `json:"outcome"`
+}
+
+func handleTrace(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	c.mu.Lock()
+	wall := time.Since(j.submitted)
+	if !j.finished.IsZero() {
+		wall = j.finished.Sub(j.submitted)
+	}
+	out := wireTrace{
+		ID: j.id, Kind: j.kind, Status: string(j.status), Mode: j.mode,
+		WallMS: durationMS(wall),
+	}
+	for _, sub := range j.subs {
+		ws := wireSubJob{Index: sub.index, Worker: sub.worker, RemoteID: sub.remoteID}
+		for _, a := range sub.attempts {
+			ws.Attempts = append(ws.Attempts, wireSubAttempt{
+				Worker:     a.worker,
+				StartMS:    durationMS(a.start.Sub(j.submitted)),
+				DurationMS: durationMS(a.end.Sub(a.start)),
+				Outcome:    a.outcome,
+			})
+		}
+		out.SubJobs = append(out.SubJobs, ws)
+	}
+	c.mu.Unlock()
+	for _, sp := range j.trace.Spans() {
+		out.Stages = append(out.Stages, wireStage{
+			Stage: sp.Name, StartMS: durationMS(sp.Start), DurationMS: durationMS(sp.Dur),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// wireCluster is the GET /v1/cluster body: live membership and tallies.
+type wireCluster struct {
+	Workers []wireWorker `json:"workers"`
+	Jobs    int          `json:"jobs"`
+}
+
+type wireWorker struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	Fails int    `json:"fails,omitempty"`
+}
+
+func handleCluster(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	out := wireCluster{Jobs: len(c.jobs)}
+	for _, wk := range c.workers {
+		out.Workers = append(out.Workers, wireWorker{URL: wk.url, State: wk.state, Fails: wk.fails})
+	}
+	c.mu.Unlock()
+	sort.Slice(out.Workers, func(i, j int) bool { return out.Workers[i].URL < out.Workers[j].URL })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func durationMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

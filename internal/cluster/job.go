@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hisvsim/internal/obs"
+	"hisvsim/internal/service"
+)
+
+// Coordinator trace stages: a cluster job's wall clock tiles into
+// planning (parse/route/split), fan-out (workers executing sub-jobs) and
+// merge, mirroring the per-stage trace workers keep for their own jobs.
+const (
+	stagePlan   = "plan"
+	stageFanout = "fanout"
+	stageMerge  = "merge"
+)
+
+// cjob is one coordinator job: the fan-out of one client submission.
+type cjob struct {
+	id        string
+	kind      string
+	mode      string
+	key       string
+	status    service.Status
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	trace     *obs.Trace
+	subs      []*subjob
+	result    json.RawMessage // merged wire result (the "result" field of the job body)
+	done      chan struct{}
+}
+
+// subjob is one dispatched slice of a cjob, plus its attempt history for
+// the trace endpoint.
+type subjob struct {
+	index    int
+	body     []byte
+	worker   string // last worker it ran on
+	remoteID string
+	attempts []attempt
+	result   json.RawMessage
+	err      error
+}
+
+// attempt is one delivery try, rendered as a span in the job trace.
+type attempt struct {
+	worker  string
+	start   time.Time
+	end     time.Time
+	outcome string // "ok", "retry", "backoff", "failed"
+}
+
+// Submit plans, fans out and (asynchronously) merges one client
+// submission, returning the coordinator job id.
+func (c *Coordinator) Submit(ctx context.Context, body []byte) (string, error) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return "", ErrDraining
+	}
+	c.seq++
+	id := fmt.Sprintf("c-%d", c.seq)
+	c.mu.Unlock()
+
+	j := &cjob{
+		id: id, status: service.StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.trace = obs.NewTrace(j.submitted)
+	j.trace.BeginAt(stagePlan, j.submitted)
+
+	p, err := c.planFor(body)
+	if err != nil {
+		c.m.jobs.With("local_error").Inc()
+		return "", err
+	}
+	if len(c.candidates(p.key, 1)) == 0 {
+		c.m.jobs.With("local_error").Inc()
+		return "", ErrNoWorkers
+	}
+	req, _ := service.ParseRequest(body) // planFor already proved it parses
+	j.kind = string(req.Kind)
+	j.mode = p.mode
+	j.key = p.key
+	for i, sub := range p.subs {
+		j.subs = append(j.subs, &subjob{index: i, body: sub})
+	}
+
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	c.evictLocked()
+	c.mu.Unlock()
+	c.m.jobs.With(p.mode).Inc()
+
+	go c.run(j)
+	return id, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+func (c *Coordinator) evictLocked() {
+	for len(c.order) > c.cfg.Retain {
+		evicted := false
+		for i, id := range c.order {
+			j, ok := c.jobs[id]
+			if !ok || j.status.Terminal() {
+				delete(c.jobs, id)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything is still running; let it finish
+		}
+	}
+}
+
+// run drives a job to a terminal state: fan out every sub-job (each with
+// its own retry loop), then merge.
+func (c *Coordinator) run(j *cjob) {
+	c.mu.Lock()
+	j.status = service.StatusRunning
+	j.started = time.Now()
+	c.mu.Unlock()
+	j.trace.Begin(stageFanout)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make(chan error, len(j.subs))
+	for _, sub := range j.subs {
+		go func(sub *subjob) { errs <- c.runSub(ctx, j, sub) }(sub)
+	}
+	var firstErr error
+	for range j.subs {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+			cancel() // no point finishing the other slices of a failed job
+		}
+	}
+
+	j.trace.Begin(stageMerge)
+	var result json.RawMessage
+	if firstErr == nil {
+		result, firstErr = mergeJob(j)
+	}
+
+	c.mu.Lock()
+	j.finished = time.Now()
+	if firstErr != nil {
+		j.status = service.StatusFailed
+		j.err = firstErr.Error()
+	} else {
+		j.status = service.StatusDone
+		j.result = result
+	}
+	c.mu.Unlock()
+	j.trace.FinishAt(j.finished)
+	close(j.done)
+	if firstErr != nil {
+		c.log.Warn("cluster job failed", "job", j.id, "mode", j.mode, "err", firstErr)
+	}
+}
+
+// errPermanent wraps worker errors that retrying cannot fix (400s,
+// remote job failures): the sub-job fails immediately.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+
+// runSub delivers one sub-job: pick a worker (ring owner first, then its
+// ring successors), submit, long-poll the result, and on any lost or
+// bounced dispatch retry elsewhere with capped exponential backoff.
+func (c *Coordinator) runSub(ctx context.Context, j *cjob, sub *subjob) error {
+	var lastErr error
+	for att := 0; att < c.cfg.MaxAttempts; att++ {
+		cands := c.candidates(j.key, att+len(j.subs)+1)
+		if len(cands) == 0 {
+			lastErr = ErrNoWorkers
+		} else {
+			// Spread slices across the owner's successor list, then rotate
+			// by attempt so a retry lands on a different live worker.
+			worker := cands[(sub.index+att)%len(cands)]
+			a := attempt{worker: worker, start: time.Now()}
+			res, err := c.dispatch(ctx, sub, worker)
+			a.end = time.Now()
+			switch {
+			case err == nil:
+				a.outcome = "ok"
+				c.recordAttempt(j, sub, a)
+				sub.result = res
+				c.m.subjobs.With(subjobOK).Inc()
+				return nil
+			case errors.As(err, &errPermanent{}):
+				a.outcome = "failed"
+				c.recordAttempt(j, sub, a)
+				c.m.subjobs.With(subjobFailed).Inc()
+				return err
+			default:
+				a.outcome = "retry"
+				c.recordAttempt(j, sub, a)
+				lastErr = err
+				c.m.subjobs.With(subjobRetried).Inc()
+				c.m.retries.Inc()
+				c.log.Info("cluster sub-job retry", "job", j.id, "sub", sub.index,
+					"worker", worker, "attempt", att, "err", err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoffDelay(att)):
+		}
+	}
+	c.m.subjobs.With(subjobFailed).Inc()
+	return fmt.Errorf("cluster: sub-job %d exhausted %d attempts: %w", sub.index, c.cfg.MaxAttempts, lastErr)
+}
+
+func (c *Coordinator) recordAttempt(j *cjob, sub *subjob, a attempt) {
+	c.mu.Lock()
+	sub.worker = a.worker
+	sub.attempts = append(sub.attempts, a)
+	c.mu.Unlock()
+}
+
+// dispatch submits a sub-job body to one worker and long-polls it to a
+// terminal result. Errors are retryable unless wrapped errPermanent.
+func (c *Coordinator) dispatch(ctx context.Context, sub *subjob, worker string) (json.RawMessage, error) {
+	id, err := c.submitTo(ctx, sub.body, worker)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	sub.remoteID = id
+	c.mu.Unlock()
+	return c.pollResult(ctx, worker, id)
+}
+
+// submitTo POSTs the body to one worker, honoring admission control: a
+// 429 backs the worker off for its Retry-After horizon and reads as a
+// retryable loss, a 400 is permanent (retrying the same bytes cannot
+// help), and 5xx/transport errors are retryable.
+func (c *Coordinator) submitTo(ctx context.Context, body []byte, worker string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("submit to %s: %w", worker, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+			return "", fmt.Errorf("submit to %s: bad accept body: %v", worker, err)
+		}
+		return out.ID, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		d := retryAfter(resp)
+		c.backoffWorker(worker, d)
+		return "", fmt.Errorf("submit to %s: queue full (retry after %s)", worker, d)
+	case resp.StatusCode == http.StatusBadRequest:
+		return "", errPermanent{fmt.Errorf("submit to %s: %s", worker, readError(resp.Body))}
+	default:
+		return "", fmt.Errorf("submit to %s: HTTP %d: %s", worker, resp.StatusCode, readError(resp.Body))
+	}
+}
+
+// pollResult long-polls one worker job to a terminal state. Transport
+// errors and 5xx/404 mean the worker (or the job) is gone — the sub-job
+// is lost and the caller re-dispatches. A remote "failed" status is
+// permanent: the job itself is bad, not the worker.
+func (c *Coordinator) pollResult(ctx context.Context, worker, id string) (json.RawMessage, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s/result?wait=%s", worker, id, c.cfg.PollWait)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("poll %s on %s: %w", id, worker, err)
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		switch {
+		case rerr != nil:
+			return nil, fmt.Errorf("poll %s on %s: %w", id, worker, rerr)
+		case resp.StatusCode == http.StatusAccepted:
+			continue // still running: re-arm the long poll
+		case resp.StatusCode != http.StatusOK:
+			return nil, fmt.Errorf("poll %s on %s: HTTP %d", id, worker, resp.StatusCode)
+		}
+		var job struct {
+			Status string          `json:"status"`
+			Error  string          `json:"error,omitempty"`
+			Result json.RawMessage `json:"result,omitempty"`
+		}
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return nil, fmt.Errorf("poll %s on %s: %w", id, worker, err)
+		}
+		switch service.Status(job.Status) {
+		case service.StatusDone:
+			return job.Result, nil
+		case service.StatusFailed:
+			return nil, errPermanent{fmt.Errorf("worker %s job %s failed: %s", worker, id, job.Error)}
+		case service.StatusCanceled:
+			// A drain cancels queued jobs; treat as a lost dispatch.
+			return nil, fmt.Errorf("worker %s canceled job %s", worker, id)
+		default:
+			continue
+		}
+	}
+}
+
+func readError(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(raw)
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (c *Coordinator) Wait(ctx context.Context, id string) error {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Coordinator) job(id string) (*cjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}

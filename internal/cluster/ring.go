@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker names. Each worker owns
+// vnodesPerWorker points on a 64-bit circle; a key (circuit fingerprint)
+// is owned by the first point clockwise from its hash. Virtual nodes keep
+// the load split roughly even, and consistency means adding or removing
+// one worker only remaps the keys that worker owned — every other
+// circuit keeps hitting the worker whose plan/state/ρ caches it warmed.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// vnodesPerWorker is the virtual-node count per worker. 64 points keeps
+// the expected load imbalance across a handful of workers in the few-
+// percent range without making ring rebuilds (every health sweep that
+// changes membership) measurable.
+const vnodesPerWorker = 64
+
+// newRing builds a ring over the named workers. Order does not matter —
+// the ring is a pure function of the name set, so every rebuild from the
+// same membership routes identically.
+func newRing(workers []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodesPerWorker)}
+	for _, w := range workers {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", w, v)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so equal hashes (vanishingly rare) still
+		// order deterministically across rebuilds.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// lookup returns the worker owning key, or "" on an empty ring.
+func (r *ring) lookup(key string) string {
+	ws := r.successors(key, 1)
+	if len(ws) == 0 {
+		return ""
+	}
+	return ws[0]
+}
+
+// successors walks clockwise from key's hash and returns up to n DISTINCT
+// workers in ring order: the owner first, then the natural fail-over
+// candidates. Sub-job fan-out assigns range i to successors[i mod len],
+// and retries walk the same list, so placement is deterministic for a
+// given membership.
+func (r *ring) successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a: not cryptographic, but fast, dependency-free and
+// stable across processes — coordinator restarts route the same keys to
+// the same workers.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

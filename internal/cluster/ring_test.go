@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupStable(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	r1 := newRing(workers)
+	r2 := newRing([]string{"http://c", "http://a", "http://b"}) // order must not matter
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		if r1.lookup(key) != r2.lookup(key) {
+			t.Fatalf("key %q: lookup depends on membership order", key)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b", "http://c"})
+	for i := 0; i < 20; i++ {
+		succ := r.successors(fmt.Sprintf("fp-%d", i), 3)
+		if len(succ) != 3 {
+			t.Fatalf("wanted 3 distinct successors, got %v", succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor in %v", succ)
+			}
+			seen[s] = true
+		}
+		if succ[0] != r.lookup(fmt.Sprintf("fp-%d", i)) {
+			t.Fatal("owner is not the first successor")
+		}
+	}
+}
+
+// TestRingConsistency pins the property the routing design leans on:
+// removing one worker only remaps the keys that worker owned — every
+// other key keeps its owner, so its plan/state caches stay hot.
+func TestRingConsistency(t *testing.T) {
+	full := newRing([]string{"http://a", "http://b", "http://c"})
+	without := newRing([]string{"http://a", "http://c"})
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before := full.lookup(key)
+		after := without.lookup(key)
+		if before == "http://b" {
+			moved++
+			continue // had to move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s → %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("suspicious: no key was owned by the removed worker")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b", "http://c"})
+	owners := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		owners[r.lookup(fmt.Sprintf("fp-%d", i))]++
+	}
+	for w, n := range owners {
+		if n < 300 {
+			t.Fatalf("worker %s owns only %d/3000 keys — virtual nodes not spreading load", w, n)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil)
+	if got := r.lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	if got := r.successors("anything", 3); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+}

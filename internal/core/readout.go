@@ -70,8 +70,28 @@ type ReadoutSpec struct {
 	// Observables requests one weighted Pauli-string expectation each.
 	Observables []Observable
 	// Trajectories is the ensemble size for noisy runs (0 = default 256);
-	// ignored when the noise model is absent or zero-effect.
+	// ignored when the noise model is absent or zero-effect. When
+	// TrajTotal marks the request as a cluster sub-range, it is the LOCAL
+	// range size.
 	Trajectories int
+	// TrajOffset and TrajTotal place the request's trajectories inside a
+	// larger logical ensemble (the cluster coordinator's fan-out surface):
+	// the run executes global trajectories [TrajOffset,
+	// TrajOffset+Trajectories) of a TrajTotal-trajectory ensemble, with
+	// per-trajectory RNGs and the Shots split keyed on GLOBAL indices so
+	// sub-ranges merge bit-identically to one full run. TrajOffset must be
+	// a multiple of noise.MomentChunk; TrajTotal = 0 means "not a
+	// sub-range". Ignored (like Trajectories) when the noise model is
+	// absent or zero-effect.
+	TrajOffset int
+	TrajTotal  int
+	// Moments requests the per-chunk partial sums behind the ensemble's
+	// mean ± stderr readouts in the result (noise.Ensemble.Moments), which
+	// is what a coordinator needs to merge sub-range results
+	// deterministically. Only effective-noise ensemble runs produce them;
+	// ideal and noise-free fast-path runs return exact values and no
+	// moments.
+	Moments bool
 }
 
 // Empty reports whether the spec requests nothing.
@@ -89,6 +109,27 @@ func (s ReadoutSpec) Validate(n int) error {
 	}
 	if s.Trajectories < 0 {
 		return fmt.Errorf("core: negative trajectory count %d", s.Trajectories)
+	}
+	if s.TrajOffset < 0 {
+		return fmt.Errorf("core: negative trajectory offset %d", s.TrajOffset)
+	}
+	if s.TrajTotal < 0 {
+		return fmt.Errorf("core: negative trajectory total %d", s.TrajTotal)
+	}
+	if s.TrajTotal == 0 && s.TrajOffset != 0 {
+		return fmt.Errorf("core: trajectory offset %d without a total (set TrajTotal to the full ensemble size)", s.TrajOffset)
+	}
+	if s.TrajTotal > 0 {
+		if s.Trajectories == 0 {
+			return fmt.Errorf("core: trajectory sub-range needs an explicit Trajectories count")
+		}
+		if s.TrajOffset%noise.MomentChunk != 0 {
+			return fmt.Errorf("core: trajectory offset %d is not a multiple of the moment chunk %d", s.TrajOffset, noise.MomentChunk)
+		}
+		if s.TrajOffset+s.Trajectories > s.TrajTotal {
+			return fmt.Errorf("core: trajectory range [%d,%d) exceeds ensemble total %d",
+				s.TrajOffset, s.TrajOffset+s.Trajectories, s.TrajTotal)
+		}
 	}
 	for mi, qs := range s.Marginals {
 		seen := map[int]bool{}
@@ -168,6 +209,7 @@ func EvaluateState(st *sv.State, sampler *sv.Sampler, spec ReadoutSpec) *Readout
 func (s ReadoutSpec) NoisyRunConfig(workers int) noise.RunConfig {
 	cfg := noise.RunConfig{
 		Trajectories: s.Trajectories, Seed: s.Seed, Workers: workers,
+		Offset: s.TrajOffset, Total: s.TrajTotal,
 		Shots:     s.Shots,
 		Marginals: s.Marginals,
 	}

@@ -14,10 +14,33 @@ import (
 	"hisvsim/internal/sv"
 )
 
+// MomentChunk is the canonical reduction granule of an ensemble: readout
+// values are folded into per-chunk partial sums over fixed windows of
+// MomentChunk consecutive trajectories (by GLOBAL index), and the final
+// mean ± stderr is a left fold over those chunks in index order. Because
+// the fold shape depends only on the global trajectory indices — never on
+// worker count or on how a cluster split the range — any chunk-aligned
+// partition of [0, Total) reproduces the single-node statistics bit for
+// bit when its parts' moments are concatenated and folded by the same
+// code (AggregateMoments).
+const MomentChunk = 32
+
 // RunConfig configures a trajectory ensemble.
 type RunConfig struct {
-	// Trajectories is the ensemble size (default 256).
+	// Trajectories is the ensemble size (default 256). When Offset/Total
+	// mark this run as a sub-range, it is the size of the LOCAL range.
 	Trajectories int
+	// Offset and Total place this run inside a larger logical ensemble:
+	// the run executes global trajectories [Offset, Offset+Trajectories)
+	// of a Total-trajectory ensemble. Per-trajectory RNGs and the shot
+	// split are derived from the GLOBAL index, so a set of sub-range runs
+	// covering [0, Total) reproduces exactly the per-trajectory streams of
+	// one full run — the cluster coordinator's fan-out contract. Offset
+	// must be a multiple of MomentChunk (so chunk partials never straddle
+	// a split point); Total = 0 means "not a sub-range" (the run IS the
+	// whole ensemble). Shots is interpreted against Total.
+	Offset int
+	Total  int
 	// Seed derives every per-trajectory RNG; a fixed (plan, config) pair
 	// reproduces the ensemble exactly, independent of Workers.
 	Seed int64
@@ -50,14 +73,57 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Total <= 0 {
+		c.Total = c.Offset + c.Trajectories
+	}
 	return c
+}
+
+// validateRange rejects malformed sub-range placements (called after
+// withDefaults, so Total is resolved).
+func (c RunConfig) validateRange() error {
+	if c.Offset < 0 {
+		return fmt.Errorf("noise: negative trajectory offset %d", c.Offset)
+	}
+	if c.Offset%MomentChunk != 0 {
+		return fmt.Errorf("noise: trajectory offset %d is not a multiple of the moment chunk %d", c.Offset, MomentChunk)
+	}
+	if c.Offset+c.Trajectories > c.Total {
+		return fmt.Errorf("noise: trajectory range [%d,%d) exceeds ensemble total %d", c.Offset, c.Offset+c.Trajectories, c.Total)
+	}
+	return nil
+}
+
+// Moment is one chunk's partial sums: the contribution of global
+// trajectories [Chunk·MomentChunk, Chunk·MomentChunk+Count) to the
+// ensemble statistics, each folded sequentially in trajectory order.
+// Moments are the unit of deterministic cross-node aggregation: the
+// coordinator concatenates sub-range moments in chunk order and reduces
+// them with the same AggregateMoments fold the single-node path uses.
+type Moment struct {
+	// Chunk is the global chunk index (global trajectory index / MomentChunk).
+	Chunk int
+	// Count is how many trajectories contributed (MomentChunk except for a
+	// tail chunk).
+	Count int
+	// Exp is the [sum, sum of squares] of the legacy Z-string expectation
+	// (RunConfig.Qubits); zero unless that readout was requested.
+	Exp [2]float64
+	// Obs is one [sum, sum of squares] per RunConfig.Observables entry.
+	Obs [][2]float64
+	// Marg is one per-entry probability sum vector per RunConfig.Marginals
+	// entry.
+	Marg [][]float64
 }
 
 // Ensemble is the aggregated result of a trajectory run.
 type Ensemble struct {
-	// Trajectories is the number of trajectories executed.
+	// Trajectories is the number of trajectories executed (the LOCAL range
+	// size for sub-range runs).
 	Trajectories int
-	// Shots is the total sample count behind Counts.
+	// Shots is the total sample count behind Counts: the executed share of
+	// RunConfig.Shots (equal to it for full runs; sub-range runs execute
+	// only their global trajectories' split).
 	Shots int
 	// Counts is the basis-index histogram across all trajectories, with
 	// readout error applied (nil unless Shots > 0).
@@ -73,6 +139,12 @@ type Ensemble struct {
 	// Marginals holds one trajectory-mean probability distribution per
 	// requested RunConfig.Marginals entry, in request order.
 	Marginals [][]float64
+	// Moments are the per-chunk partial sums behind Expectation/Observables/
+	// Marginals (noisy path only; the noise-free fast path computes exact
+	// values and carries none). They let MergeEnsembles — or a cluster
+	// coordinator working from wire data — reproduce the full-ensemble
+	// statistics bit for bit from sub-range runs.
+	Moments []Moment
 	// Stats sums the stochastic work across trajectories.
 	Stats TrajStats
 	// NoiseFree reports the ensemble came from the ideal-state fast path
@@ -160,6 +232,9 @@ func (c RunConfig) validateReadouts(n int) error {
 // bit-stable across worker counts.
 func RunEnsemble(ctx context.Context, p *Plan, cfg RunConfig) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateRange(); err != nil {
+		return nil, err
+	}
 	if err := cfg.validateReadouts(p.n); err != nil {
 		return nil, err
 	}
@@ -174,12 +249,15 @@ func RunEnsemble(ctx context.Context, p *Plan, cfg RunConfig) (*Ensemble, error)
 // sampling and per-trajectory seeded RNGs of the noisy path.
 func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg RunConfig) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateRange(); err != nil {
+		return nil, err
+	}
 	if err := cfg.validateReadouts(st.N); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	T := cfg.Trajectories
-	ens := &Ensemble{Trajectories: T, Shots: cfg.Shots, NoiseFree: true}
+	ens := &Ensemble{Trajectories: T, NoiseFree: true}
 	if cfg.Shots > 0 {
 		sampler := sv.NewSampler(st) // one CDF pass serves every trajectory
 		ens.Counts = make(map[int]int)
@@ -187,11 +265,16 @@ func RunEnsembleFromState(ctx context.Context, st *sv.State, ro *Readout, cfg Ru
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			shots := shotsFor(cfg.Shots, T, t)
+			// Seeds and the shot split key on the GLOBAL trajectory index,
+			// so a sub-range run draws exactly the samples its trajectories
+			// would have drawn inside the full ensemble.
+			g := cfg.Offset + t
+			shots := shotsFor(cfg.Shots, cfg.Total, g)
 			if shots == 0 {
 				continue
 			}
-			rng := trajRNG(cfg.Seed, t)
+			ens.Shots += shots
+			rng := trajRNG(cfg.Seed, g)
 			for _, x := range sampler.Sample(shots, rng) {
 				if ro != nil {
 					x = applyReadout(x, st.N, ro, rng)
@@ -266,14 +349,17 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 					errs[t] = err
 					return
 				}
-				rng := trajRNG(cfg.Seed, t)
+				// Global index: sub-range runs replay exactly the RNG streams
+				// and shot split their trajectories have in the full ensemble.
+				g := cfg.Offset + t
+				rng := trajRNG(cfg.Seed, g)
 				st, stats, err := p.runTrajectory(rng, rec)
 				if err != nil {
 					errs[t] = err
 					return
 				}
 				r := trajResult{stats: stats}
-				if shots := shotsFor(cfg.Shots, T, t); shots > 0 {
+				if shots := shotsFor(cfg.Shots, cfg.Total, g); shots > 0 {
 					samples := st.Sample(shots, rng)
 					r.counts = make(map[int]int, len(samples))
 					for _, x := range samples {
@@ -309,73 +395,218 @@ func runTrajectories(ctx context.Context, cfg RunConfig, p *Plan) (*Ensemble, er
 		}
 	}
 
-	ens := &Ensemble{Trajectories: T, Shots: cfg.Shots}
+	// Fold the per-trajectory readouts into canonical chunk moments,
+	// walking the local range in order (which IS global order: the offset
+	// is chunk-aligned, so chunk boundaries land inside the range). The
+	// integer payloads (counts, stats) merge exactly by addition and need
+	// no chunking.
+	ens := &Ensemble{Trajectories: T}
 	if cfg.Shots > 0 {
 		ens.Counts = make(map[int]int)
 	}
-	var sum, sumsq float64
-	obsSum := make([]float64, len(cfg.Observables))
-	obsSumSq := make([]float64, len(cfg.Observables))
-	if len(cfg.Marginals) > 0 {
-		ens.Marginals = make([][]float64, len(cfg.Marginals))
-		for k, qs := range cfg.Marginals {
-			ens.Marginals[k] = make([]float64, 1<<uint(len(qs)))
-		}
-	}
+	numObs := len(cfg.Observables)
+	var cur *Moment
 	for t := range results {
 		r := &results[t]
 		ens.Stats.add(r.stats)
 		for x, c := range r.counts {
 			ens.Counts[x] += c
+			ens.Shots += c
 		}
-		sum += r.exp
-		sumsq += r.exp * r.exp
+		g := cfg.Offset + t
+		if cur == nil || g/MomentChunk != cur.Chunk {
+			m := Moment{Chunk: g / MomentChunk}
+			if numObs > 0 {
+				m.Obs = make([][2]float64, numObs)
+			}
+			if len(cfg.Marginals) > 0 {
+				m.Marg = make([][]float64, len(cfg.Marginals))
+				for k, qs := range cfg.Marginals {
+					m.Marg[k] = make([]float64, 1<<uint(len(qs)))
+				}
+			}
+			ens.Moments = append(ens.Moments, m)
+			cur = &ens.Moments[len(ens.Moments)-1]
+		}
+		cur.Count++
+		if wantExp {
+			cur.Exp[0] += r.exp
+			cur.Exp[1] += r.exp * r.exp
+		}
 		for k, v := range r.obs {
-			obsSum[k] += v
-			obsSumSq[k] += v * v
+			cur.Obs[k][0] += v
+			cur.Obs[k][1] += v * v
 		}
 		for k, dist := range r.marg {
+			mk := cur.Marg[k]
 			for i, p := range dist {
-				ens.Marginals[k][i] += p
+				mk[i] += p
 			}
 		}
 	}
+	agg := AggregateMoments(ens.Moments)
 	if wantExp {
 		ens.HasExpectation = true
-		mean := sum / float64(T)
-		ens.Expectation = mean
-		if T > 1 {
-			// Sample variance of the per-trajectory expectations; the mean's
-			// standard error is its square root over √T.
-			variance := (sumsq - float64(T)*mean*mean) / float64(T-1)
-			if variance < 0 {
-				variance = 0 // rounding of identical values
-			}
-			ens.StdErr = math.Sqrt(variance / float64(T))
-		}
+		ens.Expectation = agg.Expectation.Mean
+		ens.StdErr = agg.Expectation.StdErr
 	}
-	if len(cfg.Observables) > 0 {
-		ens.Observables = make([]ObservableStat, len(cfg.Observables))
-		for k := range cfg.Observables {
-			mean := obsSum[k] / float64(T)
-			st := ObservableStat{Mean: mean}
-			if T > 1 {
-				variance := (obsSumSq[k] - float64(T)*mean*mean) / float64(T-1)
-				if variance < 0 {
-					variance = 0
-				}
-				st.StdErr = math.Sqrt(variance / float64(T))
-			}
-			ens.Observables[k] = st
-		}
-	}
-	for k := range ens.Marginals {
-		for i := range ens.Marginals[k] {
-			ens.Marginals[k][i] /= float64(T)
-		}
-	}
+	ens.Observables = agg.Observables
+	ens.Marginals = agg.Marginals
 	ens.Elapsed = time.Since(start)
 	return ens, nil
+}
+
+// MomentStats is the readout statistics AggregateMoments reduces from a
+// chunk-moment list.
+type MomentStats struct {
+	// Trajectories is the summed chunk Count.
+	Trajectories int
+	// Expectation is the legacy Z-string mean ± stderr (meaningful only
+	// when that readout was tracked by the run).
+	Expectation ObservableStat
+	// Observables and Marginals follow the request order the moments were
+	// built with.
+	Observables []ObservableStat
+	Marginals   [][]float64
+}
+
+// AggregateMoments folds chunk moments in list order into trajectory-mean
+// statistics. This is THE canonical reduction: runTrajectories finalizes
+// every ensemble through it, and MergeEnsembles — or a cluster coordinator
+// working from wire moments — re-runs it over concatenated sub-range
+// moments. One shared fold is exactly what makes a split ensemble
+// bit-identical to its single-node run.
+func AggregateMoments(ms []Moment) MomentStats {
+	var out MomentStats
+	if len(ms) == 0 {
+		return out
+	}
+	numObs := len(ms[0].Obs)
+	var expSum, expSq float64
+	obsSum := make([]float64, numObs)
+	obsSq := make([]float64, numObs)
+	margSum := make([][]float64, len(ms[0].Marg))
+	for k, m := range ms[0].Marg {
+		margSum[k] = make([]float64, len(m))
+	}
+	for _, m := range ms {
+		out.Trajectories += m.Count
+		expSum += m.Exp[0]
+		expSq += m.Exp[1]
+		for k := range m.Obs {
+			obsSum[k] += m.Obs[k][0]
+			obsSq[k] += m.Obs[k][1]
+		}
+		for k, dist := range m.Marg {
+			for i, p := range dist {
+				margSum[k][i] += p
+			}
+		}
+	}
+	T := out.Trajectories
+	out.Expectation = meanStdErr(expSum, expSq, T)
+	if numObs > 0 {
+		out.Observables = make([]ObservableStat, numObs)
+		for k := range out.Observables {
+			out.Observables[k] = meanStdErr(obsSum[k], obsSq[k], T)
+		}
+	}
+	if len(margSum) > 0 {
+		out.Marginals = margSum
+		for k := range out.Marginals {
+			for i := range out.Marginals[k] {
+				out.Marginals[k][i] /= float64(T)
+			}
+		}
+	}
+	return out
+}
+
+// meanStdErr finalizes one accumulated (sum, sum of squares) pair: the
+// trajectory mean, and the standard error of that mean (sample stddev/√T).
+func meanStdErr(sum, sumsq float64, T int) ObservableStat {
+	if T <= 0 {
+		return ObservableStat{}
+	}
+	mean := sum / float64(T)
+	st := ObservableStat{Mean: mean}
+	if T > 1 {
+		variance := (sumsq - float64(T)*mean*mean) / float64(T-1)
+		if variance < 0 {
+			variance = 0 // rounding of identical values
+		}
+		st.StdErr = math.Sqrt(variance / float64(T))
+	}
+	return st
+}
+
+// MergeEnsembles combines contiguous sub-range ensembles — produced with
+// the same (plan, seed, shots, readouts) against one logical ensemble,
+// passed in ascending offset order and together covering [0, Total) — into
+// the ensemble a single full-range run would have produced. Counts and
+// stats merge exactly (integer sums); mean ± stderr statistics re-reduce
+// from the concatenated chunk moments via AggregateMoments, making them
+// bit-identical to the single-node values. Noise-free parts (the fast path
+// carries exact readouts and no moments) merge by summing counts and
+// copying the exact values from the first part.
+func MergeEnsembles(parts []*Ensemble) (*Ensemble, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("noise: merge of zero ensembles")
+	}
+	out := &Ensemble{NoiseFree: parts[0].NoiseFree}
+	lastChunk := -1
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("noise: merge part %d is nil", i)
+		}
+		if p.NoiseFree != out.NoiseFree {
+			return nil, fmt.Errorf("noise: merge mixes noise-free and noisy parts")
+		}
+		out.Trajectories += p.Trajectories
+		out.Shots += p.Shots
+		out.Stats.add(p.Stats)
+		if p.Counts != nil {
+			if out.Counts == nil {
+				out.Counts = make(map[int]int, len(p.Counts))
+			}
+			for x, c := range p.Counts {
+				out.Counts[x] += c
+			}
+		}
+		if p.Elapsed > out.Elapsed {
+			out.Elapsed = p.Elapsed // parts run concurrently: wall ≈ slowest part
+		}
+		for _, m := range p.Moments {
+			if m.Chunk <= lastChunk {
+				return nil, fmt.Errorf("noise: merge parts out of order (chunk %d after %d — pass sub-ranges in ascending offset order)", m.Chunk, lastChunk)
+			}
+			lastChunk = m.Chunk
+		}
+		out.Moments = append(out.Moments, p.Moments...)
+	}
+	first := parts[0]
+	if out.NoiseFree {
+		// Every part evaluated the same ideal state, so the exact readouts
+		// are identical across parts; only the sampled counts differ.
+		out.HasExpectation = first.HasExpectation
+		out.Expectation = first.Expectation
+		out.StdErr = first.StdErr
+		out.Observables = first.Observables
+		out.Marginals = first.Marginals
+		return out, nil
+	}
+	agg := AggregateMoments(out.Moments)
+	if agg.Trajectories != out.Trajectories {
+		return nil, fmt.Errorf("noise: merged moments cover %d trajectories, parts report %d", agg.Trajectories, out.Trajectories)
+	}
+	out.HasExpectation = first.HasExpectation
+	if out.HasExpectation {
+		out.Expectation = agg.Expectation.Mean
+		out.StdErr = agg.Expectation.StdErr
+	}
+	out.Observables = agg.Observables
+	out.Marginals = agg.Marginals
+	return out, nil
 }
 
 // String summarizes the ensemble for logs and CLI output.

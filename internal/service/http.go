@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,6 +78,24 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
+// ParseRequest decodes a submit body into a Request without enqueuing it.
+// The cluster coordinator uses it to route (circuit fingerprint) and to
+// decide whether a job is splittable; the original bytes — not the parsed
+// form — are what it forwards, so workers see the request verbatim.
+func ParseRequest(body []byte) (*Request, error) {
+	var wr wireRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wr); err != nil {
+		return nil, err
+	}
+	req, err := wr.toRequest()
+	if err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
 // wireRequest is the submit body.
 type wireRequest struct {
 	Circuit struct {
@@ -144,6 +163,17 @@ type wireReadouts struct {
 	Marginals    [][]int          `json:"marginals,omitempty"`
 	Observables  []wireObservable `json:"observables,omitempty"`
 	Trajectories int              `json:"trajectories,omitempty"`
+	// TrajOffset/TrajTotal place this request's trajectories as the
+	// contiguous global sub-range [traj_offset, traj_offset+trajectories)
+	// of a traj_total-sized ensemble: per-trajectory RNG streams and the
+	// shot split are keyed on the GLOBAL index, so a cluster coordinator
+	// can fan one ensemble out across workers and merge bit-identically.
+	TrajOffset int `json:"traj_offset,omitempty"`
+	TrajTotal  int `json:"traj_total,omitempty"`
+	// Moments asks the result to carry the per-chunk partial sums behind
+	// the ensemble's mean ± stderr readouts (the deterministic cross-host
+	// merge surface). Only effective-noise runs produce them.
+	Moments bool `json:"moments,omitempty"`
 }
 
 // wireObservable is one weighted Pauli string (a Hamiltonian term). An
@@ -163,6 +193,8 @@ func (w *wireReadouts) toSpec() (core.ReadoutSpec, error) {
 	spec := core.ReadoutSpec{
 		Statevector: w.Statevector, Shots: w.Shots, Seed: w.Seed,
 		Marginals: w.Marginals, Trajectories: w.Trajectories,
+		TrajOffset: w.TrajOffset, TrajTotal: w.TrajTotal,
+		Moments: w.Moments,
 	}
 	obs, err := toObservables(w.Observables)
 	if err != nil {
@@ -384,6 +416,30 @@ type wireResult struct {
 	// Sweep and Optimize are the v3 payloads (kinds "sweep"/"optimize").
 	Sweep    *wireSweepResult    `json:"sweep,omitempty"`
 	Optimize *wireOptimizeResult `json:"optimize,omitempty"`
+	// Moments is the optional kind-"run" merge surface ("readouts":
+	// {"moments": true} on an effective-noise ensemble): per-chunk partial
+	// sums behind the mean ± stderr readouts, in chunk order.
+	Moments *wireMoments `json:"moments,omitempty"`
+}
+
+// wireMoments carries the per-chunk partial sums a cluster coordinator
+// folds with the canonical chunked reduction to reproduce single-node
+// statistics bit-for-bit. Floats survive the JSON round trip exactly
+// (encoding/json emits the shortest representation that parses back to
+// the same float64).
+type wireMoments struct {
+	ChunkSize int               `json:"chunk_size"`
+	Chunks    []wireMomentChunk `json:"chunks"`
+}
+
+// wireMomentChunk is one chunk's partials: [sum, sum-of-squares] per
+// observable (readout-spec order) and per-entry probability sums per
+// marginal.
+type wireMomentChunk struct {
+	Chunk int          `json:"chunk"`
+	Count int          `json:"count"`
+	Obs   [][2]float64 `json:"obs,omitempty"`
+	Marg  [][]float64  `json:"marg,omitempty"`
 }
 
 // wireSweepResult is the kind-"sweep" payload: the compile-amortization
@@ -482,6 +538,16 @@ func toWireResult(r *Result) *wireResult {
 			for i, a := range r.Amplitudes {
 				out.Amplitudes[i] = [2]float64{real(a), imag(a)}
 			}
+		}
+		if len(r.Moments) > 0 {
+			wm := &wireMoments{ChunkSize: noise.MomentChunk,
+				Chunks: make([]wireMomentChunk, 0, len(r.Moments))}
+			for _, m := range r.Moments {
+				wm.Chunks = append(wm.Chunks, wireMomentChunk{
+					Chunk: m.Chunk, Count: m.Count, Obs: m.Obs, Marg: m.Marg,
+				})
+			}
+			out.Moments = wm
 		}
 	case KindSweep:
 		out.Backend = r.Backend
@@ -594,6 +660,10 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	id, err := s.SubmitContext(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Admission control, not failure: tell the client when to come
+		// back. The cluster coordinator parses this when dispatching
+		// sub-jobs and backs the worker off for that long.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):

@@ -10,7 +10,7 @@ import (
 
 // Version identifies the service build in hisvsim_build_info and log lines.
 // It tracks the repo's PR sequence rather than a release tag.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // This file is the service's metrics surface: every counter the old
 // ad-hoc Stats bookkeeping tracked now lives in one obs.Registry (the

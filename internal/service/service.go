@@ -213,6 +213,11 @@ type Result struct {
 	// ReadoutSpec order.
 	Marginals   [][]float64
 	Observables []core.ObservableValue
+	// Moments are the per-chunk partial sums behind the ensemble's mean ±
+	// stderr readouts (KindRun with Readouts.Moments on an effective-noise
+	// ensemble): the deterministic-merge surface a cluster coordinator
+	// reduces sub-range results with.
+	Moments []noise.Moment
 	// Sweep is the per-grid-point readout table (KindSweep).
 	Sweep *core.SweepReport
 	// Optimize is the optimization outcome with its iteration trace
@@ -601,7 +606,7 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 		// Expand Grid/Zip specs into the explicit binding list once, here,
 		// so grid-shape errors (size mismatches, oversize products) are
 		// submit errors and the worker only ever sees concrete bindings.
-		expanded, err := req.Sweep.expand(s.cfg.MaxSweepPoints)
+		expanded, err := req.Sweep.Expand(s.cfg.MaxSweepPoints)
 		if err != nil {
 			return "", fmt.Errorf("service: %w", err)
 		}
@@ -799,6 +804,9 @@ func (s *Service) validate(req Request) error {
 	case KindSweep:
 		if req.Shots != 0 || req.Seed != 0 || len(req.Qubits) != 0 || req.Trajectories != 0 {
 			return fmt.Errorf("service: kind %q takes its read-outs from Readouts (move shots/seed/qubits/trajectories into the readout spec)", KindSweep)
+		}
+		if req.Readouts.TrajOffset != 0 || req.Readouts.TrajTotal != 0 || req.Readouts.Moments {
+			return fmt.Errorf("service: kind %q is split by sweep points, not trajectory ranges (drop traj_offset/traj_total/moments)", KindSweep)
 		}
 		if req.Sweep == nil || len(req.Sweep.Bindings) == 0 {
 			return fmt.Errorf("service: sweep needs a binding grid (set Sweep.Bindings or Sweep.Grid)")
@@ -1130,6 +1138,12 @@ func resultBytes(r *Result) int64 {
 		b += int64(len(m)) * 8
 	}
 	b += int64(len(r.Observables)) * 48
+	for _, m := range r.Moments {
+		b += 32 + int64(len(m.Obs))*16
+		for _, mg := range m.Marg {
+			b += int64(len(mg)) * 8
+		}
+	}
 	if r.Sweep != nil {
 		for _, p := range r.Sweep.Points {
 			b += int64(len(p.Binding)) * 32
@@ -1372,6 +1386,9 @@ func (s *Service) executeNoisy(j *job, spec core.ReadoutSpec) (*Result, error) {
 	}
 	res.CacheHit = hit
 	res.Trajectories = ens.Trajectories
+	if spec.Moments {
+		res.Moments = ens.Moments
+	}
 	j.trace.Begin(stageSample)
 	legacyProject(res, core.ReadoutsFromEnsemble(ens, spec))
 	res.Elapsed = time.Since(start)

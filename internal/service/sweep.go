@@ -30,10 +30,12 @@ type SweepSpec struct {
 	Zip  bool
 }
 
-// expand resolves the spec to its explicit binding list, rejecting
+// Expand resolves the spec to its explicit binding list, rejecting
 // malformed grids (both/neither form set, zip length mismatch, products
-// over limit) with errors that name the offending symbols.
-func (sp *SweepSpec) expand(limit int) ([]map[string]float64, error) {
+// over limit) with errors that name the offending symbols. Exported so a
+// cluster coordinator can expand a grid once and split the points into
+// contiguous sub-ranges.
+func (sp *SweepSpec) Expand(limit int) ([]map[string]float64, error) {
 	if len(sp.Bindings) > 0 && len(sp.Grid) > 0 {
 		return nil, fmt.Errorf("sweep: set Bindings or Grid, not both")
 	}

@@ -305,7 +305,7 @@ func TestShimHitCounting(t *testing.T) {
 // TestSweepGridExpansion: cartesian and zip grids expand as documented.
 func TestSweepGridExpansion(t *testing.T) {
 	sp := &SweepSpec{Grid: map[string][]float64{"a": {1, 2, 3}, "b": {10, 20}}}
-	pts, err := sp.expand(100)
+	pts, err := sp.Expand(100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,11 +316,11 @@ func TestSweepGridExpansion(t *testing.T) {
 	if pts[0]["a"] != 1 || pts[0]["b"] != 10 || pts[1]["a"] != 1 || pts[1]["b"] != 20 || pts[2]["a"] != 2 {
 		t.Fatalf("cartesian order wrong: %v", pts[:3])
 	}
-	if _, err := sp.expand(5); err == nil {
+	if _, err := sp.Expand(5); err == nil {
 		t.Fatal("oversize cartesian grid accepted")
 	}
 	zip := &SweepSpec{Grid: map[string][]float64{"a": {1, 2}, "b": {10, 20}}, Zip: true}
-	zpts, err := zip.expand(100)
+	zpts, err := zip.Expand(100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestSweepGridExpansion(t *testing.T) {
 		t.Fatalf("zip points wrong: %v", zpts)
 	}
 	both := &SweepSpec{Bindings: []map[string]float64{{"a": 1}}, Grid: map[string][]float64{"a": {1}}}
-	if _, err := both.expand(100); err == nil {
+	if _, err := both.Expand(100); err == nil {
 		t.Fatal("bindings+grid accepted")
 	}
 }

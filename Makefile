@@ -73,21 +73,26 @@ cluster-bench:
 #
 #	make bench-all BENCH_DIR=/tmp/bench FUSION_REPS=1
 #	make benchdiff BENCH_DIR=/tmp/bench
-bench-all: fusion-bench service-bench noise-bench dm-bench sweep-bench cluster-bench
+bench-all: fusion-bench service-bench noise-bench dm-bench sweep-bench cluster-bench obs-bench
 
 # Compares the artifacts under BENCH_DIR against the committed baselines
 # at the repo root; exits nonzero on any out-of-tolerance regression.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -baseline . -fresh $(BENCH_DIR)
 
-# Regenerates BENCH_obs.txt: the metric-primitive microbenchmarks (counter,
+# Regenerates BENCH_obs.txt — the metric-primitive microbenchmarks (counter,
 # gauge, histogram, vec lookup — the Observe path must stay allocation-free)
 # plus the instrumented-service overhead guard next to its uninstrumented
-# twin. CI runs it with OBS_BENCHTIME=10x as a smoke.
+# twin — and normalizes it into BENCH_obs.json (hisvsim.bench/v1) so
+# benchdiff gates it like every other committed artifact. CI smokes it
+# with OBS_BENCHTIME=0.2s — time-based so testing.B still calibrates N
+# (fixed-count short runs leave RunParallel's spawn overhead unamortized
+# and blow the ns rows' 4x tolerance).
 OBS_BENCHTIME ?= 2s
 obs-bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/obs/ | tee BENCH_obs.txt
-	$(GO) test -run='^$$' -bench='CacheHitSample|ServiceInstrumented' -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/service/ | tee -a BENCH_obs.txt
+	$(GO) test -run='^$$' -bench=. -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/obs/ | tee $(BENCH_DIR)/BENCH_obs.txt
+	$(GO) test -run='^$$' -bench='CacheHitSample|ServiceInstrumented' -benchtime=$(OBS_BENCHTIME) -benchmem ./internal/service/ | tee -a $(BENCH_DIR)/BENCH_obs.txt
+	$(GO) run ./cmd/benchtables -only obs -obs-in $(BENCH_DIR)/BENCH_obs.txt -obs-out $(BENCH_DIR)/BENCH_obs.json
 
 # Boots hisvsimd and exercises submit → poll → sample over HTTP (curl + jq).
 serve-smoke:

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hisvsim/internal/bench"
 	"hisvsim/internal/experiments"
 )
 
@@ -28,7 +29,7 @@ func main() {
 		bigR       = flag.String("big-ranks", "8,16", "rank counts for the large circuits")
 		seed       = flag.Int64("seed", 1, "partitioner seed")
 		lm2        = flag.Int("second-lm", 8, "second-level limit for the multi-level experiment")
-		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm,sweep,cluster")
+		only       = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig5,fig6,fig7,fig8,fig9,fig10,optimality,threads,ablation,fusion,service,noise,dm,sweep,cluster,obs")
 		fusionOut  = flag.String("fusion-out", "", "also write the fusion benchmark as JSON to this path (e.g. BENCH_fusion.json)")
 		fusionN    = flag.String("fusion-qubits", "16,18,20", "register sizes for the fusion benchmark")
 		fusionRep  = flag.Int("fusion-reps", 3, "repetitions per fusion benchmark point (fastest kept)")
@@ -49,6 +50,8 @@ func main() {
 		clusterN   = flag.Int("cluster-qubits", 10, "register size for the cluster benchmark ensemble")
 		clusterT   = flag.Int("cluster-traj", 512, "trajectories in the cluster benchmark ensemble")
 		clusterFl  = flag.String("cluster-fleets", "1,2,3", "worker fleet sizes for the cluster benchmark")
+		obsIn      = flag.String("obs-in", "BENCH_obs.txt", "go test -bench text output to normalize for the obs section")
+		obsOut     = flag.String("obs-out", "", "write the normalized observability benchmark as JSON to this path (e.g. BENCH_obs.json)")
 	)
 	flag.Parse()
 
@@ -201,6 +204,29 @@ func main() {
 			check(err)
 			check(os.WriteFile(*clusterOut, b, 0o644))
 			fmt.Printf("wrote %s\n", *clusterOut)
+		}
+	}
+	if sel("obs") || *obsOut != "" {
+		// The observability benchmarks are testing.B microbenchmarks, not
+		// an experiments harness: this section normalizes their committed
+		// text output (make obs-bench) into the gated artifact schema.
+		f, err := os.Open(*obsIn)
+		check(err)
+		rep, err := bench.NormalizeGoBench("obs", f)
+		f.Close()
+		check(err)
+		for _, row := range rep.Rows {
+			if row.Better == "" {
+				continue // informational rows stay out of the summary
+			}
+			fmt.Printf("%-44s %14.4g %s\n", row.Metric, row.Value, row.Unit)
+		}
+		fmt.Println()
+		if *obsOut != "" {
+			b, err := rep.JSON()
+			check(err)
+			check(os.WriteFile(*obsOut, b, 0o644))
+			fmt.Printf("wrote %s\n", *obsOut)
 		}
 	}
 	if sel("dm") || *dmOut != "" {

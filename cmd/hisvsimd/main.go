@@ -50,7 +50,9 @@
 // Observability: GET /metrics exposes the service and HTTP metric series
 // in Prometheus text format; every request gets an X-Request-ID (incoming
 // ones are honored) that also tags the job's structured log lines
-// (-log-level, -log-json); -debug-addr serves net/http/pprof on a
+// (-log-level, -log-json); an incoming X-Parent-Span (set by a cluster
+// coordinator on fan-out sub-jobs) lands on the job record, its log lines
+// and its trace/profile bodies; -debug-addr serves net/http/pprof on a
 // separate, opt-in listener so profiling is never exposed on the API port.
 //
 // SIGINT/SIGTERM drain gracefully: /readyz flips to 503 first (so load
@@ -68,6 +70,16 @@
 //
 //	hisvsimd -coordinator -addr :8080 \
 //	    -workers http://n1:8081,http://n2:8081,http://n3:8081
+//
+// Cluster observability spans the fleet: every sub-job dispatch forwards
+// the job's X-Request-ID and a per-attempt X-Parent-Span, the
+// coordinator's GET /v1/jobs/{id}/trace nests each worker's stage trace
+// under the attempt that ran it (one tree from client submit down to
+// queue_wait/compile/execute on each worker), GET /v1/jobs/{id}/profile
+// merges the workers' kernel profiles into one cluster-wide attribution,
+// and GET /metrics/federate scrapes every live worker's /metrics on
+// demand, re-exposing all series with a worker label plus cluster rollup
+// gauges (cache hit rate, total queue depth, per-worker probe health).
 package main
 
 import (

@@ -1,0 +1,152 @@
+// Normalizing `go test -bench` text output into the hisvsim.bench/v1
+// artifact schema. The observability microbenchmarks (BENCH_obs.txt) are
+// plain testing.B output rather than an experiments.* report, so this
+// parser is the bridge that lets cmd/benchdiff gate them like every other
+// committed BENCH_*.json baseline.
+
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// GoBenchLine is one parsed benchmark result line.
+type GoBenchLine struct {
+	// Pkg is the short package name (last element of the `pkg:` header
+	// path in effect when the line appeared; "" if none was seen).
+	Pkg string
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// trailing -GOMAXPROCS suffix stripped (sub-benchmark slashes kept).
+	Name string
+	// Iters is the iteration count testing.B settled on.
+	Iters int64
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the ns/op, B/op and
+	// allocs/op columns; BytesPerOp/AllocsPerOp are -1 when the run
+	// lacked -benchmem.
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// ParseGoBench reads `go test -bench` text output (one or more packages
+// concatenated, as `make obs-bench` produces) and returns the benchmark
+// lines in order. Non-benchmark lines (goos/goarch/cpu headers, PASS/ok
+// trailers) are skipped; a malformed Benchmark line is an error rather
+// than a silent drop, so a truncated artifact cannot masquerade as a
+// clean narrow run.
+func ParseGoBench(r io.Reader) ([]GoBenchLine, error) {
+	var out []GoBenchLine
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			full := strings.TrimSpace(rest)
+			pkg = full[strings.LastIndexByte(full, '/')+1:]
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		l, err := parseGoBenchLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+		l.Pkg = pkg
+		out = append(out, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return out, nil
+}
+
+func parseGoBenchLine(line string) (GoBenchLine, error) {
+	l := GoBenchLine{BytesPerOp: -1, AllocsPerOp: -1}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return l, fmt.Errorf("short benchmark line %q", line)
+	}
+	l.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix testing.B appends ("CounterInc-8");
+	// only an all-digit tail after the last dash is procs, so benchmark
+	// names that legitimately end in -foo survive.
+	if i := strings.LastIndexByte(l.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(l.Name[i+1:]); err == nil {
+			l.Name = l.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return l, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	l.Iters = iters
+	// The remainder is value/unit pairs: `10.09 ns/op`, `0 B/op`, ...
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return l, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			l.NsPerOp, seen = v, true
+		case "B/op":
+			l.BytesPerOp = v
+		case "allocs/op":
+			l.AllocsPerOp = v
+		}
+	}
+	if !seen {
+		return l, fmt.Errorf("no ns/op column in %q", line)
+	}
+	return l, nil
+}
+
+// NormalizeGoBench parses go-bench text output and folds it into one
+// normalized Report named name. Per benchmark the rows are:
+//
+//	<pkg>/<Name>/ns_per_op      better=lower tol=3   (cross-machine slack)
+//	<pkg>/<Name>/allocs_per_op  better=exact when 0  (allocation-freedom is
+//	                            a hard property), better=lower tol=0.6
+//	                            otherwise; omitted without -benchmem
+//	<pkg>/<Name>/bytes_per_op   informational; omitted without -benchmem
+//
+// The raw text rides along verbatim under detail.output.
+func NormalizeGoBench(name string, r io.Reader) (*Report, error) {
+	var raw strings.Builder
+	lines, err := ParseGoBench(io.TeeReader(r, &raw))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark lines in %s input", name)
+	}
+	rep, err := NewReport(name, map[string]string{"output": raw.String()})
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lines {
+		prefix := l.Name
+		if l.Pkg != "" {
+			prefix = l.Pkg + "/" + l.Name
+		}
+		rep.Add(prefix+"/ns_per_op", l.NsPerOp, "ns/op", BetterLower, 3.0)
+		if l.AllocsPerOp >= 0 {
+			if l.AllocsPerOp == 0 {
+				rep.Add(prefix+"/allocs_per_op", 0, "allocs/op", BetterExact, 0)
+			} else {
+				rep.Add(prefix+"/allocs_per_op", l.AllocsPerOp, "allocs/op", BetterLower, 0.6)
+			}
+		}
+		if l.BytesPerOp >= 0 {
+			rep.Add(prefix+"/bytes_per_op", l.BytesPerOp, "B/op", "", 0)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGoBench = `goos: linux
+goarch: amd64
+pkg: hisvsim/internal/obs
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkCounterInc         	293668857	        10.09 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVecWith/two-labels-8 	59176110	        42.60 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWriteText          	   49676	     47956 ns/op	   20825 B/op	     463 allocs/op
+PASS
+ok  	hisvsim/internal/obs	20.187s
+pkg: hisvsim/internal/service
+BenchmarkCacheHitSample-4      	   10000	    380114 ns/op
+PASS
+ok  	hisvsim/internal/service	6.092s
+`
+
+func TestParseGoBench(t *testing.T) {
+	lines, err := ParseGoBench(strings.NewReader(sampleGoBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("parsed %d lines, want 4", len(lines))
+	}
+	want := []GoBenchLine{
+		{Pkg: "obs", Name: "CounterInc", Iters: 293668857, NsPerOp: 10.09, BytesPerOp: 0, AllocsPerOp: 0},
+		{Pkg: "obs", Name: "VecWith/two-labels", Iters: 59176110, NsPerOp: 42.60, BytesPerOp: 0, AllocsPerOp: 0},
+		{Pkg: "obs", Name: "WriteText", Iters: 49676, NsPerOp: 47956, BytesPerOp: 20825, AllocsPerOp: 463},
+		{Pkg: "service", Name: "CacheHitSample", Iters: 10000, NsPerOp: 380114, BytesPerOp: -1, AllocsPerOp: -1},
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %+v, want %+v", i, lines[i], w)
+		}
+	}
+}
+
+func TestParseGoBenchErrors(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\t100\n",            // no value columns
+		"BenchmarkX\tlots\t10 ns/op\n", // unparseable iteration count
+		"BenchmarkX\t100\tten ns/op\n", // unparseable value
+		"BenchmarkX\t100\t5 B/op\n",    // no ns/op column at all
+	} {
+		if _, err := ParseGoBench(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseGoBench(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestNormalizeGoBench(t *testing.T) {
+	rep, err := NormalizeGoBench("obs", strings.NewReader(sampleGoBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV1 || rep.Name != "obs" {
+		t.Fatalf("report header %q/%q", rep.Schema, rep.Name)
+	}
+	rows := map[string]Row{}
+	for _, r := range rep.Rows {
+		rows[r.Metric] = r
+	}
+	// Timings gate loosely across machines.
+	if r := rows["obs/CounterInc/ns_per_op"]; r.Value != 10.09 || r.Better != BetterLower || r.Tol != 3.0 {
+		t.Fatalf("CounterInc ns_per_op row = %+v", r)
+	}
+	// Allocation-free benchmarks pin zero exactly...
+	if r := rows["obs/CounterInc/allocs_per_op"]; r.Value != 0 || r.Better != BetterExact {
+		t.Fatalf("CounterInc allocs_per_op row = %+v", r)
+	}
+	// ...allocating ones gate directionally with slack.
+	if r := rows["obs/WriteText/allocs_per_op"]; r.Value != 463 || r.Better != BetterLower || r.Tol != 0.6 {
+		t.Fatalf("WriteText allocs_per_op row = %+v", r)
+	}
+	// B/op stays informational; without -benchmem the rows are absent.
+	if r := rows["obs/WriteText/bytes_per_op"]; r.Better != "" {
+		t.Fatalf("bytes_per_op gates: %+v", r)
+	}
+	if _, ok := rows["service/CacheHitSample/allocs_per_op"]; ok {
+		t.Fatal("allocs_per_op row invented for a run without -benchmem")
+	}
+	// The verbatim text survives in detail for humans.
+	if !strings.Contains(string(rep.Detail), "BenchmarkWriteText") {
+		t.Fatal("detail does not carry the original output")
+	}
+	if _, err := NormalizeGoBench("empty", strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("NormalizeGoBench accepted input with no benchmarks")
+	}
+}

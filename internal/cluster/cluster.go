@@ -148,8 +148,10 @@ const (
 type worker struct {
 	url          string
 	state        string
-	fails        int       // consecutive probe failures
-	backoffUntil time.Time // admission-control horizon (429 Retry-After)
+	fails        int           // consecutive probe failures
+	backoffUntil time.Time     // admission-control horizon (429 Retry-After)
+	lastProbe    time.Duration // latency of the last /readyz probe round trip
+	lastProbeAt  time.Time     // when that probe ran
 }
 
 // Coordinator fronts the worker fleet: it routes, splits, retries and
@@ -355,9 +357,14 @@ func (c *Coordinator) healthSweep() {
 	c.mu.Unlock()
 	sort.Strings(urls)
 
-	states := make(map[string]string, len(urls))
+	type probeResult struct {
+		state   string
+		latency time.Duration
+	}
+	states := make(map[string]probeResult, len(urls))
 	for _, u := range urls {
-		states[u] = c.probe(u)
+		state, latency := c.probe(u)
+		states[u] = probeResult{state: state, latency: latency}
 	}
 
 	c.mu.Lock()
@@ -367,8 +374,10 @@ func (c *Coordinator) healthSweep() {
 		if !ok {
 			continue // removed by a concurrent reload
 		}
+		w.lastProbe = probed.latency
+		w.lastProbeAt = time.Now()
 		next := w.state
-		switch probed {
+		switch probed.state {
 		case workerReady:
 			w.fails = 0
 			next = workerReady
@@ -386,6 +395,8 @@ func (c *Coordinator) healthSweep() {
 			w.state = next
 			changed = true
 		}
+		c.m.probeSeconds.With(u).Set(probed.latency.Seconds())
+		c.m.probeFails.With(u).Set(float64(w.fails))
 	}
 	if changed {
 		c.rebuildRingLocked()
@@ -393,26 +404,30 @@ func (c *Coordinator) healthSweep() {
 	c.mu.Unlock()
 }
 
-// probe hits one worker's /readyz and classifies the answer.
-func (c *Coordinator) probe(url string) string {
+// probe hits one worker's /readyz, classifying the answer and timing the
+// round trip (the per-worker probe-latency gauge and /v1/cluster's
+// last_probe_ms; a timed-out probe reports the timeout itself).
+func (c *Coordinator) probe(url string) (string, time.Duration) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthEvery)
 	defer cancel()
+	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
 	if err != nil {
-		return workerDead
+		return workerDead, time.Since(start)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return workerDead
+		return workerDead, time.Since(start)
 	}
 	defer resp.Body.Close()
+	latency := time.Since(start)
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return workerReady
+		return workerReady, latency
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return workerDraining
+		return workerDraining, latency
 	default:
-		return workerDead
+		return workerDead, latency
 	}
 }
 

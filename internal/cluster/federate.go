@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hisvsim/internal/obs"
+)
+
+// Metrics federation: GET /metrics/federate scrapes every live worker's
+// /metrics on demand, parses the expositions back with obs.ParseText (the
+// inverse of the registry's writer), stamps a worker label on each sample
+// and re-exposes the union — one scrape target covers the whole fleet
+// without running a Prometheus federation server. On top of the raw
+// series the endpoint adds cluster rollups:
+//
+//	hisvsim_cluster_cache_hit_rate                      fleet-wide hits/(hits+misses), all caches
+//	hisvsim_cluster_queue_depth                         summed worker queue depth
+//	hisvsim_cluster_worker_up{worker}                   1 if this scrape succeeded
+//	hisvsim_cluster_worker_probe_seconds{worker}        latest /readyz round trip
+//	hisvsim_cluster_worker_consecutive_failures{worker} failed probes in a row
+//
+// Dead workers are skipped (there is nothing to scrape); a worker that
+// fails mid-scrape reports hisvsim_cluster_worker_up 0 and contributes no
+// series rather than failing the whole response.
+
+// federateTimeout bounds one worker scrape within a federate request.
+const federateTimeout = 5 * time.Second
+
+// scrapeTarget is one worker to federate, snapshotted under c.mu.
+type scrapeTarget struct {
+	url          string
+	state        string
+	probeSeconds float64
+	fails        int
+}
+
+func handleFederate(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	targets := make([]scrapeTarget, 0, len(c.workers))
+	for _, wk := range c.workers {
+		targets = append(targets, scrapeTarget{
+			url: wk.url, state: wk.state,
+			probeSeconds: wk.lastProbe.Seconds(), fails: wk.fails,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].url < targets[j].url })
+
+	type scrape struct {
+		fams []*obs.MetricFamily
+		err  error
+	}
+	results := make([]scrape, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		if t.state == workerDead {
+			results[i].err = fmt.Errorf("worker %s is dead", t.url)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			results[i].fams, results[i].err = c.scrapeWorker(r.Context(), url)
+		}(i, t.url)
+	}
+	wg.Wait()
+
+	// Merge: one family per name, samples grouped by worker in URL order
+	// (targets are sorted), each stamped with the worker label. HELP/TYPE
+	// metadata comes from the first worker that exposes the family.
+	merged := map[string]*obs.MetricFamily{}
+	var order []string
+	var hits, misses, queueDepth float64
+	for i, t := range targets {
+		if results[i].err != nil {
+			if t.state != workerDead {
+				c.m.federations.With("error").Inc()
+				c.log.Warn("federate scrape failed", "worker", t.url, "err", results[i].err)
+			}
+			continue
+		}
+		c.m.federations.With("ok").Inc()
+		for _, f := range results[i].fams {
+			mf, ok := merged[f.Name]
+			if !ok {
+				mf = &obs.MetricFamily{Name: f.Name, Help: f.Help, Type: f.Type}
+				merged[f.Name] = mf
+				order = append(order, f.Name)
+			}
+			for _, s := range f.Samples {
+				mf.Samples = append(mf.Samples, s.WithLabel("worker", t.url))
+				switch s.Name {
+				case "hisvsim_cache_hits_total":
+					hits += s.Value
+				case "hisvsim_cache_misses_total":
+					misses += s.Value
+				case "hisvsim_queue_depth":
+					queueDepth += s.Value
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	fams := make([]*obs.MetricFamily, 0, len(order)+5)
+	for _, name := range order {
+		fams = append(fams, merged[name])
+	}
+
+	// Cluster rollups, computed from the scrapes and the health sweeps.
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = hits / (hits + misses)
+	}
+	fams = append(fams,
+		&obs.MetricFamily{
+			Name: "hisvsim_cluster_cache_hit_rate", Type: "gauge",
+			Help:    "Fleet-wide cache hit rate: sum(hits)/sum(hits+misses) over every worker and cache at scrape time.",
+			Samples: []obs.Sample{{Name: "hisvsim_cluster_cache_hit_rate", Value: hitRate}},
+		},
+		&obs.MetricFamily{
+			Name: "hisvsim_cluster_queue_depth", Type: "gauge",
+			Help:    "Total queued jobs across every scraped worker.",
+			Samples: []obs.Sample{{Name: "hisvsim_cluster_queue_depth", Value: queueDepth}},
+		},
+	)
+	up := &obs.MetricFamily{
+		Name: "hisvsim_cluster_worker_up", Type: "gauge",
+		Help: "Whether this federate request scraped the worker successfully.",
+	}
+	probeSecs := &obs.MetricFamily{
+		Name: "hisvsim_cluster_worker_probe_seconds", Type: "gauge",
+		Help: "Latest /readyz probe round-trip time per worker.",
+	}
+	probeFails := &obs.MetricFamily{
+		Name: "hisvsim_cluster_worker_consecutive_failures", Type: "gauge",
+		Help: "Consecutive failed health probes per worker (resets on success).",
+	}
+	for i, t := range targets {
+		workerLabel := []obs.Label{{Name: "worker", Value: t.url}}
+		upVal := 1.0
+		if results[i].err != nil {
+			upVal = 0
+		}
+		up.Samples = append(up.Samples, obs.Sample{Name: up.Name, Labels: workerLabel, Value: upVal})
+		probeSecs.Samples = append(probeSecs.Samples, obs.Sample{Name: probeSecs.Name, Labels: workerLabel, Value: t.probeSeconds})
+		probeFails.Samples = append(probeFails.Samples, obs.Sample{Name: probeFails.Name, Labels: workerLabel, Value: float64(t.fails)})
+	}
+	fams = append(fams, probeFails, probeSecs, up)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteFamilies(w, fams)
+}
+
+// scrapeWorker fetches and parses one worker's /metrics.
+func (c *Coordinator) scrapeWorker(ctx context.Context, url string) ([]*obs.MetricFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, federateTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/metrics: HTTP %d", url, resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hisvsim/internal/obs"
+	"hisvsim/internal/prof"
 	"hisvsim/internal/service"
 )
 
@@ -23,12 +24,24 @@ const (
 	stageMerge  = "merge"
 )
 
+// Attempt statuses in the stitched trace (wire "status" field).
+const (
+	attemptOK     = "ok"     // delivered; worker trace/profile stitched below
+	attemptLost   = "lost"   // dispatch lost (worker died/bounced); span retained unstitched
+	attemptFailed = "failed" // permanent rejection
+)
+
 // cjob is one coordinator job: the fan-out of one client submission.
 type cjob struct {
-	id        string
-	kind      string
-	mode      string
-	key       string
+	id   string
+	kind string
+	mode string
+	key  string
+	// requestID is the job's cluster-wide correlation ID: taken from the
+	// submitting context (the instrumented HTTP front door mints one per
+	// request) or generated here, and forwarded to every sub-job dispatch
+	// in X-Request-ID — one grep follows a job across the whole fleet.
+	requestID string
 	status    service.Status
 	err       string
 	submitted time.Time
@@ -52,12 +65,48 @@ type subjob struct {
 	err      error
 }
 
-// attempt is one delivery try, rendered as a span in the job trace.
+// attempt is one delivery try, rendered as a span in the job trace. Each
+// attempt has its own span ID ("<job>/s<sub>/a<attempt>"), sent to the
+// worker as X-Parent-Span so the worker-side job pins itself under this
+// exact span; after a successful attempt the coordinator fetches the
+// worker's trace and profile and stitches them here.
 type attempt struct {
-	worker  string
-	start   time.Time
-	end     time.Time
-	outcome string // "ok", "retry", "backoff", "failed"
+	worker   string
+	span     string // span ID propagated in X-Parent-Span
+	remoteID string // worker-side job id, once accepted
+	start    time.Time
+	end      time.Time
+	outcome  string // "ok", "retry", "backoff", "failed"
+	// status classifies the attempt for the stitched trace: "ok" (worker
+	// trace nested below), "lost" (the dispatch died — worker killed,
+	// bounced or timed out — so there is nothing to stitch) or "failed"
+	// (permanent rejection).
+	status string
+	wtrace *workerTrace   // stitched worker trace (ok attempts, best effort)
+	wprof  *workerProfile // stitched worker kernel profile (ditto)
+}
+
+// workerTrace is the decoded worker GET /v1/jobs/{id}/trace body.
+type workerTrace struct {
+	ID         string      `json:"id"`
+	RequestID  string      `json:"request_id,omitempty"`
+	ParentSpan string      `json:"parent_span,omitempty"`
+	Backend    string      `json:"backend,omitempty"`
+	WallMS     float64     `json:"wall_ms"`
+	Stages     []wireStage `json:"stages"`
+}
+
+// workerProfile is the decoded worker GET /v1/jobs/{id}/profile body.
+type workerProfile struct {
+	ID             string            `json:"id"`
+	RequestID      string            `json:"request_id,omitempty"`
+	ParentSpan     string            `json:"parent_span,omitempty"`
+	Backend        string            `json:"backend,omitempty"`
+	WallMS         float64           `json:"wall_ms"`
+	WindowMS       float64           `json:"window_ms"`
+	KernelMS       float64           `json:"kernel_ms"`
+	UnattributedMS float64           `json:"unattributed_ms"`
+	Kernels        []prof.KernelStat `json:"kernels"`
 }
 
 // Submit plans, fans out and (asynchronously) merges one client
@@ -72,8 +121,12 @@ func (c *Coordinator) Submit(ctx context.Context, body []byte) (string, error) {
 	id := fmt.Sprintf("c-%d", c.seq)
 	c.mu.Unlock()
 
+	rid := obs.RequestID(ctx)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
 	j := &cjob{
-		id: id, status: service.StatusQueued,
+		id: id, requestID: rid, status: service.StatusQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -192,29 +245,38 @@ func (c *Coordinator) runSub(ctx context.Context, j *cjob, sub *subjob) error {
 			// Spread slices across the owner's successor list, then rotate
 			// by attempt so a retry lands on a different live worker.
 			worker := cands[(sub.index+att)%len(cands)]
-			a := attempt{worker: worker, start: time.Now()}
-			res, err := c.dispatch(ctx, sub, worker)
-			a.end = time.Now()
+			a := &attempt{
+				worker: worker,
+				span:   fmt.Sprintf("%s/s%d/a%d", j.id, sub.index, att),
+				start:  time.Now(),
+			}
+			res, err := c.dispatch(ctx, j, sub, a)
+			if a.end.IsZero() { // failed dispatches never reached the end stamp
+				a.end = time.Now()
+			}
 			switch {
 			case err == nil:
-				a.outcome = "ok"
+				a.outcome, a.status = "ok", attemptOK
 				c.recordAttempt(j, sub, a)
 				sub.result = res
 				c.m.subjobs.With(subjobOK).Inc()
 				return nil
 			case errors.As(err, &errPermanent{}):
-				a.outcome = "failed"
+				a.outcome, a.status = "failed", attemptFailed
 				c.recordAttempt(j, sub, a)
 				c.m.subjobs.With(subjobFailed).Inc()
 				return err
 			default:
-				a.outcome = "retry"
+				// The dispatch was lost (worker died, bounced or timed
+				// out): the attempt span stays in the trace, unstitched and
+				// marked lost, and the sub-job re-dispatches elsewhere.
+				a.outcome, a.status = "retry", attemptLost
 				c.recordAttempt(j, sub, a)
 				lastErr = err
 				c.m.subjobs.With(subjobRetried).Inc()
 				c.m.retries.Inc()
 				c.log.Info("cluster sub-job retry", "job", j.id, "sub", sub.index,
-					"worker", worker, "attempt", att, "err", err)
+					"worker", worker, "attempt", att, "span", a.span, "err", err)
 			}
 		}
 		select {
@@ -227,36 +289,92 @@ func (c *Coordinator) runSub(ctx context.Context, j *cjob, sub *subjob) error {
 	return fmt.Errorf("cluster: sub-job %d exhausted %d attempts: %w", sub.index, c.cfg.MaxAttempts, lastErr)
 }
 
-func (c *Coordinator) recordAttempt(j *cjob, sub *subjob, a attempt) {
+func (c *Coordinator) recordAttempt(j *cjob, sub *subjob, a *attempt) {
 	c.mu.Lock()
 	sub.worker = a.worker
-	sub.attempts = append(sub.attempts, a)
+	sub.attempts = append(sub.attempts, *a)
 	c.mu.Unlock()
 }
 
 // dispatch submits a sub-job body to one worker and long-polls it to a
-// terminal result. Errors are retryable unless wrapped errPermanent.
-func (c *Coordinator) dispatch(ctx context.Context, sub *subjob, worker string) (json.RawMessage, error) {
-	id, err := c.submitTo(ctx, sub.body, worker)
+// terminal result, then (best effort) fetches the worker's trace and
+// kernel profile for stitching. Errors are retryable unless wrapped
+// errPermanent.
+func (c *Coordinator) dispatch(ctx context.Context, j *cjob, sub *subjob, a *attempt) (json.RawMessage, error) {
+	id, err := c.submitTo(ctx, sub.body, a.worker, j.requestID, a.span)
 	if err != nil {
 		return nil, err
 	}
+	a.remoteID = id
 	c.mu.Lock()
 	sub.remoteID = id
 	c.mu.Unlock()
-	return c.pollResult(ctx, worker, id)
+	res, err := c.pollResult(ctx, a.worker, id)
+	if err != nil {
+		return nil, err
+	}
+	// The attempt window closes when the result lands; the stitch fetch is
+	// post-hoc observability and must not pad the span it describes.
+	a.end = time.Now()
+	c.stitch(ctx, a)
+	return res, nil
+}
+
+// stitch pulls the finished worker job's trace and profile and attaches
+// them to the attempt. Best effort: a worker that dies between finishing
+// the job and the fetch loses its sub-trace, not the job.
+func (c *Coordinator) stitch(ctx context.Context, a *attempt) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	var wt workerTrace
+	if err := c.getJSON(ctx, fmt.Sprintf("%s/v1/jobs/%s/trace", a.worker, a.remoteID), &wt); err == nil {
+		a.wtrace = &wt
+	} else {
+		c.log.Warn("cluster trace stitch failed", "worker", a.worker, "remote", a.remoteID, "err", err)
+	}
+	var wp workerProfile
+	if err := c.getJSON(ctx, fmt.Sprintf("%s/v1/jobs/%s/profile", a.worker, a.remoteID), &wp); err == nil {
+		a.wprof = &wp
+	} else {
+		c.log.Warn("cluster profile stitch failed", "worker", a.worker, "remote", a.remoteID, "err", err)
+	}
+}
+
+// getJSON fetches one worker URL into out.
+func (c *Coordinator) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(out)
 }
 
 // submitTo POSTs the body to one worker, honoring admission control: a
 // 429 backs the worker off for its Retry-After horizon and reads as a
 // retryable loss, a 400 is permanent (retrying the same bytes cannot
-// help), and 5xx/transport errors are retryable.
-func (c *Coordinator) submitTo(ctx context.Context, body []byte, worker string) (string, error) {
+// help), and 5xx/transport errors are retryable. The job's request ID and
+// the attempt span ride along as X-Request-ID / X-Parent-Span, so the
+// worker's logs, job record and trace all correlate with this dispatch.
+func (c *Coordinator) submitTo(ctx context.Context, body []byte, worker, requestID, span string) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	if span != "" {
+		req.Header.Set(obs.ParentSpanHeader, span)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("submit to %s: %w", worker, err)

@@ -28,6 +28,13 @@ type metrics struct {
 	// jobs counts coordinator jobs by how they executed: "routed" whole
 	// to the ring owner, "split" across workers, or "local_error".
 	jobs *obs.CounterVec
+	// probeSeconds / probeFails surface per-worker health-probe telemetry
+	// (latest /readyz round trip, consecutive failures) — the same numbers
+	// /v1/cluster reports per worker and /metrics/federate rolls up.
+	probeSeconds *obs.GaugeVec
+	probeFails   *obs.GaugeVec
+	// federations counts /metrics/federate scrapes by per-worker outcome.
+	federations *obs.CounterVec
 }
 
 func newMetrics() *metrics {
@@ -42,6 +49,12 @@ func newMetrics() *metrics {
 			"Sub-job dispatch retries (lost, straggling or bounced sub-jobs re-sent)."),
 		jobs: reg.CounterVec("hisvsim_cluster_jobs_total",
 			"Coordinator jobs by execution mode.", "mode"),
+		probeSeconds: reg.GaugeVec("hisvsim_cluster_worker_probe_seconds",
+			"Latest /readyz probe round-trip time per worker.", "worker"),
+		probeFails: reg.GaugeVec("hisvsim_cluster_worker_consecutive_failures",
+			"Consecutive failed health probes per worker (resets on success).", "worker"),
+		federations: reg.CounterVec("hisvsim_cluster_federate_scrapes_total",
+			"Per-worker scrape outcomes of /metrics/federate requests.", "status"),
 	}
 	obs.RegisterBuildInfo(reg, service.Version)
 	return m

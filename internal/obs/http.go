@@ -16,6 +16,10 @@ import (
 //   - a request ID per request (honoring an incoming X-Request-ID header,
 //     minting one otherwise) attached to the request context and echoed
 //     in the X-Request-ID response header;
+//   - an incoming X-Parent-Span header (set by a cluster coordinator on
+//     fan-out sub-job submissions) attached to the request context, so
+//     worker-side logs and job records correlate with the coordinator
+//     attempt span that produced them;
 //   - one structured access-log line per request with the request ID.
 //
 // The metric names are prefixed with prefix (e.g. "hisvsim_"). The route
@@ -37,6 +41,9 @@ func InstrumentHTTP(reg *Registry, prefix string, logger *slog.Logger, next http
 			id = NewRequestID()
 		}
 		ctx := WithRequestID(r.Context(), id)
+		if span := r.Header.Get(ParentSpanHeader); span != "" {
+			ctx = WithParentSpan(ctx, span)
+		}
 		r = r.WithContext(ctx)
 		w.Header().Set("X-Request-ID", id)
 

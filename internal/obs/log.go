@@ -85,12 +85,16 @@ func NewLoggerFromFlags(level string, json bool) (*slog.Logger, error) {
 // services whose owner did not wire logging.
 func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
-// ctxHandler decorates records with the context's request ID.
+// ctxHandler decorates records with the context's request ID and, on
+// fan-out sub-jobs, the coordinator attempt span that submitted them.
 type ctxHandler struct{ slog.Handler }
 
 func (h *ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
 	if id := RequestID(ctx); id != "" {
 		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if span := ParentSpan(ctx); span != "" {
+		rec.AddAttrs(slog.String("parent_span", span))
 	}
 	return h.Handler.Handle(ctx, rec)
 }

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseTextRoundTrip pins the inverse property the federation endpoint
+// relies on: WriteText → ParseText → WriteFamilies reproduces the original
+// exposition byte for byte, across counters, gauges, float counters,
+// labeled vecs, histograms and escaped label values.
+func TestParseTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_jobs_total", "Jobs.").Add(42)
+	reg.Gauge("t_queue_depth", "Depth.").Set(3)
+	reg.CounterVec("t_hits_total", "Hits.", "cache", "kind").With("plan", `we"ird\va1ue`).Add(7)
+	reg.CounterVec("t_hits_total", "Hits.", "cache", "kind").With("state", "line1\nline2").Add(9)
+	reg.FloatCounterVec("t_seconds_total", "Seconds.", "kernel").With("dense").Add(1.25)
+	reg.GaugeFunc("t_func_gauge", "Callback.", func() float64 { return 2.5 })
+	h := reg.HistogramVec("t_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "route")
+	h.With("GET /v1/jobs").Observe(0.005)
+	h.With("GET /v1/jobs").Observe(0.05)
+	h.With("GET /v1/jobs").Observe(5)
+
+	var orig bytes.Buffer
+	if err := reg.WriteText(&orig); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt bytes.Buffer
+	if err := WriteFamilies(&rt, fams); err != nil {
+		t.Fatal(err)
+	}
+	if rt.String() != orig.String() {
+		t.Fatalf("round trip is not byte-identical\n--- original ---\n%s\n--- round-trip ---\n%s", orig.String(), rt.String())
+	}
+}
+
+func TestParseTextSemantics(t *testing.T) {
+	in := `# HELP demo_total A demo\ncounter with \\ escapes.
+# TYPE demo_total counter
+demo_total{worker="http://w1",q="a\"b\\c\nd"} 12 1700000000000
+# TYPE demo_hist histogram
+demo_hist_bucket{le="0.1"} 1
+demo_hist_bucket{le="+Inf"} 2
+demo_hist_sum 1.5
+demo_hist_count 2
+demo_gauge NaN
+`
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*MetricFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	c := byName["demo_total"]
+	if c == nil || c.Type != "counter" {
+		t.Fatalf("demo_total family missing or untyped: %+v", c)
+	}
+	if want := "A demo\ncounter with \\ escapes."; c.Help != want {
+		t.Fatalf("help = %q, want %q", c.Help, want)
+	}
+	if len(c.Samples) != 1 || c.Samples[0].Value != 12 {
+		t.Fatalf("demo_total samples = %+v", c.Samples)
+	}
+	if got := c.Samples[0].Label("q"); got != "a\"b\\c\nd" {
+		t.Fatalf("escaped label = %q", got)
+	}
+	hist := byName["demo_hist"]
+	if hist == nil || len(hist.Samples) != 4 {
+		t.Fatalf("histogram series not attached to base family: %+v", hist)
+	}
+	if hist.Samples[1].Name != "demo_hist_bucket" || !math.IsInf(mustLabelFloat(t, hist.Samples[1], "le"), 1) {
+		t.Fatalf("+Inf bucket mangled: %+v", hist.Samples[1])
+	}
+	g := byName["demo_gauge"]
+	if g == nil || len(g.Samples) != 1 || !math.IsNaN(g.Samples[0].Value) {
+		t.Fatalf("NaN gauge mangled: %+v", g)
+	}
+}
+
+func mustLabelFloat(t *testing.T, s Sample, name string) float64 {
+	t.Helper()
+	v, err := parseValue(s.Label(name))
+	if err != nil {
+		t.Fatalf("label %s=%q: %v", name, s.Label(name), err)
+	}
+	return v
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, in := range []string{
+		"demo_total\n",                      // missing value
+		`demo_total{x="unterminated`,        // unterminated label value
+		`demo_total{x="bad\q"} 1`,           // unknown escape
+		"demo_total 1 notatimestamp\n",      // garbage after value
+		"demo_total{x=\"ok\"} notanumber\n", // bad value
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestSampleWithLabel(t *testing.T) {
+	s := Sample{Name: "x", Labels: []Label{{Name: "a", Value: "1"}}, Value: 2}
+	out := s.WithLabel("worker", "http://w1")
+	if out.Label("worker") != "http://w1" || out.Label("a") != "1" {
+		t.Fatalf("WithLabel append: %+v", out)
+	}
+	out2 := out.WithLabel("worker", "http://w2")
+	if out2.Label("worker") != "http://w2" || len(out2.Labels) != 2 {
+		t.Fatalf("WithLabel replace: %+v", out2)
+	}
+	if s.Label("worker") != "" {
+		t.Fatal("WithLabel mutated the receiver")
+	}
+}
+
+func TestNodeTree(t *testing.T) {
+	root := &Node{Name: "job", DurationMS: 100, Children: []*Node{
+		{Name: "plan", DurationMS: 10},
+		{Name: "fanout", DurationMS: 80, Children: []*Node{
+			{Name: "sub0", DurationMS: 80, Children: []*Node{
+				{Name: "attempt0", Status: "ok", DurationMS: 78, Children: []*Node{
+					{Name: "queue_wait", DurationMS: 8},
+					{Name: "trajectories", DurationMS: 70},
+				}},
+			}},
+		}},
+		{Name: "merge", DurationMS: 10},
+	}}
+	if got := root.Depth(); got != 5 {
+		t.Fatalf("Depth = %d, want 5", got)
+	}
+	if err := root.TileError(); err != 0 {
+		t.Fatalf("root TileError = %v, want 0", err)
+	}
+	attempt := root.Children[1].Children[0].Children[0]
+	if err := attempt.TileError(); err != 0 {
+		t.Fatalf("attempt TileError = %v, want 0", err)
+	}
+	attempt.Children[0].DurationMS = 4 // open a 4ms gap in a 78ms window
+	if err := attempt.TileError(); math.Abs(err-4.0/78) > 1e-12 {
+		t.Fatalf("attempt TileError = %v, want %v", err, 4.0/78)
+	}
+	var names []string
+	root.Walk(func(n *Node) { names = append(names, n.Name) })
+	if len(names) != 8 || names[0] != "job" || names[4] != "attempt0" {
+		t.Fatalf("Walk order: %v", names)
+	}
+}
+
+func TestParentSpanContext(t *testing.T) {
+	ctx := WithParentSpan(t.Context(), "c-1/s0/a0")
+	if got := ParentSpan(ctx); got != "c-1/s0/a0" {
+		t.Fatalf("ParentSpan = %q", got)
+	}
+	if got := ParentSpan(t.Context()); got != "" {
+		t.Fatalf("empty context ParentSpan = %q", got)
+	}
+}

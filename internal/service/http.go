@@ -14,6 +14,7 @@ import (
 	"hisvsim/internal/circuit"
 	"hisvsim/internal/core"
 	"hisvsim/internal/noise"
+	"hisvsim/internal/obs"
 	"hisvsim/internal/prof"
 	"hisvsim/internal/qasm"
 )
@@ -657,7 +658,21 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.SubmitContext(r.Context(), req)
+	// When the handler is mounted without obs.InstrumentHTTP (embedded
+	// use, tests), honor the propagation headers directly so a cluster
+	// coordinator's X-Request-ID / X-Parent-Span still reach the job.
+	ctx := r.Context()
+	if obs.RequestID(ctx) == "" {
+		if rid := r.Header.Get("X-Request-ID"); rid != "" {
+			ctx = obs.WithRequestID(ctx, rid)
+		}
+	}
+	if obs.ParentSpan(ctx) == "" {
+		if span := r.Header.Get(obs.ParentSpanHeader); span != "" {
+			ctx = obs.WithParentSpan(ctx, span)
+		}
+	}
+	id, err := s.SubmitContext(ctx, req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Admission control, not failure: tell the client when to come
@@ -740,13 +755,14 @@ func handleResult(s *Service, w http.ResponseWriter, r *http.Request) {
 // spans tile the submitted→finished window); live jobs include the open
 // stage measured to now.
 type wireTrace struct {
-	ID        string      `json:"id"`
-	Kind      string      `json:"kind"`
-	Status    string      `json:"status"`
-	RequestID string      `json:"request_id,omitempty"`
-	Backend   string      `json:"backend,omitempty"`
-	WallMS    float64     `json:"wall_ms"`
-	Stages    []wireStage `json:"stages"`
+	ID         string      `json:"id"`
+	Kind       string      `json:"kind"`
+	Status     string      `json:"status"`
+	RequestID  string      `json:"request_id,omitempty"`
+	ParentSpan string      `json:"parent_span,omitempty"`
+	Backend    string      `json:"backend,omitempty"`
+	WallMS     float64     `json:"wall_ms"`
+	Stages     []wireStage `json:"stages"`
 }
 
 // wireStage is one stage span: its offset from submit and its duration.
@@ -768,7 +784,7 @@ func handleTrace(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	out := wireTrace{
 		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
-		RequestID: info.RequestID, Backend: info.Backend,
+		RequestID: info.RequestID, ParentSpan: info.ParentSpan, Backend: info.Backend,
 		WallMS: durationMS(wall),
 		Stages: make([]wireStage, 0, len(info.Trace)),
 	}
@@ -793,6 +809,7 @@ type wireProfile struct {
 	Kind           string            `json:"kind"`
 	Status         string            `json:"status"`
 	RequestID      string            `json:"request_id,omitempty"`
+	ParentSpan     string            `json:"parent_span,omitempty"`
 	Backend        string            `json:"backend,omitempty"`
 	WallMS         float64           `json:"wall_ms"`
 	WindowMS       float64           `json:"window_ms"`
@@ -814,7 +831,7 @@ func handleProfile(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	out := wireProfile{
 		ID: info.ID, Kind: string(info.Kind), Status: string(info.Status),
-		RequestID: info.RequestID, Backend: info.Backend,
+		RequestID: info.RequestID, ParentSpan: info.ParentSpan, Backend: info.Backend,
 		WallMS:  durationMS(wall),
 		Stages:  make([]wireStage, 0, len(info.Trace)),
 		Kernels: info.Profile,

@@ -270,6 +270,12 @@ type JobInfo struct {
 	// X-Request-ID), or generated at submit. It appears as request_id on
 	// every log line the job produces.
 	RequestID string
+	// ParentSpan is the submitting side's span ID when the job arrived as
+	// a cluster fan-out sub-job (the coordinator sends it in
+	// X-Parent-Span); empty for direct submissions. It lets a stitched
+	// cluster trace pin this job's stages under the exact coordinator
+	// attempt that dispatched it.
+	ParentSpan string
 	// Trace is the job's stage spans so far (live jobs include the open
 	// stage measured to now; terminal jobs tile submitted→finished).
 	Trace []obs.Span
@@ -475,11 +481,14 @@ type job struct {
 	// BackendTrajectory), set when execution starts.
 	backend string
 	// requestID correlates the job's log lines (and its HTTP submit, when
-	// the ID came in via X-Request-ID); trace records the job's sequential
-	// stage spans, tiling submitted→finished. Both are write-once at
-	// submit; the trace has its own lock.
-	requestID string
-	trace     *obs.Trace
+	// the ID came in via X-Request-ID); parentSpan is the coordinator
+	// attempt span on fan-out sub-jobs (X-Parent-Span), empty otherwise;
+	// trace records the job's sequential stage spans, tiling
+	// submitted→finished. All write-once at submit; the trace has its own
+	// lock.
+	requestID  string
+	parentSpan string
+	trace      *obs.Trace
 	// profr accumulates the job's kernel-level profile: the engines record
 	// into it through the job context, lock-free, so snapshots are safe at
 	// any time.
@@ -663,6 +672,7 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 	if rid == "" {
 		rid = obs.NewRequestID()
 	}
+	pspan := obs.ParentSpan(ctx)
 	// The trace window opens — and its queue_wait stage begins — at the
 	// exact submit timestamp, so the spans tile submitted→finished and
 	// their durations sum to the job's wall time. Both ride the job
@@ -674,7 +684,11 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 	// allocated lazily on the first recorded kernel, so cache-hit jobs pay
 	// one pointer-sized struct and nothing else.
 	profr := &prof.Recorder{}
-	jctx = prof.WithRecorder(obs.ContextWithTrace(obs.WithRequestID(jctx, rid), trace), profr)
+	jctx = obs.WithRequestID(jctx, rid)
+	if pspan != "" {
+		jctx = obs.WithParentSpan(jctx, pspan)
+	}
+	jctx = prof.WithRecorder(obs.ContextWithTrace(jctx, trace), profr)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -686,7 +700,7 @@ func (s *Service) SubmitContext(ctx context.Context, req Request) (string, error
 		id: fmt.Sprintf("j%06d", s.nextID), req: req,
 		ctx: jctx, cancel: jcancel, done: make(chan struct{}),
 		idealBackend: idealBackend, exact: exact,
-		requestID: rid, trace: trace, profr: profr,
+		requestID: rid, parentSpan: pspan, trace: trace, profr: profr,
 		status: StatusQueued, submitted: submitted,
 	}
 	select {
@@ -889,7 +903,8 @@ func (s *Service) snapshotLocked(j *job) JobInfo {
 		ID: j.id, Kind: j.req.Kind, Status: j.status, Backend: j.backend,
 		Result:    j.result,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
-		RequestID: j.requestID, Trace: j.trace.Spans(), Profile: j.profr.Snapshot(),
+		RequestID: j.requestID, ParentSpan: j.parentSpan,
+		Trace: j.trace.Spans(), Profile: j.profr.Snapshot(),
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()

@@ -80,6 +80,19 @@ if [ "$MODE" != split_ensemble ] || [ "$SUBS" -lt 2 ]; then
 fi
 echo "cluster-smoke: split ensemble OK ($SUBS sub-jobs)"
 
+# The stitched trace is one tree: job → plan/fanout/merge → sub-jobs →
+# attempts → nested worker stages. A real fan-out must reach depth ≥ 3
+# (it reaches 5 when every worker trace stitched; ≥ 3 tolerates a lost
+# best-effort fetch).
+DEPTH="$(curl -fsS "$BASE/v1/jobs/$ID/trace" |
+    jq 'def depth: 1 + ([.children[]? | depth] | max // 0); .tree | depth')"
+if [ "$DEPTH" -lt 3 ]; then
+    echo "cluster-smoke: stitched trace depth $DEPTH, want ≥ 3" >&2
+    curl -fsS "$BASE/v1/jobs/$ID/trace" >&2
+    exit 1
+fi
+echo "cluster-smoke: stitched trace OK (depth $DEPTH)"
+
 # Routing affinity: a repeat of the same small circuit must be answered
 # from a warm worker cache — sticky fingerprint routing.
 ROUTED_BODY='{
@@ -96,6 +109,28 @@ if [ "$HIT" != true ]; then
     exit 1
 fi
 echo "cluster-smoke: routing affinity OK"
+
+# Metrics federation: one coordinator scrape re-exposes every worker's
+# series stamped with a worker label (the warm cache above guarantees a
+# live hisvsim_cache_hits_total series) plus the cluster rollups.
+FED="$(curl -fsS "$BASE/metrics/federate")"
+if ! printf '%s\n' "$FED" | grep -q 'hisvsim_cache_hits_total{.*worker="http://'; then
+    echo "cluster-smoke: federation exposes no worker-labeled cache-hit series" >&2
+    printf '%s\n' "$FED" | grep hisvsim_cache >&2 || true
+    exit 1
+fi
+for W in "$W1_ADDR" "$W2_ADDR"; do
+    if ! printf '%s\n' "$FED" | grep -q "hisvsim_cluster_worker_up{worker=\"http://$W\"} 1"; then
+        echo "cluster-smoke: federation says worker $W is not up" >&2
+        printf '%s\n' "$FED" | grep hisvsim_cluster_worker >&2 || true
+        exit 1
+    fi
+done
+if ! printf '%s\n' "$FED" | grep -q '^hisvsim_cluster_cache_hit_rate'; then
+    echo "cluster-smoke: federation is missing the cache-hit-rate rollup" >&2
+    exit 1
+fi
+echo "cluster-smoke: metrics federation OK"
 
 # Fault injection: submit a long ensemble, kill -9 one worker while its
 # sub-job is in flight, and require the coordinator to finish the job by
@@ -159,4 +194,4 @@ fi
 kill -TERM "$W1_PID" 2>/dev/null || true
 wait "$W1_PID" 2>/dev/null || true
 trap - EXIT
-echo "cluster-smoke: OK (2-worker ring, split ensemble, sticky routing, mid-ensemble worker kill survived via retry, dead worker evicted, graceful drain)"
+echo "cluster-smoke: OK (2-worker ring, split ensemble, stitched trace, sticky routing, metrics federation, mid-ensemble worker kill survived via retry, dead worker evicted, graceful drain)"
